@@ -1,0 +1,91 @@
+// Generality of the framework across timing models (Sections 3.2 & 5.3):
+// the paper argues the same TS-data + GNN pipeline applies unchanged to
+// advanced delay models (AOCV/POCV/CCS) because the sensitivities are
+// "adaptively evaluated depending on the given timing delay model".
+//
+// This bench exercises that claim with the built-in AOCV mode
+// (depth-based derating): the full pipeline is re-run under AOCV —
+// TS data generation, training, mode-aware merging — and compared
+// against (a) the NLDM pipeline on NLDM timing and (b) a *mode-ignorant*
+// model (generated for NLDM, analyzed under AOCV), which shows why the
+// adaptive evaluation matters.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "macro/ilm.hpp"
+#include "sensitivity/training_data.hpp"
+
+using namespace tmm;
+using namespace tmm::bench;
+
+int main() {
+  const std::size_t scale = env_scale("TMM_TEST_SCALE", 100);
+  const std::size_t train_scale = env_scale("TMM_TRAIN_SCALE", 10);
+  std::printf("== AOCV generality: the pipeline under an advanced timing "
+              "model (designs at 1/%zu TAU scale) ==\n",
+              scale);
+
+  AocvConfig aocv;
+  aocv.enabled = true;
+
+  FlowConfig nldm_cfg;
+  nldm_cfg.cppr = true;
+  Framework nldm(nldm_cfg);
+  FlowConfig aocv_cfg = nldm_cfg;
+  aocv_cfg.aocv = aocv;
+  Framework aocv_fw(aocv_cfg);
+
+  std::printf("-- training the NLDM pipeline\n");
+  train_framework(nldm, train_scale);
+  std::printf("-- training the AOCV pipeline (same code path, TS "
+              "re-evaluated under the AOCV model)\n");
+  train_framework(aocv_fw, train_scale);
+
+  const Library lib = generate_library();
+  const auto suite = tau_testing_suite(lib, scale);
+
+  AsciiTable table({"Design", "Pipeline / analysis mode", "Max Err (ps)",
+                    "Avg Err (ps)", "Size (KB)"});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Design d = make_design(suite[i]);
+    std::fprintf(stderr, "# %s (%zu pins)\n", suite[i].name.c_str(),
+                 d.num_pins());
+    const DesignResult nldm_r = nldm.run_design(d);
+    const DesignResult aocv_r = aocv_fw.run_design(d);
+
+    // Mode-ignorant: the NLDM-generated model graph evaluated under AOCV.
+    const TimingGraph flat = build_timing_graph(d);
+    Rng rng(0xA0C5 + i);
+    std::vector<BoundaryConstraints> sets;
+    for (int k = 0; k < 3; ++k)
+      sets.push_back(random_constraints(d.primary_inputs().size(),
+                                        d.primary_outputs().size(), {}, rng));
+    Sta::Options aopt;
+    aopt.cppr = true;
+    aopt.aocv = aocv;
+    const AccuracyReport mismatched =
+        evaluate_accuracy(flat, nldm_r.model.graph, sets, aopt);
+
+    table.add_row({suite[i].name, "NLDM pipeline, NLDM analysis",
+                   fmt_err(nldm_r.acc.max_err_ps),
+                   fmt_err(nldm_r.acc.avg_err_ps),
+                   fmt_size_kb(nldm_r.model_file_bytes)});
+    table.add_row({suite[i].name, "AOCV pipeline, AOCV analysis",
+                   fmt_err(aocv_r.acc.max_err_ps),
+                   fmt_err(aocv_r.acc.avg_err_ps),
+                   fmt_size_kb(aocv_r.model_file_bytes)});
+    table.add_row({suite[i].name, "NLDM model under AOCV (mode-ignorant)",
+                   fmt_err(mismatched.max_err_ps),
+                   fmt_err(mismatched.avg_err_ps),
+                   fmt_size_kb(nldm_r.model_file_bytes)});
+    table.add_separator();
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nExpected shape: the AOCV pipeline matches the NLDM "
+              "pipeline's sub-0.1 ps accuracy regime under its own model "
+              "(no per-mode algorithm engineering), while the "
+              "mode-ignorant model is off by whole picoseconds — the "
+              "framework's generality claim in practice.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tmm::bench {
+
+TrainingSummary train_framework(Framework& fw, std::size_t train_scale) {
+  const Library& lib = generate_library();  // only for suite signatures
+  const auto suite = training_suite(lib, train_scale);
+  static Library persistent_lib = generate_library();
+  std::vector<Design> designs;
+  designs.reserve(suite.size());
+  for (const auto& entry : suite)
+    designs.push_back(generate_design(persistent_lib, entry.cfg));
+  std::printf("# training on %zu designs (scale 1/%zu)...\n", designs.size(),
+              train_scale);
+  const TrainingSummary sum = fw.train(designs);
+  std::printf(
+      "# trained: %zu pins labeled, %zu positives, filter removed %.1f%%, "
+      "%zu epochs, loss %.4f, data-gen %.1fs, train %.1fs\n",
+      sum.labeled_pins, sum.positives, sum.mean_filtered_fraction * 100.0,
+      sum.report.epochs_run, sum.report.final_loss,
+      sum.data_generation_seconds, sum.report.seconds);
+  return sum;
+}
+
+Design make_design(const SuiteEntry& entry) {
+  static Library lib = generate_library();
+  return generate_design(lib, entry.cfg);
+}
+
+std::string fmt_err(double ps) { return AsciiTable::num(ps, 4); }
+
+std::string fmt_size_kb(std::size_t bytes) {
+  return AsciiTable::num(static_cast<double>(bytes) / 1024.0, 1);
+}
+
+std::string fmt_seconds(double s) { return AsciiTable::num(s, 3); }
+
+std::string fmt_mb(std::size_t bytes) {
+  return AsciiTable::num(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+}
+
+double mean_ratio(const std::vector<double>& baseline,
+                  const std::vector<double>& ours) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < std::min(baseline.size(), ours.size()); ++i) {
+    if (ours[i] <= 0.0 || baseline[i] <= 0.0) continue;
+    log_sum += std::log(baseline[i] / ours[i]);
+    ++n;
+  }
+  return n == 0 ? 1.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace tmm::bench

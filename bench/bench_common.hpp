@@ -1,0 +1,53 @@
+#pragma once
+// Shared harness for the table/figure reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper on
+// scaled-down synthetic TAU-style designs (see DESIGN.md for the
+// substitution rationale). Scales are overridable via environment
+// variables so the suite stays CI-friendly by default:
+//   TMM_TEST_SCALE   divisor applied to TAU pin counts   (default per bench)
+//   TMM_TRAIN_SCALE  divisor for the training designs    (default 10)
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "flow/framework.hpp"
+#include "liberty/library_gen.hpp"
+#include "netlist/design_gen.hpp"
+#include "util/table.hpp"
+
+namespace tmm::bench {
+
+inline std::size_t env_scale(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+/// Train a framework on the scaled training suite and report progress.
+TrainingSummary train_framework(Framework& fw, std::size_t train_scale);
+
+/// Per-design row data shared by Tables 3-5.
+struct Row {
+  std::string design;
+  DesignResult result;
+};
+
+/// Generate the design for a suite entry.
+Design make_design(const SuiteEntry& entry);
+
+/// Format helpers for the table columns.
+std::string fmt_err(double ps);
+std::string fmt_size_kb(std::size_t bytes);
+std::string fmt_seconds(double s);
+std::string fmt_mb(std::size_t bytes);
+
+/// Geometric-mean ratio of baseline/ours over rows (the paper's "Ratio"
+/// summary lines).
+double mean_ratio(const std::vector<double>& baseline,
+                  const std::vector<double>& ours);
+
+}  // namespace tmm::bench

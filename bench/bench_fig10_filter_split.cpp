@@ -1,0 +1,86 @@
+// Reproduces Figure 10: the TS distribution of the training design
+// systemcaes split by the insensitive-pins-filter verdict. Filtered
+// pins should be overwhelmingly zero-TS; the remained pins carry the
+// non-zero TS mass — i.e. the cheap filter is consistent with the
+// expensive TS evaluation. Also prints the >88%-filtered / ~10x-speedup
+// statistics quoted in Section 4.2.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "macro/ilm.hpp"
+#include "sensitivity/training_data.hpp"
+#include "util/stats.hpp"
+#include "util/instrument.hpp"
+
+using namespace tmm;
+using namespace tmm::bench;
+
+int main() {
+  const std::size_t train_scale = env_scale("TMM_TRAIN_SCALE", 10);
+  std::printf("== Figure 10: TS distributions split by filter verdict "
+              "(systemcaes, 1/%zu scale) ==\n",
+              train_scale);
+
+  const Library lib = generate_library();
+  const auto suite = training_suite(lib, train_scale);
+  const Design d = generate_design(lib, suite[1].cfg);  // systemcaes
+  const TimingGraph flat = build_timing_graph(d);
+  const IlmResult ilm = extract_ilm(flat);
+
+  const FilterResult fr = filter_insensitive_pins(ilm.graph);
+
+  // TS for *all* pins (so both histograms are exact), timing the two
+  // workloads to report the speedup the filter buys.
+  std::vector<bool> all(ilm.graph.num_nodes(), true);
+  TsConfig cfg;
+  cfg.num_constraint_sets = 3;
+  Stopwatch sw_all;
+  const TsResult ts = evaluate_timing_sensitivity(ilm.graph, all, cfg);
+  const double t_all = sw_all.seconds();
+  Stopwatch sw_filtered;
+  const TsResult ts_f =
+      evaluate_timing_sensitivity(ilm.graph, fr.remained, cfg);
+  const double t_filtered = sw_filtered.seconds();
+  (void)ts_f;
+
+  double max_ts = 1e-9;
+  for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n)
+    max_ts = std::max(max_ts, ts.ts[n]);
+  Histogram filtered_hist(0.0, max_ts, 12);
+  Histogram remained_hist(0.0, max_ts, 12);
+  std::size_t filtered_zero = 0, filtered_total = 0;
+  std::size_t remained_nonzero = 0, remained_total = 0;
+  for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n) {
+    if (ilm.graph.node(n).dead) continue;
+    if (fr.remained[n]) {
+      remained_hist.add(ts.ts[n]);
+      ++remained_total;
+      if (ts.ts[n] > 1e-9) ++remained_nonzero;
+    } else {
+      filtered_hist.add(ts.ts[n]);
+      ++filtered_total;
+      if (ts.ts[n] <= 1e-9) ++filtered_zero;
+    }
+  }
+
+  std::printf("filter removed %.1f%% of %zu pins\n",
+              fr.filtered_fraction() * 100.0, fr.live_pins);
+  std::printf("TS flow runtime: all pins %.2fs, remained only %.2fs "
+              "(speedup %.1fx)\n",
+              t_all, t_filtered, t_all / std::max(1e-9, t_filtered));
+  std::printf("\nfiltered-out pins (%zu, %.1f%% of them zero-TS):\n%s",
+              filtered_total,
+              100.0 * static_cast<double>(filtered_zero) /
+                  static_cast<double>(std::max<std::size_t>(1, filtered_total)),
+              filtered_hist.ascii(48).c_str());
+  std::printf("\nremained pins (%zu, %zu with non-zero TS):\n%s",
+              remained_total, remained_nonzero,
+              remained_hist.ascii(48).c_str());
+  std::printf("\nPaper shape: filtered pins concentrate at TS = 0; the "
+              "non-zero TS mass sits in the remained set; the filter "
+              "removes >88%% of pins for a ~10x data-generation speedup "
+              "(our fraction depends on the synthetic interface/core "
+              "split; see EXPERIMENTS.md).\n");
+  return 0;
+}

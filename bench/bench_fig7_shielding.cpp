@@ -1,0 +1,60 @@
+// Reproduces Figure 7: the shielding effect — the slew difference (SD)
+// between the t_min/t_max boundary propagations decays with logic depth,
+// which is what makes the insensitive-pins filtering work.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gnn/features.hpp"
+#include "macro/ilm.hpp"
+#include "sensitivity/filter.hpp"
+#include "util/stats.hpp"
+
+using namespace tmm;
+using namespace tmm::bench;
+
+int main() {
+  const std::size_t train_scale = env_scale("TMM_TRAIN_SCALE", 10);
+  std::printf("== Figure 7: slew difference vs logic depth (shielding "
+              "effect) ==\n");
+
+  const Library lib = generate_library();
+  const auto suite = training_suite(lib, train_scale);
+  const Design d = generate_design(lib, suite[1].cfg);  // systemcaes
+  const TimingGraph flat = build_timing_graph(d);
+  const IlmResult ilm = extract_ilm(flat);
+
+  const FilterResult fr = filter_insensitive_pins(ilm.graph);
+  const auto levels = levels_from_pi(ilm.graph);
+
+  int max_level = 0;
+  for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n)
+    if (!ilm.graph.node(n).dead && levels[n] > max_level)
+      max_level = levels[n];
+
+  std::vector<RunningStats> per_level(static_cast<std::size_t>(max_level) + 1);
+  for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n) {
+    if (ilm.graph.node(n).dead || levels[n] < 0) continue;
+    if (ilm.graph.node(n).in_clock_network) continue;  // constant slews
+    per_level[static_cast<std::size_t>(levels[n])].add(fr.sd[n]);
+  }
+
+  std::printf("design %s (%zu ILM pins)\n\n", d.name().c_str(),
+              ilm.graph.num_live_nodes());
+  std::printf("%-6s %-8s %-12s %-12s bar (mean SD)\n", "level", "#pins",
+              "mean SD(ps)", "max SD(ps)");
+  double peak = 1e-9;
+  for (const auto& s : per_level) peak = std::max(peak, s.mean());
+  for (std::size_t l = 0; l < per_level.size(); ++l) {
+    const auto& s = per_level[l];
+    if (s.count() == 0) continue;
+    const auto bar =
+        static_cast<std::size_t>(s.mean() / peak * 48.0);
+    std::printf("%-6zu %-8zu %-12.4f %-12.4f %s\n", l, s.count(), s.mean(),
+                s.max(), std::string(bar, '#').c_str());
+  }
+  std::printf("\nPaper shape: SD is largest near the primary inputs and "
+              "decays monotonically (on average) over a few levels — the "
+              "shielding effect.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrate pieces: LUT lookup, full STA propagation, the slew-only
+// filter propagation, GraphSAGE inference, feature extraction, ILM
+// extraction and merging.
+
+#include <benchmark/benchmark.h>
+
+#include "flow/framework.hpp"
+#include "liberty/library_gen.hpp"
+#include "netlist/design_gen.hpp"
+
+namespace {
+
+using namespace tmm;
+
+const Library& lib() {
+  static const Library l = generate_library();
+  return l;
+}
+
+const Design& design() {
+  static const Design d = [] {
+    DesignGenConfig cfg;
+    cfg.name = "bench";
+    cfg.seed = 77;
+    cfg.num_data_inputs = 32;
+    cfg.num_outputs = 32;
+    cfg.num_flops = 120;
+    cfg.levels = 8;
+    cfg.gates_per_level = 120;
+    return generate_design(lib(), cfg);
+  }();
+  return d;
+}
+
+const TimingGraph& flat_graph() {
+  static const TimingGraph g = build_timing_graph(design());
+  return g;
+}
+
+void BM_LutLookup(benchmark::State& state) {
+  const Cell& cell = lib().cell(lib().cell_id("NAND2_X1"));
+  const Lut& lut = cell.arcs[0].delay(kLate, kRise);
+  double s = 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut.lookup(s, 4.0));
+    s = s < 100 ? s + 0.37 : 1.0;
+  }
+}
+BENCHMARK(BM_LutLookup);
+
+void BM_BuildTimingGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    TimingGraph g = build_timing_graph(design());
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+}
+BENCHMARK(BM_BuildTimingGraph)->Unit(benchmark::kMillisecond);
+
+void BM_StaFullRun(benchmark::State& state) {
+  const TimingGraph& g = flat_graph();
+  Sta sta(g, {.cppr = state.range(0) != 0});
+  const BoundaryConstraints bc = nominal_constraints(
+      g.primary_inputs().size(), g.primary_outputs().size());
+  for (auto _ : state) {
+    sta.run(bc);
+    benchmark::DoNotOptimize(sta.worst_slack(kLate));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_StaFullRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SlewOnlyPropagation(benchmark::State& state) {
+  const TimingGraph& g = flat_graph();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(propagate_slew_only(g, 10.0));
+}
+BENCHMARK(BM_SlewOnlyPropagation)->Unit(benchmark::kMillisecond);
+
+void BM_IlmExtraction(benchmark::State& state) {
+  const TimingGraph& g = flat_graph();
+  for (auto _ : state) {
+    IlmResult ilm = extract_ilm(g);
+    benchmark::DoNotOptimize(ilm.graph.num_live_nodes());
+  }
+}
+BENCHMARK(BM_IlmExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_InsensitiveFilter(benchmark::State& state) {
+  static const IlmResult ilm = extract_ilm(flat_graph());
+  for (auto _ : state) {
+    FilterResult fr = filter_insensitive_pins(ilm.graph);
+    benchmark::DoNotOptimize(fr.num_remained);
+  }
+}
+BENCHMARK(BM_InsensitiveFilter)->Unit(benchmark::kMillisecond);
+
+void BM_MergeInsensitivePins(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    IlmResult ilm = extract_ilm(flat_graph());
+    std::vector<bool> keep(ilm.graph.num_nodes(), false);
+    state.ResumeTiming();
+    MergeStats stats = merge_insensitive_pins(ilm.graph, keep);
+    benchmark::DoNotOptimize(stats.pins_removed);
+  }
+}
+BENCHMARK(BM_MergeInsensitivePins)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  static const IlmResult ilm = extract_ilm(flat_graph());
+  for (auto _ : state) {
+    Matrix x = extract_features(ilm.graph, true);
+    benchmark::DoNotOptimize(x.size());
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_GnnInference(benchmark::State& state) {
+  static const IlmResult ilm = extract_ilm(flat_graph());
+  static const GnnGraph g = GnnGraph::from_timing_graph(ilm.graph);
+  static const Matrix x = extract_features(ilm.graph, true);
+  GnnModelConfig cfg;
+  cfg.input_dim = kNumFeaturesWithCppr;
+  GnnModel model(cfg);
+  for (auto _ : state) {
+    auto probs = model.predict(g, x);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes));
+}
+BENCHMARK(BM_GnnInference)->Unit(benchmark::kMillisecond);
+
+void BM_GnnTrainEpoch(benchmark::State& state) {
+  static const IlmResult ilm = extract_ilm(flat_graph());
+  GraphSample sample;
+  sample.graph = GnnGraph::from_timing_graph(ilm.graph);
+  sample.features = extract_features(ilm.graph, true);
+  sample.labels.assign(ilm.graph.num_nodes(), 0.0f);
+  for (std::size_t i = 0; i < sample.labels.size(); i += 7)
+    sample.labels[i] = 1.0f;
+  sample.mask.assign(ilm.graph.num_nodes(), 1);
+  GnnModelConfig cfg;
+  cfg.input_dim = kNumFeaturesWithCppr;
+  GnnModel model(cfg);
+  const std::vector<GraphSample> samples{std::move(sample)};
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.patience = 0;
+  for (auto _ : state) {
+    TrainReport rep = train_model(model, samples, tc);
+    benchmark::DoNotOptimize(rep.final_loss);
+  }
+}
+BENCHMARK(BM_GnnTrainEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Reproduces Table 6: validation of the insensitive-pins filtering.
+// The training labels of ALL pins remained by the filter are set to 1
+// (i.e. the whole remained set is kept; no GNN involved), and the
+// resulting models are compared against the iTimerM-like reference.
+//
+// Expected shape: zero avg/max error differences (the filter does not
+// degrade accuracy) at a model size ratio slightly above 1 (the filter
+// keep-set is a bit larger than iTimerM's).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace tmm;
+using namespace tmm::bench;
+
+int main() {
+  const std::size_t scale = env_scale("TMM_TEST_SCALE", 100);
+  std::printf("== Table 6: insensitive-pins filtering validation (designs "
+              "at 1/%zu TAU scale) ==\n",
+              scale);
+
+  FlowConfig cfg;
+  cfg.cppr = true;
+  cfg.label_all_remained = true;  // keep everything the filter remained
+  Framework fw(cfg);
+
+  const Library lib = generate_library();
+  const auto suite = tau_testing_suite(lib, scale);
+
+  AsciiTable table({"Benchmark", "Avg Err Diff (ps)", "Max Err Diff (ps)",
+                    "Model Size Ratio"});
+  for (int group = 0; group < 2; ++group) {
+    const bool tau16 = group == 0;
+    std::vector<double> size_base, size_ours;
+    double err_diff = 0.0;
+    double avg_diff = 0.0;
+    std::size_t rows = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+      const bool is16 = suite[i].name.find("_eval") != std::string::npos;
+      if (is16 != tau16) continue;
+      const Design d = make_design(suite[i]);
+      std::fprintf(stderr, "# %s (%zu pins)\n", suite[i].name.c_str(),
+                   d.num_pins());
+      const DesignResult ours = fw.run_design(d);
+      const DesignResult itm = fw.run_itimerm(d);
+      size_base.push_back(static_cast<double>(itm.model_file_bytes));
+      size_ours.push_back(static_cast<double>(ours.model_file_bytes));
+      err_diff = std::max(err_diff, itm.acc.max_err_ps - ours.acc.max_err_ps);
+      avg_diff += itm.acc.avg_err_ps - ours.acc.avg_err_ps;
+      ++rows;
+    }
+    table.add_row({tau16 ? "TAU2016" : "TAU2017",
+                   AsciiTable::num(avg_diff /
+                                       static_cast<double>(
+                                           std::max<std::size_t>(1, rows)),
+                                   4),
+                   AsciiTable::num(err_diff, 4),
+                   AsciiTable::num(mean_ratio(size_base, size_ours), 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nPaper shape: error differences 0.0000 on both suites; "
+              "size ratios 1.040 (TAU2016) and 1.009 (TAU2017) — keeping "
+              "every remained pin costs a little size but no accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Regression mode (Section 5.3): "the GNN prediction ... could also be
+// treated as a regression problem, i.e., timing sensitivities are set as
+// training labels directly, and the framework could not only learn which
+// pins are critical ... but also capture the relative criticality
+// between pins."
+//
+// Trains the regression-mode framework, then on a held-out design ranks
+// pins by predicted criticality and checks the ranking against the
+// ground-truth TS (measured the expensive way): the top-ranked pins
+// should concentrate the real sensitivity mass.
+//
+// Build & run:   ./build/examples/criticality_ranking
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "flow/framework.hpp"
+#include "liberty/library_gen.hpp"
+#include "netlist/design_gen.hpp"
+
+using namespace tmm;
+
+int main() {
+  const Library lib = generate_library();
+  auto make = [&](const char* name, std::uint64_t seed, std::size_t flops) {
+    DesignGenConfig cfg;
+    cfg.name = name;
+    cfg.seed = seed;
+    cfg.num_flops = flops;
+    cfg.levels = 6;
+    cfg.gates_per_level = 36;
+    return generate_design(lib, cfg);
+  };
+
+  FlowConfig cfg;
+  cfg.cppr = true;
+  cfg.regression = true;
+  Framework fw(cfg);
+  std::vector<Design> training;
+  training.push_back(make("t1", 61, 40));
+  training.push_back(make("t2", 62, 56));
+  const TrainingSummary sum = fw.train(training);
+  std::printf("regression training: %zu pins, %zu with TS > 0, loss %.5f, "
+              "TS scale (p95) %.3g\n",
+              sum.labeled_pins, sum.positives, sum.report.final_loss,
+              fw.ts_scale());
+
+  // Held-out design: predicted criticality vs measured TS.
+  const Design d = make("held_out", 63, 72);
+  const TimingGraph flat = build_timing_graph(d);
+  const IlmResult ilm = extract_ilm(flat);
+  const GnnGraph graph = GnnGraph::from_timing_graph(ilm.graph);
+  const Matrix features = extract_features(ilm.graph, true);
+  const auto predicted = fw.model().predict(graph, features);
+
+  std::vector<bool> all(ilm.graph.num_nodes(), true);
+  TsConfig ts_cfg;
+  ts_cfg.num_constraint_sets = 2;
+  const TsResult measured =
+      evaluate_timing_sensitivity(ilm.graph, all, ts_cfg);
+
+  // Rank live pins by predicted criticality.
+  std::vector<NodeId> pins;
+  double total_ts = 0.0;
+  for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n) {
+    if (ilm.graph.node(n).dead) continue;
+    pins.push_back(n);
+    total_ts += measured.ts[n];
+  }
+  std::sort(pins.begin(), pins.end(), [&](NodeId a, NodeId b) {
+    return predicted[a] > predicted[b];
+  });
+
+  std::printf("\nheld-out design %s: %zu ILM pins, total measured TS mass "
+              "%.3g\n",
+              d.name().c_str(), pins.size(), total_ts);
+  std::printf("%-24s %-18s %s\n", "top-k by prediction", "TS mass captured",
+              "share");
+  for (const double frac : {0.05, 0.10, 0.20, 0.50}) {
+    const auto k = static_cast<std::size_t>(frac *
+                                            static_cast<double>(pins.size()));
+    double mass = 0.0;
+    for (std::size_t i = 0; i < k; ++i) mass += measured.ts[pins[i]];
+    std::printf("top %4.0f%% (%4zu pins)    %-18.3g %.1f%%\n", frac * 100.0,
+                k, mass, total_ts > 0 ? 100.0 * mass / total_ts : 0.0);
+  }
+  std::printf("\nA useful regression model concentrates most of the TS mass "
+              "in its top-ranked slice — relative criticality, not just a "
+              "binary verdict.\n");
+  return 0;
+}

@@ -1,0 +1,199 @@
+#include "flow/framework.hpp"
+
+#include "sta/propagation.hpp"
+#include "util/instrument.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace tmm {
+
+Framework::Framework(FlowConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.data.ts.cppr = cfg_.cppr;
+  cfg_.data.cppr_labels = cfg_.cppr;
+  cfg_.data.ts.aocv = cfg_.aocv;
+  cfg_.data.ts.merge.aocv = cfg_.aocv;
+  cfg_.merge.aocv = cfg_.aocv;
+}
+
+TrainingSummary Framework::train(std::span<const Design> designs) {
+  TrainingSummary summary;
+  Stopwatch data_sw;
+  std::vector<GraphSample> samples;
+  std::vector<std::vector<double>> per_design_ts;
+  samples.reserve(designs.size());
+  double filtered_sum = 0.0;
+
+  for (const Design& d : designs) {
+    const TimingGraph flat = build_timing_graph(d);
+    const IlmResult ilm = extract_ilm(flat);
+    const SensitivityData data = generate_training_data(ilm.graph, cfg_.data);
+
+    GraphSample sample;
+    sample.graph = GnnGraph::from_timing_graph(ilm.graph);
+    sample.features = extract_features(ilm.graph, cfg_.cppr_feature);
+    sample.labels = data.labels;
+    sample.mask.assign(ilm.graph.num_nodes(), 1);
+    for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n)
+      if (ilm.graph.node(n).dead) sample.mask[n] = 0;
+
+    summary.labeled_pins += ilm.graph.num_live_nodes();
+    summary.positives += data.positives;
+    filtered_sum += data.filter.filtered_fraction();
+    ++summary.designs;
+    log_info("train design %s: ilm pins %zu, positives %zu, filtered %.1f%%",
+             d.name().c_str(), ilm.graph.num_live_nodes(), data.positives,
+             data.filter.filtered_fraction() * 100.0);
+    per_design_ts.push_back(data.ts.ts);
+    samples.push_back(std::move(sample));
+  }
+  summary.data_generation_seconds = data_sw.seconds();
+  if (summary.designs > 0)
+    summary.mean_filtered_fraction =
+        filtered_sum / static_cast<double>(summary.designs);
+
+  // Regression targets (Section 5.3): normalized TS magnitudes so the
+  // model also captures the *relative* criticality between pins. The
+  // normalization scale is shared across the training set; CPPR-rule
+  // labels stay saturated at 1.
+  if (cfg_.regression) {
+    std::vector<double> positive_ts;
+    for (const auto& ts : per_design_ts)
+      for (double v : ts)
+        if (v > cfg_.data.ts_zero_epsilon) positive_ts.push_back(v);
+    ts_scale_ = positive_ts.empty() ? 1.0 : percentile(positive_ts, 95.0);
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      for (std::size_t n = 0; n < samples[s].labels.size(); ++n) {
+        if (samples[s].labels[n] < 0.5f) continue;  // zero-TS stays 0
+        const double ts = per_design_ts[s][n];
+        const double y =
+            ts > cfg_.data.ts_zero_epsilon
+                ? std::min(1.0, ts / ts_scale_)
+                : 1.0;  // CPPR-rule label without TS: fully critical
+        samples[s].labels[n] = static_cast<float>(
+            std::max(y, static_cast<double>(cfg_.regression_keep_threshold) *
+                            2.0));
+      }
+    }
+  }
+
+  GnnModelConfig gcfg = cfg_.gnn;
+  gcfg.input_dim =
+      cfg_.cppr_feature ? kNumFeaturesWithCppr : kNumBasicFeatures;
+  gnn_.emplace(gcfg);
+  TrainConfig tcfg = cfg_.train;
+  if (cfg_.regression) tcfg.loss = LossKind::kMeanSquaredError;
+  summary.report = train_model(*gnn_, samples, tcfg);
+  return summary;
+}
+
+std::vector<bool> Framework::predict_keep(const TimingGraph& ilm,
+                                          double* inference_seconds) {
+  Stopwatch sw;
+  std::vector<bool> keep(ilm.num_nodes(), true);
+  if (cfg_.label_all_remained) {
+    const FilterResult fr = filter_insensitive_pins(ilm, cfg_.data.filter);
+    for (NodeId n = 0; n < ilm.num_nodes(); ++n) keep[n] = fr.remained[n];
+  } else {
+    if (!gnn_) throw std::logic_error("Framework: model not trained");
+    const GnnGraph graph = GnnGraph::from_timing_graph(ilm);
+    const Matrix features = extract_features(ilm, cfg_.cppr_feature);
+    const auto probs = gnn_->predict(graph, features);
+    const float threshold =
+        cfg_.regression ? cfg_.regression_keep_threshold : cfg_.keep_threshold;
+    for (NodeId n = 0; n < ilm.num_nodes(); ++n)
+      keep[n] = probs[n] >= threshold;
+    // CPPR mode: clock-network branch points are kept regardless of the
+    // classifier (the Section 5.1 labeling rule applied at inference).
+    if (cfg_.cppr) {
+      for (NodeId n = 0; n < ilm.num_nodes(); ++n)
+        if (is_cppr_crucial(ilm, n)) keep[n] = true;
+    }
+  }
+  if (inference_seconds) *inference_seconds = sw.seconds();
+  return keep;
+}
+
+std::vector<BoundaryConstraints> Framework::eval_sets(
+    const Design& design) const {
+  Rng rng(cfg_.eval_seed ^ (design.primary_inputs().size() * 0x9e3779b9ULL));
+  std::vector<BoundaryConstraints> sets;
+  for (std::size_t i = 0; i < cfg_.eval_constraint_sets; ++i)
+    sets.push_back(random_constraints(design.primary_inputs().size(),
+                                      design.primary_outputs().size(),
+                                      cfg_.eval_constraint_gen, rng));
+  return sets;
+}
+
+DesignResult Framework::evaluate(const Design& design, const TimingGraph& flat,
+                                 MacroModel model, GenerationStats gen) const {
+  DesignResult result;
+  result.design = design.name();
+  result.model_file_bytes = macro_model_size_bytes(model);
+  model.file_size_bytes = result.model_file_bytes;
+  const auto sets = eval_sets(design);
+  Sta::Options opt;
+  opt.cppr = cfg_.cppr;
+  opt.aocv = cfg_.aocv;
+  result.acc = evaluate_accuracy(flat, model.graph, sets, opt);
+  result.usage_peak_rss = peak_rss_bytes();
+  result.model_memory_bytes = model.graph.memory_bytes();
+  result.gen = gen;
+  result.model = std::move(model);
+  return result;
+}
+
+DesignResult Framework::run_design(const Design& design) {
+  const TimingGraph flat = build_timing_graph(design);
+  Stopwatch gen_sw;
+  IlmResult ilm = extract_ilm(flat);
+  GenerationStats gen;
+  gen.ilm_pins = ilm.graph.num_live_nodes();
+
+  double inference_seconds = 0.0;
+  const auto keep = predict_keep(ilm.graph, &inference_seconds);
+  for (bool k : keep)
+    if (k) ++gen.pins_kept;
+
+  merge_insensitive_pins(ilm.graph, keep, cfg_.merge);
+  gen.model_pins = ilm.graph.num_live_nodes();
+  gen.generation_seconds = gen_sw.seconds();
+  gen.generation_peak_rss = peak_rss_bytes();
+
+  MacroModel model;
+  model.design_name = design.name();
+  model.graph = std::move(ilm.graph);
+  DesignResult result = evaluate(design, flat, std::move(model), gen);
+  result.inference_seconds = inference_seconds;
+  return result;
+}
+
+DesignResult Framework::run_itimerm(const Design& design,
+                                    const ITimerMConfig& cfg) {
+  const TimingGraph flat = build_timing_graph(design);
+  GenerationStats gen;
+  ITimerMConfig effective = cfg;
+  effective.protect_cppr = cfg_.cppr;
+  effective.merge.aocv = cfg_.aocv;
+  MacroModel model = generate_itimerm_model(flat, effective, &gen);
+  model.design_name = design.name();
+  return evaluate(design, flat, std::move(model), gen);
+}
+
+DesignResult Framework::run_libabs(const Design& design,
+                                   const LibAbsConfig& cfg) {
+  const TimingGraph flat = build_timing_graph(design);
+  GenerationStats gen;
+  MacroModel model = generate_libabs_model(flat, cfg, &gen);
+  model.design_name = design.name();
+  return evaluate(design, flat, std::move(model), gen);
+}
+
+DesignResult Framework::run_etm(const Design& design, const EtmConfig& cfg) {
+  const TimingGraph flat = build_timing_graph(design);
+  GenerationStats gen;
+  MacroModel model = generate_etm_model(flat, cfg, &gen);
+  model.design_name = design.name();
+  return evaluate(design, flat, std::move(model), gen);
+}
+
+}  // namespace tmm

@@ -1,0 +1,42 @@
+#include "gnn/adam.hpp"
+
+#include <cmath>
+
+namespace tmm {
+
+Adam::Adam(std::vector<Param*> params, AdamConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto w = params_[i]->value.data();
+    auto g = params_[i]->grad.data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      float grad = g[k] + cfg_.weight_decay * w[k];
+      m[k] = cfg_.beta1 * m[k] + (1.0f - cfg_.beta1) * grad;
+      v[k] = cfg_.beta2 * v[k] + (1.0f - cfg_.beta2) * grad * grad;
+      const float mh = m[k] / bc1;
+      const float vh = v[k] / bc2;
+      w[k] -= cfg_.lr * mh / (std::sqrt(vh) + cfg_.eps);
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace tmm

@@ -1,0 +1,35 @@
+#pragma once
+// Adam optimizer over a flat list of parameters.
+
+#include <vector>
+
+#include "gnn/layers.hpp"
+
+namespace tmm {
+
+struct AdamConfig {
+  float lr = 0.01f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, AdamConfig cfg = {});
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+  void zero_grad();
+  std::size_t steps() const noexcept { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  AdamConfig cfg_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace tmm

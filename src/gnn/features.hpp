@@ -1,0 +1,38 @@
+#pragma once
+// Training features (Table 1). All are basic circuit properties
+// extractable in linear time from the timing graph; the level and
+// degree features are normalized to [0, 1] so every feature has the
+// same level of influence.
+
+#include <string>
+#include <vector>
+
+#include "gnn/tensor.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace tmm {
+
+inline constexpr std::size_t kNumBasicFeatures = 8;
+inline constexpr std::size_t kNumFeaturesWithCppr = 9;
+
+/// Feature column order (matching Table 1):
+///   0 level_from_PI         min levels from a PI to the pin
+///   1 level_to_PO           min levels from the pin to a PO
+///   2 is_last_stage_fanout  fanout of a last-stage pin
+///   3 is_last_stage         directly drives a PO / on an output net
+///   4 is_first_stage        directly driven by a PI (or is one)
+///   5 out_degree            number of delay out-arcs
+///   6 is_clock_network      pin belongs to the clock network
+///   7 is_ff_clock           clock pin of a flip-flop
+///   8 is_CPPR               multi-fan-out clock-network pin (optional)
+std::vector<std::string> feature_names(bool include_cppr);
+
+/// Extract the n x F feature matrix (F = 8 or 9). Dead nodes get zeros.
+Matrix extract_features(const TimingGraph& g, bool include_cppr);
+
+/// Minimum DAG level from any PI per node (-1 if unreachable); exposed
+/// for tests.
+std::vector<int> levels_from_pi(const TimingGraph& g);
+std::vector<int> levels_to_po(const TimingGraph& g);
+
+}  // namespace tmm

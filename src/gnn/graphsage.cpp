@@ -1,0 +1,63 @@
+#include "gnn/graphsage.hpp"
+
+namespace tmm {
+
+GnnModel::GnnModel(GnnModelConfig cfg) : cfg_(cfg) {
+  Rng rng(cfg.seed);
+  std::size_t in = cfg.input_dim;
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    switch (cfg.engine) {
+      case GnnEngine::kGraphSage:
+        sage_.emplace_back(in, cfg.hidden_dim, /*relu=*/true, rng);
+        break;
+      case GnnEngine::kGcn:
+        gcn_.emplace_back(in, cfg.hidden_dim, /*relu=*/true, rng);
+        break;
+      case GnnEngine::kGraphSagePool:
+        pool_.emplace_back(in, cfg.hidden_dim, /*relu=*/true, rng);
+        break;
+    }
+    in = cfg.hidden_dim;
+  }
+  head_.emplace(in, 1, rng);
+}
+
+Matrix GnnModel::forward(const GnnGraph& g, const Matrix& x) {
+  Matrix h = x;
+  for (auto& layer : sage_) h = layer.forward(g, h);
+  for (auto& layer : gcn_) h = layer.forward(g, h);
+  for (auto& layer : pool_) h = layer.forward(g, h);
+  return head_->forward(h);
+}
+
+void GnnModel::backward(const GnnGraph& g, const Matrix& dlogits) {
+  Matrix grad = head_->backward(dlogits);
+  for (auto it = pool_.rbegin(); it != pool_.rend(); ++it)
+    grad = it->backward(g, grad);
+  for (auto it = gcn_.rbegin(); it != gcn_.rend(); ++it)
+    grad = it->backward(g, grad);
+  for (auto it = sage_.rbegin(); it != sage_.rend(); ++it)
+    grad = it->backward(g, grad);
+}
+
+std::vector<Param*> GnnModel::params() {
+  std::vector<Param*> out;
+  for (auto& l : sage_)
+    for (Param* p : l.params()) out.push_back(p);
+  for (auto& l : gcn_)
+    for (Param* p : l.params()) out.push_back(p);
+  for (auto& l : pool_)
+    for (Param* p : l.params()) out.push_back(p);
+  for (Param* p : head_->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<float> GnnModel::predict(const GnnGraph& g, const Matrix& x) {
+  Matrix logits = forward(g, x);
+  std::vector<float> probs(logits.rows());
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    probs[i] = sigmoidf(logits(i, 0));
+  return probs;
+}
+
+}  // namespace tmm

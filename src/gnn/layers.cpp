@@ -1,0 +1,289 @@
+#include "gnn/layers.hpp"
+
+#include <cmath>
+
+#include "sta/timing_graph.hpp"
+
+namespace tmm {
+
+GnnGraph GnnGraph::from_timing_graph(const TimingGraph& g) {
+  GnnGraph out;
+  out.num_nodes = g.num_nodes();
+  std::vector<std::uint32_t> deg(out.num_nodes, 0);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(a);
+    if (arc.dead) continue;
+    ++deg[arc.from];
+    ++deg[arc.to];
+  }
+  out.offsets.assign(out.num_nodes + 1, 0);
+  for (std::size_t v = 0; v < out.num_nodes; ++v)
+    out.offsets[v + 1] = out.offsets[v] + deg[v];
+  out.neighbors.resize(out.offsets.back());
+  std::vector<std::uint32_t> cursor(out.offsets.begin(),
+                                    out.offsets.end() - 1);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(a);
+    if (arc.dead) continue;
+    out.neighbors[cursor[arc.from]++] = arc.to;
+    out.neighbors[cursor[arc.to]++] = arc.from;
+  }
+  return out;
+}
+
+void mean_aggregate(const GnnGraph& g, const Matrix& x, Matrix& out) {
+  out = Matrix(x.rows(), x.cols());
+  for (std::size_t v = 0; v < g.num_nodes; ++v) {
+    const std::size_t d = g.degree(v);
+    if (d == 0) continue;
+    auto orow = out.row(v);
+    for (std::size_t k = g.offsets[v]; k < g.offsets[v + 1]; ++k) {
+      const auto urow = x.row(g.neighbors[k]);
+      for (std::size_t c = 0; c < urow.size(); ++c) orow[c] += urow[c];
+    }
+    const float inv = 1.0f / static_cast<float>(d);
+    for (float& v2 : orow) v2 *= inv;
+  }
+}
+
+void mean_aggregate_backward(const GnnGraph& g, const Matrix& dout,
+                             Matrix& dx) {
+  if (dx.rows() != dout.rows() || dx.cols() != dout.cols())
+    dx = Matrix(dout.rows(), dout.cols());
+  for (std::size_t v = 0; v < g.num_nodes; ++v) {
+    const std::size_t d = g.degree(v);
+    if (d == 0) continue;
+    const float inv = 1.0f / static_cast<float>(d);
+    const auto drow = dout.row(v);
+    for (std::size_t k = g.offsets[v]; k < g.offsets[v + 1]; ++k) {
+      auto urow = dx.row(g.neighbors[k]);
+      for (std::size_t c = 0; c < urow.size(); ++c) urow[c] += inv * drow[c];
+    }
+  }
+}
+
+// ------------------------------------------------------------- SageLayer
+
+SageLayer::SageLayer(std::size_t in_dim, std::size_t out_dim, bool relu,
+                     Rng& rng)
+    : relu_(relu) {
+  w_self_.init_glorot(in_dim, out_dim, rng);
+  w_neigh_.init_glorot(in_dim, out_dim, rng);
+  bias_.init_zero(1, out_dim);
+}
+
+Matrix SageLayer::forward(const GnnGraph& g, const Matrix& x) {
+  x_cache_ = x;
+  mean_aggregate(g, x, hn_cache_);
+  Matrix z;
+  matmul(x, w_self_.value, z);
+  Matrix zn;
+  matmul(hn_cache_, w_neigh_.value, zn);
+  add_inplace(z, zn);
+  add_bias(z, bias_.value.data());
+  if (relu_) relu_forward(z, relu_mask_);
+  return z;
+}
+
+Matrix SageLayer::backward(const GnnGraph& g, const Matrix& dout) {
+  Matrix dz = dout;
+  if (relu_) relu_backward(dz, relu_mask_);
+
+  Matrix gw;
+  matmul_at_b(x_cache_, dz, gw);
+  add_inplace(w_self_.grad, gw);
+  matmul_at_b(hn_cache_, dz, gw);
+  add_inplace(w_neigh_.grad, gw);
+  for (std::size_t r = 0; r < dz.rows(); ++r) {
+    auto row = dz.row(r);
+    auto brow = bias_.grad.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) brow[c] += row[c];
+  }
+
+  Matrix dx;
+  matmul_a_bt(dz, w_self_.value, dx);
+  Matrix dhn;
+  matmul_a_bt(dz, w_neigh_.value, dhn);
+  mean_aggregate_backward(g, dhn, dx);
+  return dx;
+}
+
+// --------------------------------------------------------- SagePoolLayer
+
+SagePoolLayer::SagePoolLayer(std::size_t in_dim, std::size_t out_dim,
+                             bool relu, Rng& rng)
+    : relu_(relu) {
+  w_pool_.init_glorot(in_dim, out_dim, rng);
+  b_pool_.init_zero(1, out_dim);
+  w_self_.init_glorot(in_dim, out_dim, rng);
+  w_neigh_.init_glorot(out_dim, out_dim, rng);
+  bias_.init_zero(1, out_dim);
+}
+
+Matrix SagePoolLayer::forward(const GnnGraph& g, const Matrix& x) {
+  x_cache_ = x;
+  // Per-node messages m_u = relu(W_pool x_u + b_pool).
+  matmul(x, w_pool_.value, pooled_);
+  add_bias(pooled_, b_pool_.value.data());
+  relu_forward(pooled_, pool_mask_);
+  // Elementwise max over neighbors, remembering the winner.
+  const std::size_t k = pooled_.cols();
+  hn_cache_ = Matrix(x.rows(), k);
+  argmax_.assign(x.rows() * k, kInvalidId);
+  for (std::size_t v = 0; v < g.num_nodes; ++v) {
+    auto orow = hn_cache_.row(v);
+    for (std::size_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const auto u = g.neighbors[e];
+      const auto urow = pooled_.row(u);
+      for (std::size_t c = 0; c < k; ++c) {
+        if (argmax_[v * k + c] == kInvalidId || urow[c] > orow[c]) {
+          orow[c] = urow[c];
+          argmax_[v * k + c] = u;
+        }
+      }
+    }
+  }
+  Matrix z;
+  matmul(x, w_self_.value, z);
+  Matrix zn;
+  matmul(hn_cache_, w_neigh_.value, zn);
+  add_inplace(z, zn);
+  add_bias(z, bias_.value.data());
+  if (relu_) relu_forward(z, relu_mask_);
+  return z;
+}
+
+Matrix SagePoolLayer::backward(const GnnGraph& g, const Matrix& dout) {
+  Matrix dz = dout;
+  if (relu_) relu_backward(dz, relu_mask_);
+
+  Matrix gw;
+  matmul_at_b(x_cache_, dz, gw);
+  add_inplace(w_self_.grad, gw);
+  matmul_at_b(hn_cache_, dz, gw);
+  add_inplace(w_neigh_.grad, gw);
+  for (std::size_t r = 0; r < dz.rows(); ++r) {
+    auto row = dz.row(r);
+    auto brow = bias_.grad.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) brow[c] += row[c];
+  }
+
+  // Through the max: route dhn to the winning neighbor's message.
+  Matrix dhn;
+  matmul_a_bt(dz, w_neigh_.value, dhn);
+  Matrix dpooled(pooled_.rows(), pooled_.cols());
+  const std::size_t k = pooled_.cols();
+  for (std::size_t v = 0; v < g.num_nodes; ++v) {
+    const auto drow = dhn.row(v);
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto u = argmax_[v * k + c];
+      if (u != kInvalidId) dpooled(u, c) += drow[c];
+    }
+  }
+  relu_backward(dpooled, pool_mask_);
+  matmul_at_b(x_cache_, dpooled, gw);
+  add_inplace(w_pool_.grad, gw);
+  for (std::size_t r = 0; r < dpooled.rows(); ++r) {
+    auto row = dpooled.row(r);
+    auto brow = b_pool_.grad.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) brow[c] += row[c];
+  }
+
+  Matrix dx;
+  matmul_a_bt(dz, w_self_.value, dx);
+  Matrix dx_pool;
+  matmul_a_bt(dpooled, w_pool_.value, dx_pool);
+  add_inplace(dx, dx_pool);
+  return dx;
+}
+
+// -------------------------------------------------------------- GcnLayer
+
+void gcn_propagate(const GnnGraph& g, const Matrix& x, Matrix& out) {
+  out = Matrix(x.rows(), x.cols());
+  // Ahat = D^-1/2 (A + I) D^-1/2 with degrees counted incl. self loops.
+  auto norm = [&](std::size_t v) {
+    return 1.0f / std::sqrt(static_cast<float>(g.degree(v) + 1));
+  };
+  for (std::size_t v = 0; v < g.num_nodes; ++v) {
+    const float nv = norm(v);
+    auto orow = out.row(v);
+    const auto xrow = x.row(v);
+    for (std::size_t c = 0; c < orow.size(); ++c)
+      orow[c] += nv * nv * xrow[c];  // self loop
+    for (std::size_t k = g.offsets[v]; k < g.offsets[v + 1]; ++k) {
+      const auto u = g.neighbors[k];
+      const float w = nv * norm(u);
+      const auto urow = x.row(u);
+      for (std::size_t c = 0; c < orow.size(); ++c) orow[c] += w * urow[c];
+    }
+  }
+}
+
+GcnLayer::GcnLayer(std::size_t in_dim, std::size_t out_dim, bool relu,
+                   Rng& rng)
+    : relu_(relu) {
+  w_.init_glorot(in_dim, out_dim, rng);
+  bias_.init_zero(1, out_dim);
+}
+
+Matrix GcnLayer::forward(const GnnGraph& g, const Matrix& x) {
+  x_cache_ = x;
+  Matrix xw;
+  matmul(x, w_.value, xw);
+  Matrix z;
+  gcn_propagate(g, xw, z);
+  add_bias(z, bias_.value.data());
+  if (relu_) relu_forward(z, relu_mask_);
+  return z;
+}
+
+Matrix GcnLayer::backward(const GnnGraph& g, const Matrix& dout) {
+  Matrix dz = dout;
+  if (relu_) relu_backward(dz, relu_mask_);
+  for (std::size_t r = 0; r < dz.rows(); ++r) {
+    auto row = dz.row(r);
+    auto brow = bias_.grad.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) brow[c] += row[c];
+  }
+  // Z = Ahat (X W);  Ahat is symmetric.
+  Matrix dxw;
+  gcn_propagate(g, dz, dxw);
+  Matrix gw;
+  matmul_at_b(x_cache_, dxw, gw);
+  add_inplace(w_.grad, gw);
+  Matrix dx;
+  matmul_a_bt(dxw, w_.value, dx);
+  return dx;
+}
+
+// ------------------------------------------------------------ DenseLayer
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Rng& rng) {
+  w_.init_glorot(in_dim, out_dim, rng);
+  bias_.init_zero(1, out_dim);
+}
+
+Matrix DenseLayer::forward(const Matrix& x) {
+  x_cache_ = x;
+  Matrix z;
+  matmul(x, w_.value, z);
+  add_bias(z, bias_.value.data());
+  return z;
+}
+
+Matrix DenseLayer::backward(const Matrix& dout) {
+  Matrix gw;
+  matmul_at_b(x_cache_, dout, gw);
+  add_inplace(w_.grad, gw);
+  for (std::size_t r = 0; r < dout.rows(); ++r) {
+    auto row = dout.row(r);
+    auto brow = bias_.grad.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) brow[c] += row[c];
+  }
+  Matrix dx;
+  matmul_a_bt(dout, w_.value, dx);
+  return dx;
+}
+
+}  // namespace tmm

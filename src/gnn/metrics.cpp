@@ -1,0 +1,27 @@
+#include "gnn/metrics.hpp"
+
+namespace tmm {
+
+Confusion confusion_matrix(std::span<const float> probs,
+                           std::span<const float> labels,
+                           std::span<const unsigned char> mask,
+                           float threshold) {
+  Confusion c;
+  const std::size_t n = std::min(probs.size(), labels.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    const bool pred = probs[i] >= threshold;
+    const bool truth = labels[i] >= 0.5f;
+    if (pred && truth)
+      ++c.tp;
+    else if (pred && !truth)
+      ++c.fp;
+    else if (!pred && truth)
+      ++c.fn;
+    else
+      ++c.tn;
+  }
+  return c;
+}
+
+}  // namespace tmm

@@ -1,0 +1,39 @@
+#pragma once
+// Binary-classification metrics for GNN evaluation.
+
+#include <cstddef>
+#include <span>
+
+namespace tmm {
+
+struct Confusion {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  double accuracy() const {
+    return total() ? static_cast<double>(tp + tn) / static_cast<double>(total())
+                   : 0.0;
+  }
+  double precision() const {
+    return (tp + fp) ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                     : 0.0;
+  }
+  double recall() const {
+    return (tp + fn) ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                     : 0.0;
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+};
+
+/// Compare probabilities against {0,1} labels at the given threshold.
+/// `mask` (optional, may be empty) selects which entries count.
+Confusion confusion_matrix(std::span<const float> probs,
+                           std::span<const float> labels,
+                           std::span<const unsigned char> mask = {},
+                           float threshold = 0.5f);
+
+}  // namespace tmm

@@ -1,0 +1,47 @@
+// GnnModel save/load: a small text format holding the config and every
+// parameter matrix in params() order (construction is deterministic, so
+// shapes always line up).
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "gnn/graphsage.hpp"
+
+namespace tmm {
+
+void GnnModel::save(std::ostream& os) const {
+  os << "gnn " << cfg_.input_dim << ' ' << cfg_.hidden_dim << ' '
+     << cfg_.num_layers << ' ' << static_cast<int>(cfg_.engine) << ' '
+     << cfg_.seed << '\n';
+  os.precision(9);
+  auto& self = const_cast<GnnModel&>(*this);
+  for (Param* p : self.params()) {
+    os << p->value.rows() << ' ' << p->value.cols() << '\n';
+    for (float v : p->value.data()) os << v << ' ';
+    os << '\n';
+  }
+}
+
+GnnModel GnnModel::load(std::istream& is) {
+  std::string tag;
+  GnnModelConfig cfg;
+  int engine = 0;
+  is >> tag >> cfg.input_dim >> cfg.hidden_dim >> cfg.num_layers >> engine >>
+      cfg.seed;
+  if (tag != "gnn") throw std::runtime_error("GnnModel::load: bad header");
+  cfg.engine = static_cast<GnnEngine>(engine);
+  GnnModel model(cfg);
+  for (Param* p : model.params()) {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    is >> rows >> cols;
+    if (rows != p->value.rows() || cols != p->value.cols())
+      throw std::runtime_error("GnnModel::load: shape mismatch");
+    for (float& v : p->value.data()) is >> v;
+  }
+  if (!is) throw std::runtime_error("GnnModel::load: truncated stream");
+  return model;
+}
+
+}  // namespace tmm

@@ -1,0 +1,125 @@
+#include "gnn/trainer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/instrument.hpp"
+#include "util/log.hpp"
+
+namespace tmm {
+
+double bce_with_logits(const Matrix& logits, std::span<const float> labels,
+                       std::span<const unsigned char> mask, float pos_weight,
+                       Matrix& dlogits) {
+  dlogits = Matrix(logits.rows(), logits.cols());
+  double loss = 0.0;
+  double weight_sum = 0.0;
+  const std::size_t n = logits.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    const float y = labels[i];
+    const float z = logits(i, 0);
+    const float w = y >= 0.5f ? pos_weight : 1.0f;
+    // Stable BCE-with-logits: max(z,0) - z*y + log(1 + exp(-|z|)).
+    const float zabs = std::fabs(z);
+    loss += w * (std::max(z, 0.0f) - z * y + std::log1p(std::exp(-zabs)));
+    dlogits(i, 0) = w * (sigmoidf(z) - y);
+    weight_sum += w;
+  }
+  if (weight_sum > 0.0) {
+    const float inv = static_cast<float>(1.0 / weight_sum);
+    for (float& v : dlogits.data()) v *= inv;
+    loss /= weight_sum;
+  }
+  return loss;
+}
+
+double mse_on_sigmoid(const Matrix& logits, std::span<const float> targets,
+                      std::span<const unsigned char> mask, float pos_weight,
+                      Matrix& dlogits) {
+  dlogits = Matrix(logits.rows(), logits.cols());
+  double loss = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    const float y = targets[i];
+    const float p = sigmoidf(logits(i, 0));
+    const float w = y > 0.0f ? pos_weight : 1.0f;
+    const float e = p - y;
+    loss += w * e * e;
+    // d/dz (p - y)^2 = 2 (p - y) p (1 - p)
+    dlogits(i, 0) = w * 2.0f * e * p * (1.0f - p);
+    weight_sum += w;
+  }
+  if (weight_sum > 0.0) {
+    const float inv = static_cast<float>(1.0 / weight_sum);
+    for (float& v : dlogits.data()) v *= inv;
+    loss /= weight_sum;
+  }
+  return loss;
+}
+
+TrainReport train_model(GnnModel& model, std::span<const GraphSample> samples,
+                        const TrainConfig& cfg) {
+  TrainReport report;
+  Stopwatch sw;
+
+  float pos_weight = cfg.pos_weight;
+  if (pos_weight <= 0.0f) {
+    std::size_t pos = 0;
+    std::size_t neg = 0;
+    for (const auto& s : samples) {
+      for (std::size_t i = 0; i < s.labels.size(); ++i) {
+        if (!s.mask.empty() && !s.mask[i]) continue;
+        (s.labels[i] >= 0.5f ? pos : neg)++;
+      }
+    }
+    pos_weight = pos > 0 ? static_cast<float>(neg) / static_cast<float>(pos)
+                         : 1.0f;
+    pos_weight = std::min(pos_weight, 50.0f);
+  }
+
+  Adam opt(model.params(), cfg.adam);
+  double best_loss = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (const auto& s : samples) {
+      Matrix logits = model.forward(s.graph, s.features);
+      Matrix dlogits;
+      epoch_loss +=
+          cfg.loss == LossKind::kBinaryCrossEntropy
+              ? bce_with_logits(logits, s.labels, s.mask, pos_weight, dlogits)
+              : mse_on_sigmoid(logits, s.labels, s.mask, pos_weight, dlogits);
+      model.backward(s.graph, dlogits);
+    }
+    opt.step();
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, samples.size()));
+    report.final_loss = epoch_loss;
+    report.epochs_run = epoch + 1;
+    if (epoch % 25 == 0)
+      log_debug("gnn epoch %zu loss %.6f", epoch, epoch_loss);
+    if (cfg.patience > 0) {
+      if (epoch_loss < best_loss - cfg.min_delta) {
+        best_loss = epoch_loss;
+        stall = 0;
+      } else if (++stall >= cfg.patience) {
+        break;
+      }
+    }
+  }
+
+  // Aggregate training confusion at threshold 0.5.
+  for (const auto& s : samples) {
+    const auto probs = model.predict(s.graph, s.features);
+    const Confusion c = confusion_matrix(probs, s.labels, s.mask);
+    report.train_confusion.tp += c.tp;
+    report.train_confusion.fp += c.fp;
+    report.train_confusion.tn += c.tn;
+    report.train_confusion.fn += c.fn;
+  }
+  report.seconds = sw.seconds();
+  return report;
+}
+
+}  // namespace tmm

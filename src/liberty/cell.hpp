@@ -1,0 +1,97 @@
+#pragma once
+// Standard-cell description: ports, timing-arc specifications and their
+// early/late x rise/fall NLDM tables.
+
+#include <string>
+#include <vector>
+
+#include "liberty/lut.hpp"
+#include "util/types.hpp"
+
+namespace tmm {
+
+enum class PortDir : std::uint8_t { kInput, kOutput };
+
+/// Timing-arc flavour. Combinational and clock->Q arcs are *delay* arcs
+/// (they appear as edges of the timing graph); setup/hold are *check*
+/// arcs (they constrain the data pin's required arrival time).
+enum class ArcKind : std::uint8_t {
+  kCombinational,
+  kClockToQ,
+  kSetup,
+  kHold,
+};
+
+/// Unateness: how the output transition relates to the input transition.
+enum class ArcSense : std::uint8_t {
+  kPositiveUnate,  // rise->rise, fall->fall
+  kNegativeUnate,  // rise->fall, fall->rise
+  kNonUnate,       // either input transition can cause either output one
+};
+
+struct CellPort {
+  std::string name;
+  PortDir dir = PortDir::kInput;
+  /// Input pin capacitance in fF (0 for outputs).
+  double cap_ff = 0.0;
+  /// True for the clock input of a sequential cell.
+  bool is_clock = false;
+};
+
+/// One timing arc of a cell. For delay arcs, `delay` / `out_slew` map
+/// (input slew, output load) to arc delay / output slew. For check arcs,
+/// `delay` maps (clock slew, data slew) to the guard time and `out_slew`
+/// is unused.
+struct ArcSpec {
+  std::uint32_t from_port = 0;  ///< index into Cell::ports
+  std::uint32_t to_port = 0;    ///< index into Cell::ports
+  ArcKind kind = ArcKind::kCombinational;
+  ArcSense sense = ArcSense::kPositiveUnate;
+  ElRf<Lut> delay;
+  ElRf<Lut> out_slew;
+};
+
+struct Cell {
+  std::string name;
+  std::vector<CellPort> ports;
+  std::vector<ArcSpec> arcs;
+  bool is_sequential = false;
+
+  /// Index of the named port, or kInvalidId.
+  std::uint32_t port_index(const std::string& port_name) const {
+    for (std::uint32_t i = 0; i < ports.size(); ++i)
+      if (ports[i].name == port_name) return i;
+    return kInvalidId;
+  }
+
+  std::size_t num_inputs() const {
+    std::size_t n = 0;
+    for (const auto& p : ports)
+      if (p.dir == PortDir::kInput) ++n;
+    return n;
+  }
+};
+
+/// Map an input transition through an arc's sense to the output
+/// transitions it can trigger. Returns a bitmask over {kRise, kFall}.
+inline unsigned output_transitions(ArcSense sense, unsigned in_rf) {
+  switch (sense) {
+    case ArcSense::kPositiveUnate: return 1u << in_rf;
+    case ArcSense::kNegativeUnate: return 1u << (1u - in_rf);
+    case ArcSense::kNonUnate: return 0b11u;
+  }
+  return 0b11u;
+}
+
+/// Inverse of output_transitions: which input transition(s) can produce
+/// the given output transition.
+inline unsigned input_transitions(ArcSense sense, unsigned out_rf) {
+  switch (sense) {
+    case ArcSense::kPositiveUnate: return 1u << out_rf;
+    case ArcSense::kNegativeUnate: return 1u << (1u - out_rf);
+    case ArcSense::kNonUnate: return 0b11u;
+  }
+  return 0b11u;
+}
+
+}  // namespace tmm

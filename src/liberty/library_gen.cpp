@@ -1,0 +1,199 @@
+#include "liberty/library_gen.hpp"
+
+#include <cmath>
+
+namespace tmm {
+
+double DriveModel::delay(double slew_ps, double load_ff) const {
+  // Affine core + saturating cross term. Monotone nondecreasing in both
+  // arguments, mildly super-linear at small values, saturating at large —
+  // the shape real NLDM surfaces have, so bilinear interpolation carries
+  // a small but nonzero error between grid points.
+  const double affine = intrinsic_ps + slew_coef * slew_ps + res_kohm * load_ff;
+  const double cross = nonlin * 12.0 * std::log1p(slew_ps * load_ff / 60.0);
+  return affine + cross;
+}
+
+double DriveModel::out_slew(double slew_ps, double load_ff) const {
+  const double affine =
+      out_slew_base + out_slew_res * load_ff + out_slew_in * slew_ps;
+  const double cross = nonlin * 4.0 * std::log1p(slew_ps * load_ff / 90.0);
+  return affine + cross;
+}
+
+void characterize(const DriveModel& model, const LibraryGenConfig& cfg,
+                  ElRf<Lut>& delay_out, ElRf<Lut>& slew_out) {
+  const auto& sg = cfg.slew_grid;
+  const auto& lg = cfg.load_grid;
+  for (unsigned el = 0; el < kNumEl; ++el) {
+    const double el_scale = el == kLate ? 1.0 : cfg.early_derate;
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      const double rf_scale = rf == kRise ? 1.0 : cfg.fall_factor;
+      std::vector<double> dvals;
+      std::vector<double> svals;
+      dvals.reserve(sg.size() * lg.size());
+      svals.reserve(sg.size() * lg.size());
+      for (double s : sg) {
+        for (double c : lg) {
+          dvals.push_back(model.delay(s, c) * el_scale * rf_scale);
+          svals.push_back(model.out_slew(s, c) * el_scale * rf_scale);
+        }
+      }
+      delay_out(el, rf) = Lut::table2d(sg, lg, std::move(dvals));
+      slew_out(el, rf) = Lut::table2d(sg, lg, std::move(svals));
+    }
+  }
+}
+
+namespace {
+
+/// Build a combinational cell with `num_inputs` inputs and one output.
+Cell make_comb_cell(const std::string& name, std::size_t num_inputs,
+                    ArcSense sense, const DriveModel& model,
+                    const LibraryGenConfig& cfg, double input_cap_ff,
+                    Rng& rng) {
+  Cell c;
+  c.name = name;
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    CellPort p;
+    p.name = num_inputs == 1 ? "A" : std::string(1, static_cast<char>('A' + i));
+    p.dir = PortDir::kInput;
+    p.cap_ff = input_cap_ff;
+    c.ports.push_back(p);
+  }
+  CellPort out;
+  out.name = num_inputs == 1 ? "Y" : "Y";
+  out.dir = PortDir::kOutput;
+  c.ports.push_back(out);
+  const auto out_idx = static_cast<std::uint32_t>(num_inputs);
+
+  for (std::uint32_t i = 0; i < num_inputs; ++i) {
+    ArcSpec arc;
+    arc.from_port = i;
+    arc.to_port = out_idx;
+    arc.kind = ArcKind::kCombinational;
+    arc.sense = sense;
+    // Later inputs of a multi-input gate are slightly slower — gives
+    // distinct per-arc surfaces, as in real libraries.
+    DriveModel m = model;
+    m.intrinsic_ps *= 1.0 + 0.07 * static_cast<double>(i) +
+                      0.02 * rng.uniform();
+    characterize(m, cfg, arc.delay, arc.out_slew);
+    c.arcs.push_back(std::move(arc));
+  }
+  return c;
+}
+
+Cell make_dff_cell(const std::string& name, const DriveModel& model,
+                   const LibraryGenConfig& cfg) {
+  Cell c;
+  c.name = name;
+  c.is_sequential = true;
+  c.ports.push_back({"D", PortDir::kInput, 1.4, false});
+  c.ports.push_back({"CK", PortDir::kInput, 1.0, true});
+  c.ports.push_back({"Q", PortDir::kOutput, 0.0, false});
+
+  // CK -> Q launch arc.
+  {
+    ArcSpec arc;
+    arc.from_port = 1;
+    arc.to_port = 2;
+    arc.kind = ArcKind::kClockToQ;
+    arc.sense = ArcSense::kNonUnate;
+    DriveModel m = model;
+    m.intrinsic_ps *= 1.6;  // clk-to-q is slower than a gate stage
+    characterize(m, cfg, arc.delay, arc.out_slew);
+    c.arcs.push_back(std::move(arc));
+  }
+
+  // Setup and hold check arcs: guard time as a function of
+  // (clock slew, data slew); stored on the late/early rise tables.
+  auto make_check = [&](ArcKind kind, double base, double dcoef,
+                        double ccoef) {
+    ArcSpec arc;
+    arc.from_port = 1;  // CK
+    arc.to_port = 0;    // D
+    arc.kind = kind;
+    arc.sense = ArcSense::kNonUnate;
+    const auto& sg = cfg.slew_grid;
+    for (unsigned el = 0; el < kNumEl; ++el) {
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        std::vector<double> vals;
+        vals.reserve(sg.size() * sg.size());
+        for (double cs : sg)
+          for (double ds : sg)
+            vals.push_back(base + dcoef * ds + ccoef * cs);
+        arc.delay(el, rf) = Lut::table2d(sg, sg, std::move(vals));
+        arc.out_slew(el, rf) = Lut::scalar(0.0);
+      }
+    }
+    return arc;
+  };
+  c.arcs.push_back(make_check(ArcKind::kSetup, 22.0, 0.35, -0.08));
+  c.arcs.push_back(make_check(ArcKind::kHold, 6.0, -0.10, 0.05));
+  return c;
+}
+
+}  // namespace
+
+Library generate_library(const LibraryGenConfig& cfg) {
+  Rng rng(cfg.seed);
+  Library lib("tmm_nldm45");
+
+  struct Variant {
+    const char* base;
+    std::size_t inputs;
+    ArcSense sense;
+    double intrinsic;
+    double res;
+    double cap;
+  };
+  const Variant variants[] = {
+      {"INV", 1, ArcSense::kNegativeUnate, 7.0, 2.2, 1.1},
+      {"BUF", 1, ArcSense::kPositiveUnate, 12.0, 2.0, 1.2},
+      {"NAND2", 2, ArcSense::kNegativeUnate, 9.0, 2.6, 1.3},
+      {"NOR2", 2, ArcSense::kNegativeUnate, 10.0, 3.0, 1.3},
+      {"AND2", 2, ArcSense::kPositiveUnate, 14.0, 2.4, 1.3},
+      {"OR2", 2, ArcSense::kPositiveUnate, 15.0, 2.5, 1.3},
+      {"XOR2", 2, ArcSense::kNonUnate, 18.0, 2.8, 1.6},
+      {"AOI21", 3, ArcSense::kNegativeUnate, 12.0, 2.9, 1.4},
+      {"MUX2", 3, ArcSense::kNonUnate, 17.0, 2.7, 1.5},
+  };
+  const double strengths[] = {1.0, 2.0, 4.0};
+  const char* suffix[] = {"_X1", "_X2", "_X4"};
+
+  for (const auto& v : variants) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      DriveModel m;
+      m.intrinsic_ps = v.intrinsic * (1.0 + 0.12 / strengths[k]);
+      m.res_kohm = v.res / strengths[k];
+      m.out_slew_res = 1.1 / strengths[k];
+      m.nonlin = cfg.nonlinearity;
+      lib.add_cell(make_comb_cell(std::string(v.base) + suffix[k], v.inputs,
+                                  v.sense, m, cfg, v.cap * strengths[k], rng));
+    }
+  }
+
+  // Clock buffers: low resistance, balanced rise/fall.
+  for (std::size_t k = 0; k < 3; ++k) {
+    DriveModel m;
+    m.intrinsic_ps = 9.0 * (1.0 + 0.1 / strengths[k]);
+    m.res_kohm = 1.4 / strengths[k];
+    m.out_slew_res = 0.8 / strengths[k];
+    m.nonlin = cfg.nonlinearity * 0.5;
+    lib.add_cell(make_comb_cell(std::string("CLKBUF") + suffix[k], 1,
+                                ArcSense::kPositiveUnate, m, cfg,
+                                1.1 * strengths[k], rng));
+  }
+
+  {
+    DriveModel m;
+    m.intrinsic_ps = 14.0;
+    m.res_kohm = 2.0;
+    m.nonlin = cfg.nonlinearity;
+    lib.add_cell(make_dff_cell("DFF_X1", m, cfg));
+  }
+  return lib;
+}
+
+}  // namespace tmm

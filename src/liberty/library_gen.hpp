@@ -1,0 +1,56 @@
+#pragma once
+// Parametric NLDM library generator.
+//
+// The TAU 2016/2017 contests ship proprietary early/late Liberty files;
+// we substitute a generated library whose delay/slew surfaces follow the
+// canonical NLDM shape: delay grows affinely in input slew and load with
+// a mild saturating nonlinearity (so that LUT interpolation error — the
+// quantity the timing-sensitivity metric measures — is realistic and
+// non-zero), early tables are derated versions of late tables, and
+// rise/fall are slightly asymmetric.
+
+#include "liberty/library.hpp"
+#include "util/rng.hpp"
+
+namespace tmm {
+
+struct LibraryGenConfig {
+  /// Slew index grid in ps and load index grid in fF for generated LUTs.
+  std::vector<double> slew_grid{1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 120.0};
+  std::vector<double> load_grid{0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  /// Early tables are late tables scaled by this factor (< 1).
+  double early_derate = 0.88;
+  /// Fall transitions are rise transitions scaled by this factor.
+  double fall_factor = 0.94;
+  /// Relative strength of the saturating nonlinear term (0 = bilinear).
+  double nonlinearity = 0.18;
+  std::uint64_t seed = 42;
+};
+
+/// Analytic "silicon" a generated cell models. Exposed so tests can check
+/// that LUT interpolation reproduces the analytic surface within
+/// tolerance and so the characterizer can resample at arbitrary points.
+struct DriveModel {
+  double intrinsic_ps = 10.0;   ///< zero-load zero-slew delay
+  double slew_coef = 0.12;      ///< ps of delay per ps of input slew
+  double res_kohm = 1.8;        ///< drive resistance (ps per fF)
+  double nonlin = 0.18;         ///< saturating cross-term strength
+  double out_slew_base = 4.0;   ///< intrinsic output slew (ps)
+  double out_slew_res = 1.1;    ///< output slew per fF of load
+  double out_slew_in = 0.10;    ///< output slew per ps of input slew
+
+  double delay(double slew_ps, double load_ff) const;
+  double out_slew(double slew_ps, double load_ff) const;
+};
+
+/// Build the default synthetic standard-cell library:
+/// INV/BUF/NAND2/NOR2/AND2/OR2/XOR2 in several drive strengths,
+/// clock buffers, and a positive-edge D flip-flop with setup/hold arcs.
+Library generate_library(const LibraryGenConfig& cfg = {});
+
+/// Characterize a DriveModel into an ElRf<Lut> pair (delay, out_slew)
+/// over the given grids. Used by the library generator and by tests.
+void characterize(const DriveModel& model, const LibraryGenConfig& cfg,
+                  ElRf<Lut>& delay_out, ElRf<Lut>& slew_out);
+
+}  // namespace tmm

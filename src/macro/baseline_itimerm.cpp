@@ -1,0 +1,59 @@
+#include <cmath>
+
+#include "macro/baselines.hpp"
+
+#include "sta/propagation.hpp"
+#include "util/instrument.hpp"
+
+namespace tmm {
+
+std::vector<bool> itimerm_keep_set(const TimingGraph& ilm,
+                                   const ITimerMConfig& cfg) {
+  const auto slew_lo =
+      propagate_slew_only(ilm, cfg.slew_min_ps, cfg.po_load_ff);
+  const auto slew_hi =
+      propagate_slew_only(ilm, cfg.slew_max_ps, cfg.po_load_ff);
+  std::vector<bool> keep(ilm.num_nodes(), false);
+  for (NodeId n = 0; n < ilm.num_nodes(); ++n) {
+    if (ilm.node(n).dead) continue;
+    const double lo = slew_lo[n];
+    const double hi = slew_hi[n];
+    if (!std::isfinite(lo) || !std::isfinite(hi)) continue;
+    if (hi - lo > cfg.tolerance_ps) keep[n] = true;
+  }
+  if (cfg.protect_cppr) {
+    for (NodeId n = 0; n < ilm.num_nodes(); ++n) {
+      const auto& node = ilm.node(n);
+      if (!node.dead && node.in_clock_network && ilm.fanout(n).size() > 1)
+        keep[n] = true;
+    }
+  }
+  return keep;
+}
+
+MacroModel generate_itimerm_model(const TimingGraph& flat,
+                                  const ITimerMConfig& cfg,
+                                  GenerationStats* stats) {
+  Stopwatch sw;
+  IlmResult ilm = extract_ilm(flat);
+  const std::size_t ilm_pins = ilm.graph.num_live_nodes();
+  const auto keep = itimerm_keep_set(ilm.graph, cfg);
+  std::size_t kept = 0;
+  for (bool k : keep)
+    if (k) ++kept;
+  merge_insensitive_pins(ilm.graph, keep, cfg.merge);
+
+  MacroModel model;
+  model.design_name = "itimerm";
+  model.graph = std::move(ilm.graph);
+  if (stats) {
+    stats->ilm_pins = ilm_pins;
+    stats->model_pins = model.graph.num_live_nodes();
+    stats->pins_kept = kept;
+    stats->generation_seconds = sw.seconds();
+    stats->generation_peak_rss = peak_rss_bytes();
+  }
+  return model;
+}
+
+}  // namespace tmm

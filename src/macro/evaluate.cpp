@@ -1,0 +1,44 @@
+#include "macro/evaluate.hpp"
+
+#include "util/instrument.hpp"
+
+namespace tmm {
+
+AccuracyReport evaluate_accuracy(const TimingGraph& reference,
+                                 const TimingGraph& model,
+                                 std::span<const BoundaryConstraints> sets,
+                                 bool cppr) {
+  Sta::Options options;
+  options.cppr = cppr;
+  return evaluate_accuracy(reference, model, sets, options);
+}
+
+AccuracyReport evaluate_accuracy(const TimingGraph& reference,
+                                 const TimingGraph& model,
+                                 std::span<const BoundaryConstraints> sets,
+                                 const Sta::Options& options) {
+  AccuracyReport report;
+  Sta ref_sta(reference, options);
+  Sta model_sta(model, options);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& bc : sets) {
+    ref_sta.run(bc);
+    const BoundarySnapshot ref_snap = ref_sta.boundary_snapshot();
+    Stopwatch usage;
+    model_sta.run(bc);
+    const BoundarySnapshot model_snap = model_sta.boundary_snapshot();
+    report.usage_seconds += usage.seconds();
+    const SnapshotDiff d = diff_snapshots(model_snap, ref_snap);
+    report.max_err_ps = std::max(report.max_err_ps, d.max_abs);
+    sum += d.avg_abs * static_cast<double>(d.compared);
+    count += d.compared;
+    report.structural_mismatches += d.mismatched;
+    ++report.constraint_sets;
+  }
+  report.compared_values = count;
+  if (count > 0) report.avg_err_ps = sum / static_cast<double>(count);
+  return report;
+}
+
+}  // namespace tmm

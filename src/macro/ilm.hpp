@@ -1,0 +1,34 @@
+#pragma once
+// Interface logic model (ILM) extraction — the starting point of the
+// macro-model generation stage (Fig. 9, "capture interface logic").
+//
+// Kept logic: (a) the forward cones from all primary inputs up to the
+// first rank of flip-flop data pins (with those flops' setup/hold
+// checks), (b) the backward cones from all primary outputs down to the
+// launching flip-flops (with their clock-to-Q arcs), and (c) the clock
+// paths feeding every kept flip-flop clock pin. Register-to-register
+// logic between the interface ranks is eliminated — by the boundary-RAT
+// convention (see DESIGN.md) it cannot affect boundary timing, so the
+// ILM is timing-exact at the boundary.
+
+#include <vector>
+
+#include "sta/timing_graph.hpp"
+
+namespace tmm {
+
+struct IlmResult {
+  TimingGraph graph;
+  /// flat node id -> ILM node id (kInvalidId if dropped).
+  std::vector<NodeId> flat_to_ilm;
+  /// ILM node id -> flat node id.
+  std::vector<NodeId> ilm_to_flat;
+};
+
+IlmResult extract_ilm(const TimingGraph& flat);
+
+/// The keep-set computation only (exposed for tests and for feature
+/// extraction): true for every flat node the ILM retains.
+std::vector<bool> ilm_keep_set(const TimingGraph& flat);
+
+}  // namespace tmm

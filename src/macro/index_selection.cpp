@@ -1,0 +1,105 @@
+#include "macro/index_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "liberty/lut.hpp"
+
+namespace tmm {
+
+namespace {
+
+/// Error at candidate position `i` of `func` under the selected grid.
+double point_error(std::span<const double> xs, std::span<const double> func,
+                   std::span<const std::size_t> selected, std::size_t i) {
+  // Find enclosing selected segment (selected is ascending, includes ends).
+  auto it = std::upper_bound(selected.begin(), selected.end(), i);
+  if (it == selected.begin() || it == selected.end()) return 0.0;
+  const std::size_t hi = *it;
+  const std::size_t lo = *(it - 1);
+  if (lo == i || hi == i) return 0.0;
+  const double t = (xs[i] - xs[lo]) / (xs[hi] - xs[lo]);
+  const double approx = func[lo] + t * (func[hi] - func[lo]);
+  return std::fabs(approx - func[i]);
+}
+
+}  // namespace
+
+double interpolation_error(std::span<const double> xs,
+                           std::span<const double> func,
+                           std::span<const std::size_t> selected) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    worst = std::max(worst, point_error(xs, func, selected, i));
+  return worst;
+}
+
+std::vector<std::size_t> select_indices(
+    std::span<const double> xs, std::span<const std::vector<double>> funcs,
+    const IndexSelectionConfig& cfg) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> sel;
+  if (n == 0) return sel;
+  sel.push_back(0);
+  if (n == 1) return sel;
+  sel.push_back(n - 1);
+  const std::size_t budget = std::max<std::size_t>(2, cfg.max_points);
+
+  if (!cfg.error_driven) {
+    // Fixed grid: k points spaced evenly in sqrt-space (a generic
+    // denser-at-the-low-end template), snapped to the nearest
+    // candidates — no knowledge of where the surfaces actually bend.
+    sel.clear();
+    const std::size_t k = std::min(budget, n);
+    const double lo = std::sqrt(std::max(0.0, xs.front()));
+    const double hi = std::sqrt(std::max(0.0, xs.back()));
+    for (std::size_t i = 0; i < k; ++i) {
+      const double root =
+          lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(k - 1);
+      const double target = root * root;
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < n; ++j)
+        if (std::fabs(xs[j] - target) < std::fabs(xs[best] - target))
+          best = j;
+      sel.push_back(best);
+    }
+    std::sort(sel.begin(), sel.end());
+    sel.erase(std::unique(sel.begin(), sel.end()), sel.end());
+    return sel;
+  }
+
+  while (sel.size() < std::min(budget, n)) {
+    // Find the candidate with the largest error over all functions.
+    double worst_err = 0.0;
+    std::size_t worst_pos = 0;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      if (std::binary_search(sel.begin(), sel.end(), i)) continue;
+      double err = 0.0;
+      for (const auto& f : funcs)
+        err = std::max(err, point_error(xs, f, sel, i));
+      if (err > worst_err) {
+        worst_err = err;
+        worst_pos = i;
+      }
+    }
+    if (worst_err <= cfg.tolerance_ps) break;
+    sel.insert(std::upper_bound(sel.begin(), sel.end(), worst_pos), worst_pos);
+  }
+  return sel;
+}
+
+std::vector<double> densify_axis(std::span<const double> base) {
+  std::vector<double> out;
+  if (base.empty()) return out;
+  out.reserve(base.size() * 2);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    out.push_back(base[i]);
+    if (i + 1 < base.size()) out.push_back(0.5 * (base[i] + base[i + 1]));
+  }
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](double a, double b) { return a == b; }),
+            out.end());
+  return out;
+}
+
+}  // namespace tmm

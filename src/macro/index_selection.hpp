@@ -1,0 +1,50 @@
+#pragma once
+// Lookup-table index selection (Section 5.2): given a densely sampled
+// exact function, pick the small set of index points whose piecewise-
+// linear interpolation minimizes the timing error — the method of
+// iTimerM [5] that our framework reuses after serial/parallel merging.
+//
+// Selection is greedy: start from the interval endpoints, repeatedly add
+// the candidate point with the largest current interpolation error until
+// the budget is exhausted or the worst error drops below tolerance.
+// Several functions sharing one axis (delay + slew, all early/late x
+// rise/fall corners, every load column) are selected jointly so a merged
+// arc needs only one index vector.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tmm {
+
+struct IndexSelectionConfig {
+  /// Maximum number of selected index points per axis.
+  std::size_t max_points = 7;
+  /// Stop early once the worst interpolation error (ps) is below this.
+  double tolerance_ps = 1e-4;
+  /// When false, skip the greedy error-driven search and place the
+  /// index points evenly over the candidate axis (how form-based
+  /// reduction tools without iTimerM's selection step behave).
+  bool error_driven = true;
+};
+
+/// Select positions (indices into `xs`) such that linearly interpolating
+/// each function in `funcs` (each a vector of values parallel to `xs`)
+/// through the selected points minimizes the maximum error at the
+/// remaining candidates. Always contains the first and last position.
+/// `xs` must be ascending with size >= 2.
+std::vector<std::size_t> select_indices(
+    std::span<const double> xs, std::span<const std::vector<double>> funcs,
+    const IndexSelectionConfig& cfg);
+
+/// Worst-case interpolation error of `func` over candidates `xs` when
+/// only the points at `selected` (ascending positions) are stored.
+double interpolation_error(std::span<const double> xs,
+                           std::span<const double> func,
+                           std::span<const std::size_t> selected);
+
+/// Build a candidate axis: the union of `base` and the midpoints of its
+/// consecutive segments (ascending, deduplicated).
+std::vector<double> densify_axis(std::span<const double> base);
+
+}  // namespace tmm

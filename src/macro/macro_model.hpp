@@ -1,0 +1,32 @@
+#pragma once
+// The generated timing macro model: a reduced timing graph that
+// encapsulates the boundary timing behaviour of a design (Section 2),
+// plus bookkeeping used by the experiment harnesses.
+
+#include <string>
+
+#include "sta/timing_graph.hpp"
+
+namespace tmm {
+
+struct MacroModel {
+  std::string design_name;
+  TimingGraph graph;
+  /// Size of the serialized model in bytes (the "model file size"
+  /// column of Tables 3-5); 0 until measured.
+  std::size_t file_size_bytes = 0;
+
+  std::size_t num_pins() const { return graph.num_live_nodes(); }
+  std::size_t num_arcs() const { return graph.num_live_arcs(); }
+};
+
+/// Statistics reported next to a generated model.
+struct GenerationStats {
+  std::size_t ilm_pins = 0;      ///< pins after ILM capture
+  std::size_t model_pins = 0;    ///< pins after merging
+  std::size_t pins_kept = 0;     ///< pins predicted timing-variant
+  double generation_seconds = 0.0;
+  std::size_t generation_peak_rss = 0;
+};
+
+}  // namespace tmm

@@ -1,0 +1,56 @@
+#pragma once
+// Serial and parallel merging (Fig. 9): remove pins predicted timing-
+// insensitive from an ILM graph, splicing in re-characterized composite
+// arcs, then collapse parallel duplicate arcs into worst-case envelopes.
+//
+// Merging a pin is refused (the pin is kept regardless of prediction)
+// when removal could change boundary timing structurally:
+//   - boundary ports, flip-flop data/clock pins, check endpoints;
+//   - pins electrically tied to a primary-output net (their downstream
+//     load is a boundary constraint, not a constant — the paper's
+//     "pins connected to some output net are also remained");
+//   - pins with more than one fanin: the analysis engine merges the
+//     worst slew over fanins at such pins, and per-path composition
+//     cannot reproduce that coupling, so removal would not be
+//     timing-safe (single-fanin pins compose exactly);
+//   - high-fanout pins whose removal would blow up the arc count.
+
+#include "macro/compose.hpp"
+#include "sta/aocv.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace tmm {
+
+struct MergeConfig {
+  IndexSelectionConfig index;
+  /// Refuse to merge a pin when fanin * fanout exceeds this.
+  std::size_t max_fan_product = 8;
+  /// Only merge pins with a single fanin (slew-exact composition);
+  /// disabling this trades accuracy for size (exposed for ablation).
+  bool single_fanin_only = true;
+  /// Timing mode the model is generated for: when AOCV is enabled, the
+  /// per-stage depth derates are baked into the re-characterized
+  /// tables (merged arcs are marked `baked_derate`, so the analysis
+  /// engine never derates them twice).
+  AocvConfig aocv;
+};
+
+struct MergeStats {
+  std::size_t pins_removed = 0;
+  std::size_t serial_arcs_created = 0;
+  std::size_t parallel_arcs_merged = 0;
+  std::size_t refused = 0;  ///< predicted-removable pins kept for safety
+};
+
+/// True if the node may legally be merged away.
+bool mergeable(const TimingGraph& g, NodeId n, const MergeConfig& cfg);
+
+/// Remove every node with keep[n] == false that is legally mergeable.
+/// `keep` is indexed by node id of `g`.
+MergeStats merge_insensitive_pins(TimingGraph& g, const std::vector<bool>& keep,
+                                  const MergeConfig& cfg = {});
+
+/// Collapse parallel duplicate delay arcs (same from/to) into envelopes.
+std::size_t merge_parallel_arcs(TimingGraph& g, const MergeConfig& cfg = {});
+
+}  // namespace tmm

@@ -1,0 +1,189 @@
+#include "macro/model_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tmm {
+
+namespace {
+
+void write_lut(std::ostream& os, const Lut& lut) {
+  os << lut.slew_index().size() << ' ' << lut.load_index().size() << '\n';
+  for (double v : lut.slew_index()) os << v << ' ';
+  os << '\n';
+  for (double v : lut.load_index()) os << v << ' ';
+  os << '\n';
+  for (double v : lut.values()) os << v << ' ';
+  os << '\n';
+}
+
+Lut read_lut(std::istream& is) {
+  std::size_t ni = 0;
+  std::size_t nj = 0;
+  is >> ni >> nj;
+  std::vector<double> i1(ni);
+  std::vector<double> i2(nj);
+  for (auto& v : i1) is >> v;
+  for (auto& v : i2) is >> v;
+  const std::size_t nvals = ni == 0 ? 1 : ni * std::max<std::size_t>(nj, 1);
+  std::vector<double> vals(nvals);
+  for (auto& v : vals) is >> v;
+  if (!is) throw std::runtime_error("macro model: truncated lut");
+  if (ni == 0) return Lut::scalar(vals[0]);
+  if (nj == 0) return Lut::table1d(std::move(i1), std::move(vals));
+  return Lut::table2d(std::move(i1), std::move(i2), std::move(vals));
+}
+
+void write_tables(std::ostream& os, const ElRf<Lut>& t) {
+  for (unsigned el = 0; el < kNumEl; ++el)
+    for (unsigned rf = 0; rf < kNumRf; ++rf) write_lut(os, t(el, rf));
+}
+
+ElRf<Lut> read_tables(std::istream& is) {
+  ElRf<Lut> t;
+  for (unsigned el = 0; el < kNumEl; ++el)
+    for (unsigned rf = 0; rf < kNumRf; ++rf) t(el, rf) = read_lut(is);
+  return t;
+}
+
+}  // namespace
+
+std::size_t write_macro_model(const MacroModel& model, std::ostream& os) {
+  const TimingGraph& g = model.graph;
+  std::ostringstream buf;
+  buf.precision(9);
+
+  // Compact live node ids.
+  std::vector<NodeId> to_compact(g.num_nodes(), kInvalidId);
+  std::size_t live = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    if (!g.node(n).dead) to_compact[n] = static_cast<NodeId>(live++);
+
+  std::size_t live_arcs = 0;
+  for (ArcId a = 0; a < g.num_arcs(); ++a)
+    if (!g.arc(a).dead) ++live_arcs;
+  std::size_t live_checks = 0;
+  for (const auto& c : g.checks())
+    if (!c.dead) ++live_checks;
+
+  buf << "macro " << model.design_name << ' ' << live << ' ' << live_arcs
+      << ' ' << live_checks << '\n';
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const auto& node = g.node(n);
+    if (node.dead) continue;
+    unsigned flags = 0;
+    if (node.is_clock_root) flags |= 1u;
+    if (node.in_clock_network) flags |= 2u;
+    if (node.is_ff_clock) flags |= 4u;
+    if (node.is_ff_data) flags |= 8u;
+    buf << "node " << node.name << ' ' << static_cast<int>(node.role) << ' '
+        << node.port_ordinal << ' ' << flags << ' ' << node.static_load_ff
+        << ' ' << node.aocv_depth << ' ' << node.attached_po_loads.size();
+    for (auto po : node.attached_po_loads) buf << ' ' << po;
+    buf << '\n';
+  }
+
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(a);
+    if (arc.dead) continue;
+    buf << "arc " << to_compact[arc.from] << ' ' << to_compact[arc.to] << ' '
+        << static_cast<int>(arc.kind) << ' ' << static_cast<int>(arc.sense)
+        << ' ' << (arc.is_launch ? 1 : 0) << ' ' << (arc.baked_derate ? 1 : 0)
+        << ' ' << arc.wire_delay_ps << '\n';
+    if (arc.kind == GraphArcKind::kCell) {
+      write_tables(buf, *arc.delay);
+      write_tables(buf, *arc.out_slew);
+    }
+  }
+
+  for (const auto& c : g.checks()) {
+    if (c.dead) continue;
+    buf << "check " << to_compact[c.clock] << ' ' << to_compact[c.data] << ' '
+        << (c.is_setup ? 1 : 0) << '\n';
+    write_tables(buf, *c.guard);
+  }
+
+  const std::string s = buf.str();
+  os << s;
+  return s.size();
+}
+
+std::size_t macro_model_size_bytes(const MacroModel& model) {
+  std::ostringstream os;
+  return write_macro_model(model, os);
+}
+
+MacroModel read_macro_model(std::istream& is) {
+  std::string tag;
+  MacroModel model;
+  std::size_t nn = 0;
+  std::size_t na = 0;
+  std::size_t nc = 0;
+  is >> tag >> model.design_name >> nn >> na >> nc;
+  if (tag != "macro") throw std::runtime_error("macro model: bad header");
+  TimingGraph& g = model.graph;
+
+  for (std::size_t i = 0; i < nn; ++i) {
+    GraphNode node;
+    int role = 0;
+    unsigned flags = 0;
+    std::size_t npo = 0;
+    is >> tag >> node.name >> role >> node.port_ordinal >> flags >>
+        node.static_load_ff >> node.aocv_depth >> npo;
+    if (tag != "node") throw std::runtime_error("macro model: expected node");
+    node.role = static_cast<NodeRole>(role);
+    node.is_clock_root = (flags & 1u) != 0;
+    node.in_clock_network = (flags & 2u) != 0;
+    node.is_ff_clock = (flags & 4u) != 0;
+    node.is_ff_data = (flags & 8u) != 0;
+    node.attached_po_loads.resize(npo);
+    for (auto& po : node.attached_po_loads) is >> po;
+    const std::uint32_t ordinal = node.port_ordinal;
+    const NodeRole r = node.role;
+    const bool clock_root = node.is_clock_root;
+    const NodeId id = g.add_node(std::move(node));
+    if (r == NodeRole::kPrimaryInput)
+      g.set_primary_input(id, ordinal, clock_root);
+    else if (r == NodeRole::kPrimaryOutput)
+      g.set_primary_output(id, ordinal);
+  }
+
+  for (std::size_t i = 0; i < na; ++i) {
+    NodeId from = 0;
+    NodeId to = 0;
+    int kind = 0;
+    int sense = 0;
+    int launch = 0;
+    int baked = 0;
+    double wire_delay = 0.0;
+    is >> tag >> from >> to >> kind >> sense >> launch >> baked >> wire_delay;
+    if (tag != "arc") throw std::runtime_error("macro model: expected arc");
+    if (static_cast<GraphArcKind>(kind) == GraphArcKind::kWire) {
+      g.add_wire_arc(from, to, wire_delay);
+    } else {
+      const ElRf<Lut>* dt = g.own_tables(read_tables(is));
+      const ElRf<Lut>* st = g.own_tables(read_tables(is));
+      const ArcId id = g.add_cell_arc(from, to, static_cast<ArcSense>(sense),
+                                      dt, st, launch != 0);
+      g.arc(id).baked_derate = baked != 0;
+    }
+  }
+
+  for (std::size_t i = 0; i < nc; ++i) {
+    NodeId ck = 0;
+    NodeId d = 0;
+    int setup = 0;
+    is >> tag >> ck >> d >> setup;
+    if (tag != "check") throw std::runtime_error("macro model: expected check");
+    const ElRf<Lut>* guard = g.own_tables(read_tables(is));
+    g.add_check(ck, d, setup != 0, guard);
+  }
+  if (!is) throw std::runtime_error("macro model: truncated stream");
+  return model;
+}
+
+}  // namespace tmm

@@ -1,0 +1,23 @@
+#pragma once
+// Macro-model text serialization. The written form is self-contained
+// (every NLDM surface is embedded, whether it originated in the cell
+// library or in re-characterization), so a consumer needs no library to
+// use the model — mirroring how extracted .lib models ship. The byte
+// count of this form is the model-file-size metric of Tables 3-5.
+
+#include <iosfwd>
+
+#include "macro/macro_model.hpp"
+
+namespace tmm {
+
+/// Serialize; returns bytes written.
+std::size_t write_macro_model(const MacroModel& model, std::ostream& os);
+
+/// Measure the serialized size without keeping the bytes.
+std::size_t macro_model_size_bytes(const MacroModel& model);
+
+/// Parse a model previously produced by write_macro_model.
+MacroModel read_macro_model(std::istream& is);
+
+}  // namespace tmm

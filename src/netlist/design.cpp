@@ -1,0 +1,124 @@
+#include "netlist/design.hpp"
+
+#include <stdexcept>
+
+namespace tmm {
+
+std::uint32_t Design::add_port(const std::string& port_name, TopPortDir dir,
+                               bool is_clock) {
+  const auto port_idx = static_cast<std::uint32_t>(ports_.size());
+  const auto pin_id = static_cast<PinId>(pins_.size());
+  Pin p;
+  p.gate = kInvalidId;
+  p.port = port_idx;
+  p.is_driver = dir == TopPortDir::kPrimaryInput;
+  pins_.push_back(p);
+  ports_.push_back({port_name, dir, pin_id, is_clock});
+  if (dir == TopPortDir::kPrimaryInput) {
+    pis_.push_back(pin_id);
+    if (is_clock) clock_root_ = pin_id;
+  } else {
+    pos_.push_back(pin_id);
+  }
+  return port_idx;
+}
+
+GateId Design::add_gate(const std::string& gate_name, CellId cell) {
+  const auto gate_id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.name = gate_name;
+  g.cell = cell;
+  const auto& ports = lib_->cell(cell).ports;
+  g.pins.reserve(ports.size());
+  for (std::uint32_t i = 0; i < ports.size(); ++i) {
+    const auto pin_id = static_cast<PinId>(pins_.size());
+    Pin p;
+    p.gate = gate_id;
+    p.port = i;
+    p.is_driver = ports[i].dir == PortDir::kOutput;
+    pins_.push_back(p);
+    g.pins.push_back(pin_id);
+  }
+  gates_.push_back(std::move(g));
+  return gate_id;
+}
+
+NetId Design::add_net(const std::string& net_name, PinId driver_pin) {
+  auto& drv = pins_.at(driver_pin);
+  if (!drv.is_driver)
+    throw std::invalid_argument("Design::add_net: pin is not a driver");
+  if (drv.net != kInvalidId)
+    throw std::invalid_argument("Design::add_net: driver already on a net");
+  const auto net_id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.name = net_name;
+  n.driver = driver_pin;
+  nets_.push_back(std::move(n));
+  drv.net = net_id;
+  return net_id;
+}
+
+void Design::connect_sink(NetId net, PinId sink_pin, double res_kohm) {
+  auto& pin = pins_.at(sink_pin);
+  if (pin.is_driver)
+    throw std::invalid_argument("Design::connect_sink: pin is a driver");
+  if (pin.net != kInvalidId)
+    throw std::invalid_argument("Design::connect_sink: pin already connected");
+  auto& n = nets_.at(net);
+  n.sinks.push_back(sink_pin);
+  n.sink_res_kohm.push_back(res_kohm);
+  pin.net = net;
+}
+
+void Design::set_wire_cap(NetId net, double cap_ff) {
+  nets_.at(net).wire_cap_ff = cap_ff;
+}
+
+std::string Design::pin_name(PinId p) const {
+  const auto& pin = pins_.at(p);
+  if (pin.gate == kInvalidId) return ports_[pin.port].name;
+  return gates_[pin.gate].name + "/" +
+         lib_->cell(gates_[pin.gate].cell).ports[pin.port].name;
+}
+
+double Design::pin_cap_ff(PinId p) const {
+  const auto& pin = pins_.at(p);
+  if (pin.gate == kInvalidId) return 0.0;  // port loads come from constraints
+  const auto& cp = lib_->cell(gates_[pin.gate].cell).ports[pin.port];
+  return cp.dir == PortDir::kInput ? cp.cap_ff : 0.0;
+}
+
+double Design::net_load_ff(NetId n) const {
+  const auto& net = nets_.at(n);
+  double load = net.wire_cap_ff;
+  for (PinId s : net.sinks) load += pin_cap_ff(s);
+  return load;
+}
+
+void Design::validate() const {
+  for (PinId p = 0; p < pins_.size(); ++p) {
+    const auto& pin = pins_[p];
+    if (pin.net == kInvalidId) {
+      // Dangling gate outputs are tolerated (unused logic); dangling
+      // inputs are not — they would make timing undefined.
+      if (!pin.is_driver && pin.gate != kInvalidId)
+        throw std::runtime_error("Design::validate: unconnected input pin " +
+                                 pin_name(p));
+      continue;
+    }
+    const auto& net = nets_.at(pin.net);
+    if (pin.is_driver && net.driver != p)
+      throw std::runtime_error("Design::validate: driver/net mismatch at " +
+                               pin_name(p));
+  }
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    const auto& net = nets_[n];
+    if (net.driver == kInvalidId)
+      throw std::runtime_error("Design::validate: undriven net " + net.name);
+    if (net.sinks.size() != net.sink_res_kohm.size())
+      throw std::runtime_error("Design::validate: parasitics arity on " +
+                               net.name);
+  }
+}
+
+}  // namespace tmm

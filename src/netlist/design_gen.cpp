@@ -1,0 +1,305 @@
+#include "netlist/design_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tmm {
+
+namespace {
+
+struct SourceRec {
+  PinId pin;
+  NetId net;
+};
+
+/// Collect combinational (non-clock-buffer) cell ids usable in clouds.
+std::vector<CellId> comb_cells(const Library& lib) {
+  std::vector<CellId> out;
+  for (CellId c = 0; c < lib.num_cells(); ++c) {
+    const auto& cell = lib.cell(c);
+    if (cell.is_sequential) continue;
+    if (cell.name.rfind("CLKBUF", 0) == 0) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Design generate_design(const Library& lib, const DesignGenConfig& cfg) {
+  Rng rng(cfg.seed);
+  Design d(cfg.name, &lib);
+
+  const CellId dff = lib.cell_id("DFF_X1");
+  const CellId clkbuf = lib.cell_id("CLKBUF_X2");
+  const std::vector<CellId> combs = comb_cells(lib);
+
+  auto wire_res = [&]() {
+    return std::max(0.01, rng.normal(cfg.wire_res_mean_kohm,
+                                     cfg.wire_res_mean_kohm * 0.3));
+  };
+
+  // ---- ports --------------------------------------------------------
+  d.add_port("clk", TopPortDir::kPrimaryInput, /*is_clock=*/true);
+  std::vector<PinId> data_pis;
+  for (std::size_t i = 0; i < cfg.num_data_inputs; ++i) {
+    const auto idx =
+        d.add_port("in" + std::to_string(i), TopPortDir::kPrimaryInput);
+    data_pis.push_back(d.port(idx).pin);
+  }
+  std::vector<PinId> po_pins;
+  for (std::size_t i = 0; i < cfg.num_outputs; ++i) {
+    const auto idx =
+        d.add_port("out" + std::to_string(i), TopPortDir::kPrimaryOutput);
+    po_pins.push_back(d.port(idx).pin);
+  }
+
+  // ---- flip-flops -----------------------------------------------------
+  const auto& dff_cell = lib.cell(dff);
+  const auto d_port = dff_cell.port_index("D");
+  const auto ck_port = dff_cell.port_index("CK");
+  const auto q_port = dff_cell.port_index("Q");
+  std::vector<GateId> flops;
+  flops.reserve(cfg.num_flops);
+  for (std::size_t i = 0; i < cfg.num_flops; ++i)
+    flops.push_back(d.add_gate("ff" + std::to_string(i), dff));
+
+  // ---- clock tree -----------------------------------------------------
+  // F-ary tree of clock buffers from the clk port down to leaf nets;
+  // flops attach to leaves round-robin (several per leaf). The interior
+  // multi-fanout buffer outputs are exactly the common points CPPR uses.
+  {
+    const NetId clk_net = d.add_net("clk_net", d.clock_root());
+    const std::size_t leaves_needed =
+        std::max<std::size_t>(1, (cfg.num_flops + 3) / 4);
+    std::vector<NetId> frontier{clk_net};
+    std::size_t buf_idx = 0;
+    while (frontier.size() < leaves_needed) {
+      std::vector<NetId> next;
+      next.reserve(frontier.size() * cfg.clock_fanout);
+      for (NetId parent : frontier) {
+        for (std::size_t k = 0; k < cfg.clock_fanout; ++k) {
+          const GateId b =
+              d.add_gate("ckbuf" + std::to_string(buf_idx++), clkbuf);
+          const auto& bcell = lib.cell(clkbuf);
+          const PinId bin = d.gate(b).pins[bcell.port_index("A")];
+          const PinId bout = d.gate(b).pins[bcell.port_index("Y")];
+          d.connect_sink(parent, bin, wire_res());
+          next.push_back(d.add_net("cknet" + std::to_string(buf_idx), bout));
+          if (next.size() >= leaves_needed &&
+              frontier.size() * cfg.clock_fanout > leaves_needed * 2)
+            break;
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      const PinId ck = d.gate(flops[i]).pins[ck_port];
+      d.connect_sink(frontier[i % frontier.size()], ck, wire_res());
+    }
+  }
+
+  // ---- combinational clouds -------------------------------------------
+  // Real hierarchical designs have a register-bounded core that interface-
+  // logic models drop; the generator mirrors that with three clouds:
+  //   A  input interface : data PIs (+ some flop outputs) -> input-rank
+  //                        flop D pins
+  //   B  core            : flop outputs -> flop D pins (reg-to-reg only)
+  //   C  output interface: flop outputs + cloud-A outputs -> POs
+  std::vector<SourceRec> q_sources;
+  for (GateId f : flops) {
+    const PinId q = d.gate(f).pins[q_port];
+    q_sources.push_back({q, d.add_net("n_" + d.gate(f).name + "_q", q)});
+  }
+
+  std::size_t gidx = 0;
+  auto fanout_ok = [&](const SourceRec& s) {
+    return d.net(s.net).sinks.size() < cfg.max_fanout;
+  };
+  // Pick from `primary[lo..]`; with probability `alt_prob` (and a
+  // non-empty alt pool) pick from `alt` instead. Retries to respect the
+  // soft fanout cap.
+  auto pick = [&](const std::vector<SourceRec>& primary, std::size_t lo,
+                  const std::vector<SourceRec>& alt,
+                  double alt_prob) -> const SourceRec& {
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      const bool use_alt = !alt.empty() && rng.chance(alt_prob);
+      const SourceRec& cand =
+          use_alt ? alt[rng.below(alt.size())]
+                  : primary[lo + rng.below(primary.size() - lo)];
+      if (fanout_ok(cand) || attempt == 5) return cand;
+    }
+    return primary.back();
+  };
+
+  // Build one levelized cloud; returns its output source list.
+  auto build_cloud = [&](std::vector<SourceRec> level0,
+                         const std::vector<SourceRec>& alt, double alt_prob,
+                         std::size_t levels, std::size_t per_level) {
+    std::vector<SourceRec> sources = std::move(level0);
+    std::vector<std::size_t> level_start{0};
+    for (std::size_t lvl = 1; lvl <= levels; ++lvl) {
+      const std::size_t first_new = sources.size();
+      const std::size_t back =
+          lvl > cfg.locality ? level_start[lvl - cfg.locality] : 0;
+      for (std::size_t gi = 0; gi < per_level; ++gi) {
+        const CellId cid = combs[rng.below(combs.size())];
+        const auto& cell = lib.cell(cid);
+        const GateId gate = d.add_gate("g" + std::to_string(gidx++), cid);
+        for (std::uint32_t pi = 0; pi < cell.ports.size(); ++pi) {
+          if (cell.ports[pi].dir != PortDir::kInput) continue;
+          // Restrict picks to recent levels of this cloud, or alt pool.
+          const SourceRec& src = pick(sources, back, alt, alt_prob);
+          d.connect_sink(src.net, d.gate(gate).pins[pi], wire_res());
+        }
+        for (std::uint32_t pi = 0; pi < cell.ports.size(); ++pi) {
+          if (cell.ports[pi].dir != PortDir::kOutput) continue;
+          const PinId out = d.gate(gate).pins[pi];
+          sources.push_back(
+              {out, d.add_net("n_g" + std::to_string(gidx), out)});
+        }
+      }
+      level_start.push_back(first_new);
+    }
+    // Only the deeper half of the cloud feeds endpoints.
+    const std::size_t deep =
+        level_start[std::max<std::size_t>(1, levels / 2)];
+    return std::vector<SourceRec>(sources.begin() +
+                                      static_cast<std::ptrdiff_t>(deep),
+                                  sources.end());
+  };
+
+  const std::size_t iface_levels = std::max<std::size_t>(2, cfg.levels / 2);
+  const std::size_t core_gates = static_cast<std::size_t>(
+      static_cast<double>(cfg.gates_per_level * cfg.levels) *
+      cfg.core_fraction);
+  const std::size_t iface_gates =
+      std::max<std::size_t>(8, cfg.gates_per_level * cfg.levels - core_gates);
+
+  std::vector<SourceRec> pi_sources;
+  for (PinId p : data_pis)
+    pi_sources.push_back({p, d.add_net("n_" + d.pin_name(p), p)});
+
+  const auto cloud_a =
+      build_cloud(pi_sources, q_sources, /*alt_prob=*/0.10, iface_levels,
+                  std::max<std::size_t>(2, iface_gates / 2 / iface_levels));
+  const auto cloud_b = build_cloud(q_sources, {}, 0.0, cfg.levels,
+                                   std::max<std::size_t>(2, core_gates /
+                                                                cfg.levels));
+  // Cloud C mixes flop outputs with cloud-A outputs (PI->PO paths).
+  const auto cloud_c =
+      build_cloud(q_sources, cloud_a, /*alt_prob=*/0.35, iface_levels,
+                  std::max<std::size_t>(2, iface_gates / 2 / iface_levels));
+
+  // ---- endpoint hookup -------------------------------------------------
+  // A slice of the flops forms the input rank (D from cloud A); the rest
+  // are core flops (D from cloud B).
+  const std::size_t input_rank =
+      std::max<std::size_t>(1, flops.size() * 3 / 10);
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    const auto& pool = i < input_rank ? cloud_a : cloud_b;
+    const SourceRec& src = pick(pool, 0, {}, 0.0);
+    d.connect_sink(src.net, d.gate(flops[i]).pins[d_port], wire_res());
+  }
+  for (PinId po : po_pins) {
+    const SourceRec& src = pick(cloud_c, 0, {}, 0.0);
+    d.connect_sink(src.net, po, wire_res());
+  }
+
+  // ---- wire capacitances ------------------------------------------------
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const double fanout = static_cast<double>(d.net(n).sinks.size());
+    const double cap = std::max(
+        0.05, rng.normal(cfg.wire_cap_mean_ff, cfg.wire_cap_mean_ff * 0.35) *
+                  (1.0 + 0.15 * fanout));
+    d.set_wire_cap(n, cap);
+  }
+
+  d.validate();
+  return d;
+}
+
+namespace {
+
+DesignGenConfig config_for_pins(const std::string& name,
+                                std::size_t target_pins, std::uint64_t seed) {
+  DesignGenConfig cfg;
+  cfg.name = name;
+  cfg.seed = seed;
+  // A combinational gate contributes ~3.4 pins, a flop 3, a clock buffer
+  // 2; solve approximately for the per-level gate count.
+  const auto budget = static_cast<double>(target_pins) / 3.3;
+  const auto flops =
+      std::max<std::size_t>(8, static_cast<std::size_t>(budget * 0.10));
+  cfg.num_flops = flops;
+  cfg.levels = std::clamp<std::size_t>(
+      static_cast<std::size_t>(5.0 + std::log2(budget) * 0.6), 6, 16);
+  const auto comb = static_cast<std::size_t>(
+      std::max(32.0, budget - static_cast<double>(flops) * 1.6));
+  cfg.gates_per_level = std::max<std::size_t>(4, comb / cfg.levels);
+  cfg.num_data_inputs =
+      std::clamp<std::size_t>(static_cast<std::size_t>(budget / 60.0), 8, 256);
+  cfg.num_outputs = cfg.num_data_inputs;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> tau_testing_suite(const Library& /*lib*/,
+                                          std::size_t scale) {
+  struct Row {
+    const char* name;
+    std::size_t pins;
+    std::uint64_t seed;
+  };
+  // Pin counts are the Table 2 values; we generate at pins/scale.
+  const Row rows[] = {
+      {"mgc_edit_dist_iccad_eval", 581319, 1601},
+      {"vga_lcd_iccad_eval", 768050, 1602},
+      {"leon3mp_iccad_eval", 4167632, 1603},
+      {"netcard_iccad_eval", 4458141, 1604},
+      {"leon2_iccad_eval", 5179094, 1605},
+      {"mgc_edit_dist_iccad", 450354, 1701},
+      {"vga_lcd_iccad", 679258, 1702},
+      {"leon3mp_iccad", 3376832, 1703},
+      {"netcard_iccad", 3999174, 1704},
+      {"leon2_iccad", 4328255, 1705},
+      {"mgc_matrix_mult_iccad", 492568, 1706},
+  };
+  std::vector<SuiteEntry> out;
+  for (const auto& r : rows) {
+    SuiteEntry e;
+    e.name = r.name;
+    e.tau_pins = r.pins;
+    e.cfg = config_for_pins(r.name, std::max<std::size_t>(600, r.pins / scale),
+                            r.seed);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<SuiteEntry> training_suite(const Library& /*lib*/,
+                                       std::size_t scale) {
+  struct Row {
+    const char* name;
+    std::size_t pins;
+    std::uint64_t seed;
+  };
+  const Row rows[] = {
+      {"fft_ispd", 40000, 2001},     {"systemcaes", 16000, 2002},
+      {"aes_core", 30000, 2003},     {"des_perf", 55000, 2004},
+      {"pci_bridge32", 35000, 2005}, {"usb_funct", 24000, 2006},
+  };
+  std::vector<SuiteEntry> out;
+  for (const auto& r : rows) {
+    SuiteEntry e;
+    e.name = r.name;
+    e.tau_pins = r.pins;
+    e.cfg = config_for_pins(r.name, std::max<std::size_t>(400, r.pins / scale),
+                            r.seed);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace tmm

@@ -1,0 +1,67 @@
+#pragma once
+// Synthetic design generator.
+//
+// Substitutes the proprietary TAU 2016/2017 contest circuits with
+// deterministic, structurally analogous designs: banks of D flip-flops
+// fed by a buffered clock tree, random levelized combinational clouds
+// between {PIs, FF outputs} and {FF inputs, POs}, and randomized net
+// parasitics. The four path classes that matter to interface-logic
+// macro modeling (PI->FF, FF->FF, FF->PO, PI->PO) all occur, and the
+// clock tree provides the shared prefixes CPPR feeds on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "util/rng.hpp"
+
+namespace tmm {
+
+struct DesignGenConfig {
+  std::string name = "synth";
+  std::size_t num_data_inputs = 16;
+  std::size_t num_outputs = 16;
+  std::size_t num_flops = 32;
+  /// Combinational depth (number of gate levels) of each cloud.
+  std::size_t levels = 8;
+  std::size_t gates_per_level = 40;
+  /// Clock-tree branching factor.
+  std::size_t clock_fanout = 4;
+  /// Fraction of gate inputs wired to sources within the previous
+  /// `locality` levels (the rest may reach further back).
+  std::size_t locality = 3;
+  /// Maximum sink count per net before the generator avoids a driver.
+  std::size_t max_fanout = 10;
+  /// Fraction of combinational gates placed in the register-bounded
+  /// core (reg-to-reg logic that interface-logic models drop).
+  double core_fraction = 0.6;
+  /// Mean lumped wire capacitance per net (fF); scaled by fanout.
+  double wire_cap_mean_ff = 0.8;
+  /// Mean per-sink wire resistance (kOhm).
+  double wire_res_mean_kohm = 0.15;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a design. The library must outlive the returned Design.
+Design generate_design(const Library& lib, const DesignGenConfig& cfg);
+
+/// Named design suites mirroring the paper's benchmark lists.
+/// `scale` divides the TAU pin counts (default keeps runs CI-friendly);
+/// the generator targets roughly tau_pins/scale pins per design.
+struct SuiteEntry {
+  std::string name;
+  std::size_t tau_pins;  ///< pin count reported in Table 2
+  DesignGenConfig cfg;
+};
+
+/// Testing designs of Table 2 (TAU 2016 "_eval" + TAU 2017 suites).
+std::vector<SuiteEntry> tau_testing_suite(const Library& lib,
+                                          std::size_t scale = 100);
+
+/// Small training designs (the paper trains on 1e4..1e6-pin circuits
+/// such as fft_ispd and systemcaes; we use the same names, scaled).
+std::vector<SuiteEntry> training_suite(const Library& lib,
+                                       std::size_t scale = 10);
+
+}  // namespace tmm

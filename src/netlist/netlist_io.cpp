@@ -1,0 +1,128 @@
+#include "netlist/netlist_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tmm {
+
+namespace {
+
+/// Pins are addressed as "p <port-index>" (top-level) or
+/// "g <gate-index> <cell-port-index>".
+void write_pin_ref(std::ostream& os, const Design& d, PinId pin) {
+  const Pin& p = d.pin(pin);
+  if (p.gate == kInvalidId)
+    os << "p " << p.port;
+  else
+    os << "g " << p.gate << ' ' << p.port;
+}
+
+PinId read_pin_ref(std::istream& is, const Design& d) {
+  std::string kind;
+  is >> kind;
+  if (kind == "p") {
+    std::uint32_t port = 0;
+    is >> port;
+    return d.port(port).pin;
+  }
+  if (kind == "g") {
+    GateId gate = 0;
+    std::uint32_t port = 0;
+    is >> gate >> port;
+    return d.gate(gate).pins.at(port);
+  }
+  throw std::runtime_error("design: bad pin reference '" + kind + "'");
+}
+
+}  // namespace
+
+std::size_t write_design(const Design& design, std::ostream& os) {
+  std::ostringstream buf;
+  buf.precision(17);
+  buf << "design " << design.name() << ' ' << design.library().name() << ' '
+      << design.num_ports() << ' ' << design.num_gates() << ' '
+      << design.num_nets() << '\n';
+  for (std::uint32_t i = 0; i < design.num_ports(); ++i) {
+    const TopPort& p = design.port(i);
+    buf << "port " << p.name << ' '
+        << (p.dir == TopPortDir::kPrimaryInput ? "in" : "out") << ' '
+        << (p.is_clock ? 1 : 0) << '\n';
+  }
+  for (GateId g = 0; g < design.num_gates(); ++g) {
+    const Gate& gate = design.gate(g);
+    buf << "gate " << gate.name << ' '
+        << design.library().cell(gate.cell).name << '\n';
+  }
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(n);
+    buf << "net " << net.name << ' ';
+    write_pin_ref(buf, design, net.driver);
+    buf << ' ' << net.wire_cap_ff << ' ' << net.sinks.size() << '\n';
+    for (std::size_t k = 0; k < net.sinks.size(); ++k) {
+      buf << "  sink ";
+      write_pin_ref(buf, design, net.sinks[k]);
+      buf << ' ' << net.sink_res_kohm[k] << '\n';
+    }
+  }
+  const std::string s = buf.str();
+  os << s;
+  return s.size();
+}
+
+Design read_design(std::istream& is, const Library& lib) {
+  std::string tag;
+  std::string name;
+  std::string lib_name;
+  std::size_t nports = 0;
+  std::size_t ngates = 0;
+  std::size_t nnets = 0;
+  is >> tag >> name >> lib_name >> nports >> ngates >> nnets;
+  if (tag != "design") throw std::runtime_error("design: bad header");
+  if (lib_name != lib.name())
+    throw std::runtime_error("design: built against library '" + lib_name +
+                             "', got '" + lib.name() + "'");
+  Design d(name, &lib);
+  for (std::size_t i = 0; i < nports; ++i) {
+    std::string pname;
+    std::string dir;
+    int clk = 0;
+    is >> tag >> pname >> dir >> clk;
+    if (tag != "port") throw std::runtime_error("design: expected port");
+    d.add_port(pname, dir == "in" ? TopPortDir::kPrimaryInput
+                                  : TopPortDir::kPrimaryOutput,
+               clk != 0);
+  }
+  for (std::size_t i = 0; i < ngates; ++i) {
+    std::string gname;
+    std::string cname;
+    is >> tag >> gname >> cname;
+    if (tag != "gate") throw std::runtime_error("design: expected gate");
+    d.add_gate(gname, lib.cell_id(cname));
+  }
+  for (std::size_t i = 0; i < nnets; ++i) {
+    std::string nname;
+    double wire_cap = 0.0;
+    std::size_t nsinks = 0;
+    is >> tag >> nname;
+    if (tag != "net") throw std::runtime_error("design: expected net");
+    const PinId driver = read_pin_ref(is, d);
+    is >> wire_cap >> nsinks;
+    const NetId net = d.add_net(nname, driver);
+    d.set_wire_cap(net, wire_cap);
+    for (std::size_t k = 0; k < nsinks; ++k) {
+      is >> tag;
+      if (tag != "sink") throw std::runtime_error("design: expected sink");
+      const PinId sink = read_pin_ref(is, d);
+      double res = 0.0;
+      is >> res;
+      d.connect_sink(net, sink, res);
+    }
+  }
+  if (!is) throw std::runtime_error("design: truncated stream");
+  d.validate();
+  return d;
+}
+
+}  // namespace tmm

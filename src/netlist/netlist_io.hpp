@@ -1,0 +1,20 @@
+#pragma once
+// Design (netlist + parasitics) text serialization — a minimal
+// structural format playing the role Verilog + SPEF play in the TAU
+// contest flow, so designs can be generated once and shipped between
+// the CLI tools.
+
+#include <iosfwd>
+
+#include "netlist/design.hpp"
+
+namespace tmm {
+
+/// Serialize; returns bytes written.
+std::size_t write_design(const Design& design, std::ostream& os);
+
+/// Parse a design previously produced by write_design. The library must
+/// contain every referenced cell and outlive the returned design.
+Design read_design(std::istream& is, const Library& lib);
+
+}  // namespace tmm

@@ -1,0 +1,58 @@
+#include "sensitivity/filter.hpp"
+
+#include <cmath>
+
+#include "sta/propagation.hpp"
+#include "util/stats.hpp"
+
+namespace tmm {
+
+bool is_last_stage(const TimingGraph& g, NodeId n) {
+  const auto& node = g.node(n);
+  if (!node.attached_po_loads.empty()) return true;
+  for (ArcId a : g.fanout(n))
+    if (g.node(g.arc(a).to).role == NodeRole::kPrimaryOutput) return true;
+  return false;
+}
+
+FilterResult filter_insensitive_pins(const TimingGraph& g,
+                                     const FilterConfig& cfg) {
+  FilterResult out;
+  const std::size_t n = g.num_nodes();
+  const auto lo = propagate_slew_only(g, cfg.slew_min_ps, cfg.po_load_ff);
+  const auto hi = propagate_slew_only(g, cfg.slew_max_ps, cfg.po_load_ff);
+
+  out.sd.assign(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.node(u).dead) continue;
+    if (std::isfinite(lo[u]) && std::isfinite(hi[u]))
+      out.sd[u] = std::max(0.0, hi[u] - lo[u]);
+  }
+
+  // Standardize over live pins only, then scatter back.
+  std::vector<double> live_sd;
+  std::vector<NodeId> live_ids;
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.node(u).dead) continue;
+    live_sd.push_back(out.sd[u]);
+    live_ids.push_back(u);
+  }
+  standardize(live_sd);
+  out.sd_z.assign(n, 0.0);
+  for (std::size_t i = 0; i < live_ids.size(); ++i)
+    out.sd_z[live_ids[i]] = live_sd[i];
+
+  out.remained.assign(n, false);
+  out.live_pins = live_ids.size();
+  for (NodeId u : live_ids) {
+    const bool by_sd = out.sd_z[u] >= cfg.z_threshold;
+    const bool protected_pin = is_last_stage(g, u);
+    if (by_sd || protected_pin) {
+      out.remained[u] = true;
+      ++out.num_remained;
+    }
+  }
+  return out;
+}
+
+}  // namespace tmm

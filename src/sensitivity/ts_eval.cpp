@@ -1,0 +1,122 @@
+#include "sensitivity/ts_eval.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "sta/propagation.hpp"
+#include "util/instrument.hpp"
+
+namespace tmm {
+
+double mean_relative_diff(std::span<const double> after,
+                          std::span<const double> before) {
+  const std::size_t n = std::min(after.size(), before.size());
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool fa = std::isfinite(after[i]);
+    const bool fb = std::isfinite(before[i]);
+    if (!fa && !fb) continue;  // both unconstrained: no difference
+    ++count;
+    if (fa != fb) {
+      sum += 1.0;  // structural change: maximal relative penalty
+      continue;
+    }
+    sum += std::fabs(after[i] - before[i]) / std::max(std::fabs(before[i]), 1e-6);
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+namespace {
+
+double snapshot_ts(const BoundarySnapshot& after,
+                   const BoundarySnapshot& before) {
+  const double ds = mean_relative_diff(after.slew, before.slew);
+  const double da = mean_relative_diff(after.at, before.at);
+  const double dr = mean_relative_diff(after.rat, before.rat);
+  const double dk = mean_relative_diff(after.slack, before.slack);
+  return (ds + da + dr + dk) / 4.0;
+}
+
+}  // namespace
+
+TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
+                                     const std::vector<bool>& candidates,
+                                     const TsConfig& cfg) {
+  TsResult out;
+  out.ts.assign(ilm.num_nodes(), 0.0);
+  Stopwatch sw;
+
+  // Random boundary-constraint sets and their reference snapshots.
+  Rng rng(cfg.seed);
+  std::vector<BoundaryConstraints> sets;
+  std::vector<BoundarySnapshot> refs;
+  Sta::Options sta_opt;
+  sta_opt.cppr = cfg.cppr;
+  sta_opt.aocv = cfg.aocv;
+  MergeConfig merge_cfg = cfg.merge;
+  merge_cfg.aocv = cfg.aocv;
+  Sta ref_sta(ilm, sta_opt);
+  for (std::size_t c = 0; c < cfg.num_constraint_sets; ++c) {
+    sets.push_back(random_constraints(ilm.primary_inputs().size(),
+                                      ilm.primary_outputs().size(),
+                                      cfg.constraint_gen, rng));
+    ref_sta.run(sets.back());
+    refs.push_back(ref_sta.boundary_snapshot());
+  }
+
+  // Collect the evaluable pins, then fan the independent per-pin
+  // re-analyses out over worker threads (results are written to
+  // disjoint slots, so the outcome is deterministic for any count).
+  std::vector<NodeId> work;
+  for (NodeId n = 0; n < ilm.num_nodes(); ++n) {
+    if (n >= candidates.size() || !candidates[n]) continue;
+    if (ilm.node(n).dead) continue;
+    if (!mergeable(ilm, n, merge_cfg)) {
+      ++out.skipped_unmergeable;
+      continue;
+    }
+    work.push_back(n);
+  }
+
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t threads =
+      std::min(cfg.threads == 0 ? hw : cfg.threads,
+               std::max<std::size_t>(1, work.size()));
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    std::vector<bool> keep(ilm.num_nodes(), true);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= work.size()) return;
+      const NodeId n = work[i];
+      // Remove pin n exactly as macro generation would, on a scratch copy.
+      TimingGraph scratch = ilm;
+      keep[n] = false;
+      merge_insensitive_pins(scratch, keep, merge_cfg);
+      keep[n] = true;
+
+      Sta sta(scratch, sta_opt);
+      double ts_sum = 0.0;
+      for (std::size_t c = 0; c < sets.size(); ++c) {
+        sta.run(sets[c]);
+        ts_sum += snapshot_ts(sta.boundary_snapshot(), refs[c]);
+      }
+      out.ts[n] = ts_sum / static_cast<double>(sets.size());
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  out.evaluated_pins = work.size();
+  out.eval_seconds = sw.seconds();
+  return out;
+}
+
+}  // namespace tmm

@@ -1,0 +1,39 @@
+#pragma once
+// Advanced on-chip-variation (AOCV) timing mode.
+//
+// AOCV replaces flat early/late derates with *depth-based* derating:
+// shallow paths carry the full per-stage variation guard-band, deep
+// paths amortize it (random variation averages out over many stages).
+// This is one of the "advanced node timing analysis models" the paper's
+// framework claims to generalize to (Sections 3.2 and 5.3): the timing
+// sensitivity metric simply re-evaluates under the chosen mode, and the
+// same GNN pipeline applies unchanged.
+//
+// The graph-based approximation used here derates each cell arc by the
+// launch-side stage depth of its from-pin (stored on the node; copied
+// by ILM extraction and baked into merged-arc tables at materialization
+// so macro models reproduce the derated timing).
+
+#include <cmath>
+#include <cstdint>
+
+namespace tmm {
+
+struct AocvConfig {
+  bool enabled = false;
+  /// Stage-depth-0 late derate (> 1) and early derate (< 1).
+  double late_derate = 1.08;
+  double early_derate = 0.92;
+  /// Depth constant: derates decay toward 1 as depth grows,
+  /// derate(d) = 1 + (derate0 - 1) * k / (k + d).
+  double depth_constant = 6.0;
+
+  double derate(unsigned el, std::uint32_t depth) const noexcept {
+    if (!enabled) return 1.0;
+    const double base = el == 1 /*kLate*/ ? late_derate : early_derate;
+    const double k = depth_constant;
+    return 1.0 + (base - 1.0) * k / (k + static_cast<double>(depth));
+  }
+};
+
+}  // namespace tmm

@@ -1,0 +1,62 @@
+#include "sta/constraints.hpp"
+
+#include <algorithm>
+
+namespace tmm {
+
+BoundaryConstraints random_constraints(std::size_t num_pis,
+                                       std::size_t num_pos,
+                                       const ConstraintGenConfig& cfg,
+                                       Rng& rng) {
+  BoundaryConstraints bc;
+  bc.clock_period_ps = cfg.clock_period_ps;
+  bc.pi.resize(num_pis);
+  bc.po.resize(num_pos);
+  for (auto& p : bc.pi) {
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      const double at = rng.uniform(cfg.pi_at_min, cfg.pi_at_max);
+      const double spread = rng.uniform(0.0, 8.0);
+      p.at(kLate, rf) = at;
+      p.at(kEarly, rf) = std::max(cfg.pi_at_min, at - spread);
+      const double slew = rng.uniform(cfg.pi_slew_min, cfg.pi_slew_max);
+      p.slew(kLate, rf) = slew;
+      p.slew(kEarly, rf) = std::max(cfg.pi_slew_min * 0.5, slew * 0.8);
+    }
+  }
+  for (auto& p : bc.po) {
+    p.load_ff = rng.uniform(cfg.po_load_min, cfg.po_load_max);
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      p.rat(kLate, rf) = cfg.clock_period_ps *
+                         rng.uniform(cfg.po_rat_frac_min, cfg.po_rat_frac_max);
+      p.rat(kEarly, rf) = rng.uniform(0.0, 30.0);
+    }
+  }
+  return bc;
+}
+
+BoundaryConstraints nominal_constraints(std::size_t num_pis,
+                                        std::size_t num_pos,
+                                        double clock_period_ps) {
+  BoundaryConstraints bc;
+  bc.clock_period_ps = clock_period_ps;
+  bc.pi.resize(num_pis);
+  bc.po.resize(num_pos);
+  for (auto& p : bc.pi) {
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      p.at(kLate, rf) = 20.0;
+      p.at(kEarly, rf) = 15.0;
+      p.slew(kLate, rf) = 10.0;
+      p.slew(kEarly, rf) = 8.0;
+    }
+  }
+  for (auto& p : bc.po) {
+    p.load_ff = 4.0;
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      p.rat(kLate, rf) = clock_period_ps * 0.9;
+      p.rat(kEarly, rf) = 10.0;
+    }
+  }
+  return bc;
+}
+
+}  // namespace tmm

@@ -1,0 +1,57 @@
+#pragma once
+// Boundary timing constraints — the analysis-time context of a block:
+// slew and arrival time at primary inputs, output load and required
+// arrival time at primary outputs (Section 2), plus the clock period.
+//
+// Constraints are indexed by PI/PO *ordinal*, so one set applies
+// unchanged to the flat design, its ILM and any macro model of it —
+// which is how model accuracy is validated (Fig. 2).
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace tmm {
+
+struct PiConstraint {
+  ElRf<double> at;    ///< arrival time at the PI (ps)
+  ElRf<double> slew;  ///< input slew at the PI (ps)
+};
+
+struct PoConstraint {
+  double load_ff = 2.0;  ///< capacitive load driven by the PO
+  ElRf<double> rat;      ///< required arrival time at the PO (ps)
+};
+
+struct BoundaryConstraints {
+  double clock_period_ps = 1000.0;
+  std::vector<PiConstraint> pi;
+  std::vector<PoConstraint> po;
+};
+
+/// Ranges from which random constraint sets are drawn (Fig. 5's
+/// "randomly generate several sets of boundary timing constraints").
+struct ConstraintGenConfig {
+  double clock_period_ps = 1000.0;
+  double pi_at_min = 0.0, pi_at_max = 120.0;
+  double pi_slew_min = 2.0, pi_slew_max = 60.0;
+  double po_load_min = 1.0, po_load_max = 12.0;
+  /// Late RAT at POs drawn from [rat_frac_min, rat_frac_max] * period;
+  /// early RAT drawn near 0.
+  double po_rat_frac_min = 0.55, po_rat_frac_max = 1.0;
+};
+
+/// Draw one random boundary-constraint set for a block with the given
+/// port counts. Early values are always <= late values.
+BoundaryConstraints random_constraints(std::size_t num_pis,
+                                       std::size_t num_pos,
+                                       const ConstraintGenConfig& cfg,
+                                       Rng& rng);
+
+/// A nominal (non-random) constraint set used by examples and tests.
+BoundaryConstraints nominal_constraints(std::size_t num_pis,
+                                        std::size_t num_pos,
+                                        double clock_period_ps = 1000.0);
+
+}  // namespace tmm

@@ -1,0 +1,463 @@
+#include "sta/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace tmm {
+
+namespace {
+
+constexpr std::size_t idx(NodeId n, unsigned el, unsigned rf) {
+  return static_cast<std::size_t>(n) * (kNumEl * kNumRf) + el * kNumRf + rf;
+}
+
+/// True if `cand` is worse (dominates) than `cur` in the el corner:
+/// late keeps maxima, early keeps minima.
+constexpr bool dominates(unsigned el, double cand, double cur) {
+  return el == kLate ? cand > cur : cand < cur;
+}
+
+}  // namespace
+
+SnapshotDiff diff_snapshots(const BoundarySnapshot& a,
+                            const BoundarySnapshot& b) {
+  SnapshotDiff out;
+  double sum_abs = 0.0;
+  double sum_rel = 0.0;
+  auto scan = [&](const std::vector<double>& x, const std::vector<double>& y) {
+    const std::size_t n = std::min(x.size(), y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool fx = std::isfinite(x[i]);
+      const bool fy = std::isfinite(y[i]);
+      if (fx != fy) {
+        ++out.mismatched;
+        continue;
+      }
+      if (!fx) continue;  // both unconstrained/unreached: equal by convention
+      const double d = std::fabs(x[i] - y[i]);
+      out.max_abs = std::max(out.max_abs, d);
+      sum_abs += d;
+      sum_rel += d / std::max(std::fabs(y[i]), 1e-6);
+      ++out.compared;
+    }
+    if (x.size() != y.size()) out.mismatched += std::max(x.size(), y.size()) - n;
+  };
+  scan(a.slew, b.slew);
+  scan(a.at, b.at);
+  scan(a.rat, b.rat);
+  scan(a.slack, b.slack);
+  if (out.compared > 0) {
+    out.avg_abs = sum_abs / static_cast<double>(out.compared);
+    out.avg_rel = sum_rel / static_cast<double>(out.compared);
+  }
+  return out;
+}
+
+Sta::Sta(const TimingGraph& graph, Options opt) : graph_(&graph), opt_(opt) {}
+
+void Sta::run(const BoundaryConstraints& bc) {
+  const std::size_t n = graph_->num_nodes();
+  values_.assign(n, PinTiming{});
+  preds_.assign(n * kNumEl * kNumRf, Pred{});
+  credits_.assign(n * kNumEl * kNumRf, 0.0);
+  eff_load_.assign(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& node = graph_->node(u);
+    if (node.dead) continue;
+    double load = node.static_load_ff;
+    for (std::uint32_t po : node.attached_po_loads)
+      if (po < bc.po.size()) load += bc.po[po].load_ff;
+    eff_load_[u] = load;
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      values_[u].at(kLate, rf) = -kInf;
+      values_[u].at(kEarly, rf) = kInf;
+      values_[u].slew(kLate, rf) = -kInf;
+      values_[u].slew(kEarly, rf) = kInf;
+      values_[u].rat(kLate, rf) = kInf;
+      values_[u].rat(kEarly, rf) = -kInf;
+    }
+  }
+  seed_forward(bc);
+  forward();
+  seed_backward(bc);
+  backward();
+}
+
+void Sta::seed_forward(const BoundaryConstraints& bc) {
+  const auto& pis = graph_->primary_inputs();
+  for (std::uint32_t i = 0; i < pis.size(); ++i) {
+    if (pis[i] == kInvalidId || i >= bc.pi.size()) continue;
+    auto& t = values_[pis[i]];
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        t.at(el, rf) = bc.pi[i].at(el, rf);
+        t.slew(el, rf) = bc.pi[i].slew(el, rf);
+      }
+  }
+}
+
+void Sta::forward() {
+  for (NodeId u : graph_->topo_order()) {
+    const PinTiming tu = values_[u];  // copy: u is final here
+    for (ArcId aid : graph_->fanout(u)) {
+      const GraphArc& a = graph_->arc(aid);
+      PinTiming& tv = values_[a.to];
+      if (a.kind == GraphArcKind::kWire) {
+        for (unsigned el = 0; el < kNumEl; ++el) {
+          for (unsigned rf = 0; rf < kNumRf; ++rf) {
+            const double su = tu.slew(el, rf);
+            if (std::isfinite(su)) {
+              const double so = wire_slew(su, a.wire_delay_ps);
+              if (dominates(el, so, tv.slew(el, rf))) tv.slew(el, rf) = so;
+            }
+            const double atu = tu.at(el, rf);
+            if (std::isfinite(atu)) {
+              const double cand = atu + a.wire_delay_ps;
+              if (dominates(el, cand, tv.at(el, rf))) {
+                tv.at(el, rf) = cand;
+                preds_[idx(a.to, el, rf)] = {aid, static_cast<std::uint8_t>(rf)};
+              }
+            }
+          }
+        }
+      } else {
+        const double load = eff_load_[a.to];
+        for (unsigned el = 0; el < kNumEl; ++el) {
+          const double derate =
+              a.baked_derate
+                  ? 1.0
+                  : opt_.aocv.derate(el, graph_->node(a.from).aocv_depth);
+          for (unsigned irf = 0; irf < kNumRf; ++irf) {
+            const double su = tu.slew(el, irf);
+            if (!std::isfinite(su)) continue;
+            const unsigned mask = output_transitions(a.sense, irf);
+            for (unsigned orf = 0; orf < kNumRf; ++orf) {
+              if (!(mask & (1u << orf))) continue;
+              const double d =
+                  (*a.delay)(el, orf).lookup(su, load) * derate;
+              const double so = (*a.out_slew)(el, orf).lookup(su, load);
+              if (dominates(el, so, tv.slew(el, orf))) tv.slew(el, orf) = so;
+              const double atu = tu.at(el, irf);
+              if (std::isfinite(atu)) {
+                const double cand = atu + d;
+                if (dominates(el, cand, tv.at(el, orf))) {
+                  tv.at(el, orf) = cand;
+                  preds_[idx(a.to, el, orf)] = {aid,
+                                                static_cast<std::uint8_t>(irf)};
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+NodeId Sta::trace_launch_clock(NodeId data, unsigned el, unsigned rf) const {
+  NodeId u = data;
+  unsigned crf = rf;
+  for (std::size_t steps = 0; steps <= graph_->num_nodes(); ++steps) {
+    const Pred p = preds_[idx(u, el, crf)];
+    if (p.arc == kInvalidId) return kInvalidId;  // reached a PI seed
+    const GraphArc& a = graph_->arc(p.arc);
+    if (a.is_launch) return a.from;
+    u = a.from;
+    crf = p.from_rf;
+  }
+  return kInvalidId;
+}
+
+double Sta::cppr_credit(NodeId launch_ck, NodeId capture_ck) const {
+  if (launch_ck == kInvalidId || capture_ck == kInvalidId) return 0.0;
+  // Ancestors of the capture clock pin along its (early, rise) worst
+  // path up to the clock root (clock networks are trees in practice;
+  // the pred chain is exactly the root-to-pin path).
+  std::unordered_set<NodeId> capture_chain;
+  {
+    NodeId u = capture_ck;
+    unsigned rf = kRise;
+    capture_chain.insert(u);
+    for (std::size_t steps = 0; steps <= graph_->num_nodes(); ++steps) {
+      const Pred p = preds_[idx(u, kEarly, rf)];
+      if (p.arc == kInvalidId) break;
+      u = graph_->arc(p.arc).from;
+      rf = p.from_rf;
+      capture_chain.insert(u);
+    }
+  }
+  // Walk up from the launch clock pin; the first node also on the
+  // capture chain is the branch point (LCA).
+  NodeId u = launch_ck;
+  unsigned rf = kRise;
+  for (std::size_t steps = 0; steps <= graph_->num_nodes(); ++steps) {
+    if (capture_chain.count(u)) {
+      const double late = values_[u].at(kLate, rf);
+      const double early = values_[u].at(kEarly, rf);
+      if (!std::isfinite(late) || !std::isfinite(early)) return 0.0;
+      return std::max(0.0, late - early);
+    }
+    const Pred p = preds_[idx(u, kLate, rf)];
+    if (p.arc == kInvalidId) break;
+    u = graph_->arc(p.arc).from;
+    rf = p.from_rf;
+  }
+  return 0.0;
+}
+
+void Sta::seed_backward(const BoundaryConstraints& bc) {
+  const auto& pos = graph_->primary_outputs();
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    if (pos[i] == kInvalidId || i >= bc.po.size()) continue;
+    auto& t = values_[pos[i]];
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      t.rat(kLate, rf) = bc.po[i].rat(kLate, rf);
+      t.rat(kEarly, rf) = bc.po[i].rat(kEarly, rf);
+    }
+  }
+
+  for (const CheckArc& c : graph_->checks()) {
+    if (c.dead) continue;
+    PinTiming& td = values_[c.data];
+    PinTiming& tc = values_[c.clock];
+    const double ck_slew = tc.slew(kLate, kRise);
+    const double ck_at_early = tc.at(kEarly, kRise);
+    const double ck_at_late = tc.at(kLate, kRise);
+    if (!std::isfinite(ck_slew)) continue;
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      if (c.is_setup) {
+        const double d_slew = td.slew(kLate, rf);
+        if (!std::isfinite(d_slew) || !std::isfinite(ck_at_early)) continue;
+        const double guard = (*c.guard)(kLate, rf).lookup(ck_slew, d_slew);
+        double credit = 0.0;
+        if (opt_.cppr) {
+          const NodeId lck = trace_launch_clock(c.data, kLate, rf);
+          credit = cppr_credit(lck, c.clock);
+        }
+        credits_[idx(c.data, kLate, rf)] = credit;
+        const double cand =
+            bc.clock_period_ps + ck_at_early - guard + credit;
+        if (cand < td.rat(kLate, rf)) td.rat(kLate, rf) = cand;
+        // Capture-side requirement on the clock pin: the capture edge
+        // must not arrive so early that the data misses setup.
+        if (opt_.clock_rat) {
+          const double d_at = td.at(kLate, rf);
+          if (std::isfinite(d_at)) {
+            const double ck_req = d_at + guard - bc.clock_period_ps - credit;
+            if (ck_req > tc.rat(kEarly, kRise)) tc.rat(kEarly, kRise) = ck_req;
+          }
+        }
+      } else {
+        const double d_slew = td.slew(kEarly, rf);
+        if (!std::isfinite(d_slew) || !std::isfinite(ck_at_late)) continue;
+        const double guard = (*c.guard)(kEarly, rf).lookup(ck_slew, d_slew);
+        double credit = 0.0;
+        if (opt_.cppr) {
+          const NodeId lck = trace_launch_clock(c.data, kEarly, rf);
+          credit = cppr_credit(lck, c.clock);
+        }
+        credits_[idx(c.data, kEarly, rf)] = credit;
+        const double cand = ck_at_late + guard - credit;
+        if (cand > td.rat(kEarly, rf)) td.rat(kEarly, rf) = cand;
+        if (opt_.clock_rat) {
+          const double d_at = td.at(kEarly, rf);
+          if (std::isfinite(d_at)) {
+            const double ck_req = d_at - guard + credit;
+            if (ck_req < tc.rat(kLate, kRise)) tc.rat(kLate, kRise) = ck_req;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Sta::backward() {
+  const auto& order = graph_->topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    if (!opt_.clock_rat && graph_->node(u).in_clock_network) continue;
+    PinTiming& tu = values_[u];
+    for (ArcId aid : graph_->fanout(u)) {
+      const GraphArc& a = graph_->arc(aid);
+      const PinTiming& tv = values_[a.to];
+      if (a.kind == GraphArcKind::kWire) {
+        for (unsigned rf = 0; rf < kNumRf; ++rf) {
+          const double rl = tv.rat(kLate, rf);
+          if (std::isfinite(rl) && rl - a.wire_delay_ps < tu.rat(kLate, rf))
+            tu.rat(kLate, rf) = rl - a.wire_delay_ps;
+          const double re = tv.rat(kEarly, rf);
+          if (std::isfinite(re) && re - a.wire_delay_ps > tu.rat(kEarly, rf))
+            tu.rat(kEarly, rf) = re - a.wire_delay_ps;
+        }
+      } else {
+        const double load = eff_load_[a.to];
+        for (unsigned el = 0; el < kNumEl; ++el) {
+          const double derate =
+              a.baked_derate
+                  ? 1.0
+                  : opt_.aocv.derate(el, graph_->node(a.from).aocv_depth);
+          for (unsigned irf = 0; irf < kNumRf; ++irf) {
+            const double su = tu.slew(el, irf);
+            if (!std::isfinite(su)) continue;
+            const unsigned mask = output_transitions(a.sense, irf);
+            for (unsigned orf = 0; orf < kNumRf; ++orf) {
+              if (!(mask & (1u << orf))) continue;
+              const double rv = tv.rat(el, orf);
+              if (!std::isfinite(rv)) continue;
+              const double d =
+                  (*a.delay)(el, orf).lookup(su, load) * derate;
+              const double cand = rv - d;
+              if (el == kLate) {
+                if (cand < tu.rat(kLate, irf)) tu.rat(kLate, irf) = cand;
+              } else {
+                if (cand > tu.rat(kEarly, irf)) tu.rat(kEarly, irf) = cand;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+double Sta::slack(NodeId n, unsigned el, unsigned rf) const {
+  const auto& t = values_.at(n);
+  const double at = t.at(el, rf);
+  const double rat = t.rat(el, rf);
+  if (!std::isfinite(at) || !std::isfinite(rat)) return kInf;
+  return el == kLate ? rat - at : at - rat;
+}
+
+double Sta::worst_slack(unsigned el, bool include_pos) const {
+  double worst = kInf;
+  for (const auto& c : graph_->checks()) {
+    if (c.dead) continue;
+    for (unsigned rf = 0; rf < kNumRf; ++rf)
+      worst = std::min(worst, slack(c.data, el, rf));
+  }
+  if (include_pos) {
+    for (NodeId po : graph_->primary_outputs()) {
+      if (po == kInvalidId) continue;
+      for (unsigned rf = 0; rf < kNumRf; ++rf)
+        worst = std::min(worst, slack(po, el, rf));
+    }
+  }
+  return worst;
+}
+
+double Sta::endpoint_credit(NodeId data, unsigned el, unsigned rf) const {
+  return credits_.at(idx(data, el, rf));
+}
+
+std::vector<Sta::PathStep> Sta::worst_path(NodeId endpoint, unsigned el,
+                                           unsigned rf) const {
+  std::vector<PathStep> path;
+  if (!std::isfinite(values_.at(endpoint).at(el, rf))) return path;
+  NodeId u = endpoint;
+  unsigned crf = rf;
+  for (std::size_t steps = 0; steps <= graph_->num_nodes(); ++steps) {
+    const Pred p = preds_[idx(u, el, crf)];
+    path.push_back({u, p.arc, crf, values_[u].at(el, crf)});
+    if (p.arc == kInvalidId) break;
+    u = graph_->arc(p.arc).from;
+    crf = p.from_rf;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+NodeId Sta::worst_endpoint(unsigned el, unsigned* rf_out) const {
+  NodeId worst = kInvalidId;
+  unsigned worst_rf = kRise;
+  double worst_slack = kInf;
+  for (const auto& c : graph_->checks()) {
+    if (c.dead) continue;
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      const double s = slack(c.data, el, rf);
+      if (s < worst_slack) {
+        worst_slack = s;
+        worst = c.data;
+        worst_rf = rf;
+      }
+    }
+  }
+  if (rf_out) *rf_out = worst_rf;
+  return worst;
+}
+
+BoundarySnapshot Sta::boundary_snapshot() const {
+  BoundarySnapshot snap;
+  std::vector<NodeId> ports;
+  for (NodeId p : graph_->primary_inputs()) ports.push_back(p);
+  for (NodeId p : graph_->primary_outputs()) ports.push_back(p);
+  snap.num_ports = ports.size();
+  const std::size_t stride = kNumEl * kNumRf;
+  snap.slew.assign(snap.num_ports * stride, kInf);
+  snap.at.assign(snap.num_ports * stride, kInf);
+  snap.rat.assign(snap.num_ports * stride, kInf);
+  snap.slack.assign(snap.num_ports * stride, kInf);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const NodeId p = ports[i];
+    if (p == kInvalidId) continue;
+    const auto& t = values_[p];
+    for (unsigned el = 0; el < kNumEl; ++el) {
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        const std::size_t k = i * stride + el * kNumRf + rf;
+        snap.slew[k] = t.slew(el, rf);
+        snap.at[k] = t.at(el, rf);
+        snap.rat[k] = t.rat(el, rf);
+        snap.slack[k] = slack(p, el, rf);
+      }
+    }
+  }
+  return snap;
+}
+
+std::vector<double> propagate_slew_only(const TimingGraph& graph,
+                                        double pi_slew_ps, double po_load_ff) {
+  const std::size_t n = graph.num_nodes();
+  // Work in the late corner over both transitions; report the max.
+  std::vector<double> slew(n * kNumRf, -kInf);
+  for (NodeId p : graph.primary_inputs()) {
+    if (p == kInvalidId) continue;
+    slew[p * kNumRf + kRise] = pi_slew_ps;
+    slew[p * kNumRf + kFall] = pi_slew_ps;
+  }
+  for (NodeId u : graph.topo_order()) {
+    for (ArcId aid : graph.fanout(u)) {
+      const GraphArc& a = graph.arc(aid);
+      if (a.kind == GraphArcKind::kWire) {
+        for (unsigned rf = 0; rf < kNumRf; ++rf) {
+          const double su = slew[u * kNumRf + rf];
+          if (!std::isfinite(su)) continue;
+          const double so = wire_slew(su, a.wire_delay_ps);
+          auto& tv = slew[a.to * kNumRf + rf];
+          if (so > tv) tv = so;
+        }
+      } else {
+        double load = graph.node(a.to).static_load_ff;
+        if (!graph.node(a.to).attached_po_loads.empty())
+          load += po_load_ff *
+                  static_cast<double>(graph.node(a.to).attached_po_loads.size());
+        for (unsigned irf = 0; irf < kNumRf; ++irf) {
+          const double su = slew[u * kNumRf + irf];
+          if (!std::isfinite(su)) continue;
+          const unsigned mask = output_transitions(a.sense, irf);
+          for (unsigned orf = 0; orf < kNumRf; ++orf) {
+            if (!(mask & (1u << orf))) continue;
+            const double so = (*a.out_slew)(kLate, orf).lookup(su, load);
+            auto& tv = slew[a.to * kNumRf + orf];
+            if (so > tv) tv = so;
+          }
+        }
+      }
+    }
+  }
+  std::vector<double> out(n, -kInf);
+  for (NodeId u = 0; u < n; ++u)
+    out[u] = std::max(slew[u * kNumRf + kRise], slew[u * kNumRf + kFall]);
+  return out;
+}
+
+}  // namespace tmm

@@ -1,0 +1,139 @@
+#pragma once
+// Static timing analysis engine over a TimingGraph.
+//
+// Forward pass: slews and arrival times (early/late x rise/fall) in
+// topological order, seeded from the boundary constraints; worst-path
+// predecessors are recorded for CPPR path recovery. Backward pass:
+// required arrival times seeded from PO constraints and setup/hold
+// checks at flip-flop data pins (with the common-path pessimism credit
+// folded in when CPPR mode is on), relaxed in reverse topological order.
+//
+// The same engine analyzes flat designs, ILMs and macro models, which is
+// what makes macro accuracy evaluation (Fig. 2) a pure snapshot diff.
+
+#include <limits>
+#include <vector>
+
+#include "sta/aocv.hpp"
+#include "sta/constraints.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace tmm {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct PinTiming {
+  ElRf<double> slew;
+  ElRf<double> at;
+  ElRf<double> rat;
+};
+
+/// Boundary timing values of one analysis run: slew/at/rat/slack at
+/// every PI and PO, flattened per (port, el, rf).
+struct BoundarySnapshot {
+  std::size_t num_ports = 0;
+  std::vector<double> slew, at, rat, slack;  // size num_ports * kNumEl*kNumRf
+};
+
+struct SnapshotDiff {
+  double max_abs = 0.0;  ///< max |a-b| over finite entries (ps)
+  double avg_abs = 0.0;  ///< mean |a-b| over finite entries (ps)
+  double avg_rel = 0.0;  ///< mean |a-b| / max(|b|, eps) (Eq. 2 flavour)
+  std::size_t compared = 0;
+  /// Entries finite in exactly one snapshot (structural mismatch).
+  std::size_t mismatched = 0;
+};
+
+/// Compare two snapshots (same port arity required).
+SnapshotDiff diff_snapshots(const BoundarySnapshot& a,
+                            const BoundarySnapshot& b);
+
+class Sta {
+ public:
+  struct Options {
+    bool cppr = true;  ///< apply common-path pessimism removal
+    /// Propagate required times into the clock network (capture-side
+    /// clock requirements). Off by default: with an ideal clock port,
+    /// internal register-to-register endpoints would otherwise constrain
+    /// the clock PI, which interface-logic models intentionally drop —
+    /// the TAU evaluation convention (see DESIGN.md).
+    bool clock_rat = false;
+    /// Advanced on-chip-variation mode: depth-based derating of cell
+    /// arc delays (see sta/aocv.hpp).
+    AocvConfig aocv;
+  };
+
+  explicit Sta(const TimingGraph& graph, Options opt);
+  explicit Sta(const TimingGraph& graph) : Sta(graph, Options{}) {}
+
+  /// Run a full forward + backward analysis under the constraints.
+  void run(const BoundaryConstraints& bc);
+
+  const PinTiming& timing(NodeId n) const { return values_.at(n); }
+
+  /// slack: late = rat - at, early = at - rat; +inf when unconstrained.
+  double slack(NodeId n, unsigned el, unsigned rf) const;
+
+  /// Worst (minimum) slack over all check endpoints and (optionally)
+  /// primary outputs.
+  double worst_slack(unsigned el, bool include_pos = true) const;
+
+  BoundarySnapshot boundary_snapshot() const;
+
+  /// CPPR credit applied at a data endpoint during the last run (0 when
+  /// CPPR off or no common path); exposed for tests.
+  double endpoint_credit(NodeId data, unsigned el, unsigned rf) const;
+
+  /// One hop of a recovered worst path.
+  struct PathStep {
+    NodeId node = kInvalidId;
+    ArcId via = kInvalidId;  ///< arc into `node`; kInvalidId at the start
+    unsigned rf = kRise;     ///< transition at `node`
+    double at = 0.0;         ///< arrival at `node` in the chosen corner
+  };
+
+  /// Recover the worst arrival path ending at (endpoint, el, rf) by
+  /// walking the recorded predecessors back to its timing start point
+  /// (a PI seed or a flop launch). Returns start-to-end order; empty if
+  /// the endpoint was never reached.
+  std::vector<PathStep> worst_path(NodeId endpoint, unsigned el,
+                                   unsigned rf) const;
+
+  /// The check endpoint with the worst slack in the corner, or
+  /// kInvalidId if there are no constrained endpoints. `rf_out` receives
+  /// the critical transition.
+  NodeId worst_endpoint(unsigned el, unsigned* rf_out = nullptr) const;
+
+  const TimingGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  struct Pred {
+    ArcId arc = kInvalidId;
+    std::uint8_t from_rf = 0;
+  };
+
+  void seed_forward(const BoundaryConstraints& bc);
+  void forward();
+  void seed_backward(const BoundaryConstraints& bc);
+  void backward();
+  double effective_load(NodeId n) const { return eff_load_[n]; }
+  NodeId trace_launch_clock(NodeId data, unsigned el, unsigned rf) const;
+  double cppr_credit(NodeId launch_ck, NodeId capture_ck) const;
+
+  const TimingGraph* graph_;
+  Options opt_;
+  std::vector<PinTiming> values_;
+  std::vector<Pred> preds_;  ///< [node * kNumEl*kNumRf + el*kNumRf + rf]
+  std::vector<double> eff_load_;
+  std::vector<double> credits_;  ///< endpoint credits, same indexing as preds_
+};
+
+/// Slew-only forward propagation used by the insensitive-pin filter and
+/// the iTimerM-style baseline: every PI gets the same input slew, POs
+/// get `po_load_ff`; returns the worst (late, max-over-rf) slew per node
+/// (-inf for unreached nodes).
+std::vector<double> propagate_slew_only(const TimingGraph& graph,
+                                        double pi_slew_ps,
+                                        double po_load_ff = 4.0);
+
+}  // namespace tmm

@@ -1,0 +1,48 @@
+#include "util/instrument.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tmm {
+
+namespace {
+
+std::size_t read_status_kib(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  const std::size_t keylen = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, key, keylen) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + keylen, " %llu", &v) == 1) kib = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+}  // namespace
+
+std::size_t current_rss_bytes() { return read_status_kib("VmRSS:") * 1024; }
+
+std::size_t peak_rss_bytes() { return read_status_kib("VmHWM:") * 1024; }
+
+std::string format_bytes(std::size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace tmm

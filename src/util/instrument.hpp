@@ -1,0 +1,35 @@
+#pragma once
+// Wall-clock and memory instrumentation for the generation/usage
+// runtime & memory columns of Tables 3–5.
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace tmm {
+
+/// Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Current resident set size of this process in bytes (Linux; 0 elsewhere).
+std::size_t current_rss_bytes();
+
+/// Peak resident set size of this process in bytes (Linux; 0 elsewhere).
+std::size_t peak_rss_bytes();
+
+/// Human-readable byte count, e.g. "12.3 MB".
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace tmm

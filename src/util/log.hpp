@@ -1,0 +1,57 @@
+#pragma once
+// Minimal leveled logger. Off-by-default debug level keeps benchmark
+// output clean; everything goes to stderr so bench tables on stdout
+// stay machine-parseable.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace tmm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+std::string format(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  if (n <= 0) return fmt;
+  std::string s(static_cast<std::size_t>(n), '\0');
+  std::snprintf(s.data(), s.size() + 1, fmt, args...);
+  return s;
+}
+inline std::string format(const char* fmt) { return fmt; }
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    detail::log_line(LogLevel::kDebug,
+                     detail::format(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    detail::log_line(LogLevel::kInfo,
+                     detail::format(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    detail::log_line(LogLevel::kWarn,
+                     detail::format(fmt, std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    detail::log_line(LogLevel::kError,
+                     detail::format(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace tmm

@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <limits>
+
+namespace tmm {
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    std::snprintf(buf, sizeof(buf), "[%10.4g, %10.4g) %8zu |", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+void standardize(std::span<double> values) {
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  const double sd = rs.stddev_population();
+  if (sd <= 0.0) {
+    for (double& v : values) v = 0.0;
+    return;
+  }
+  const double mean = rs.mean();
+  for (double& v : values) v = (v - mean) / sd;
+}
+
+double percentile(std::span<const double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (pct <= 0.0) return sorted.front();
+  if (pct >= 100.0) return sorted.back();
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace tmm

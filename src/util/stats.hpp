@@ -1,0 +1,113 @@
+#pragma once
+// Streaming/summary statistics used throughout the sensitivity flow and
+// the experiment harnesses (error summaries, SD standardization, histograms).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tmm {
+
+/// Accumulates count/mean/variance/min/max in one pass (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto n = n_ + o.n_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ = (mean_ * static_cast<double>(n_) +
+             o.mean_ * static_cast<double>(o.n_)) /
+            static_cast<double>(n);
+    n_ = n;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Population standard deviation (divide by n); used for SD z-scores.
+  double stddev_population() const noexcept {
+    return n_ ? std::sqrt(m2_ / static_cast<double>(n_)) : 0.0;
+  }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to end bins.
+/// Used to regenerate the TS-distribution figures (Fig. 6 / Fig. 10).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double x) noexcept {
+    if (counts_.empty()) return;
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::ptrdiff_t>(
+        t * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+  }
+  double bin_hi(std::size_t bin) const noexcept { return bin_lo(bin + 1); }
+
+  /// Render an ASCII bar chart (one row per bin) for bench output.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Standardize values to z-scores in place: (x - mean) / stddev.
+/// A zero stddev leaves values at 0 (all identical).
+void standardize(std::span<double> values);
+
+/// Percentile (0..100) with linear interpolation; input is copied and sorted.
+double percentile(std::span<const double> values, double pct);
+
+}  // namespace tmm

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tmm {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : cols_(header.size()) {
+  if (cols_ == 0) throw std::invalid_argument("AsciiTable: empty header");
+  rows_.push_back(std::move(header));
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != cols_)
+    throw std::invalid_argument("AsciiTable: row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> width(cols_, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  std::string sep = "+";
+  for (std::size_t c = 0; c < cols_; ++c) {
+    sep.append(width[c] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep;
+  bool first = true;
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += sep;
+      continue;
+    }
+    out += '|';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out += ' ';
+      out += row[c];
+      out.append(width[c] - row[c].size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+    if (first) {
+      out += sep;
+      first = false;
+    }
+  }
+  out += sep;
+  return out;
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace tmm

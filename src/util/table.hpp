@@ -1,0 +1,32 @@
+#pragma once
+// ASCII table printer for the experiment harnesses. Every bench binary
+// that regenerates a paper table formats its rows through this class so
+// the output is uniform and diff-able.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tmm {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  std::string to_string() const;
+
+  /// Numeric cell helpers.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(long long v);
+
+ private:
+  std::size_t cols_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace tmm

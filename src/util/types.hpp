@@ -1,0 +1,43 @@
+#pragma once
+// Shared scalar types and early/late + rise/fall conventions.
+//
+// Units everywhere in the code base:
+//   time        : picoseconds (ps)
+//   capacitance : femtofarads (fF)
+//   resistance  : kilo-ohms   (kOhm)   => R * C is directly in ps.
+
+#include <cstdint>
+
+namespace tmm {
+
+/// Early/late split index: 0 = early (min), 1 = late (max).
+enum : unsigned { kEarly = 0, kLate = 1, kNumEl = 2 };
+
+/// Rise/fall transition index: 0 = rise, 1 = fall.
+enum : unsigned { kRise = 0, kFall = 1, kNumRf = 2 };
+
+/// Dense per-pin / per-arc timing payload indexed as [el][rf].
+template <typename T>
+struct ElRf {
+  T v[kNumEl][kNumRf]{};
+
+  T& operator()(unsigned el, unsigned rf) noexcept { return v[el][rf]; }
+  const T& operator()(unsigned el, unsigned rf) const noexcept {
+    return v[el][rf];
+  }
+
+  void fill(const T& x) noexcept {
+    for (auto& row : v)
+      for (auto& cell : row) cell = x;
+  }
+};
+
+using PinId = std::uint32_t;
+using GateId = std::uint32_t;
+using NetId = std::uint32_t;
+using CellId = std::uint32_t;
+using ArcId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+}  // namespace tmm

@@ -1,0 +1,25 @@
+#!/bin/sh
+# End-to-end CLI smoke test: generate designs, train, build a macro,
+# evaluate it. Run by ctest with the tmm binary path as $1.
+set -e
+TMM="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$TMM" gen-design "$DIR/block.dsn" --pins 2500 --seed 5 --name cli_block
+"$TMM" stats "$DIR/block.dsn"
+"$TMM" sta "$DIR/block.dsn" --period 900
+"$TMM" gen-design "$DIR/t1.dsn" --pins 1000 --seed 6 --name t1
+"$TMM" gen-design "$DIR/t2.dsn" --pins 1200 --seed 7 --name t2
+"$TMM" train "$DIR/m.gnn" "$DIR/t1.dsn" "$DIR/t2.dsn"
+"$TMM" generate "$DIR/m.gnn" "$DIR/block.dsn" "$DIR/block.macro"
+"$TMM" evaluate "$DIR/block.dsn" "$DIR/block.macro"
+
+# Regression-mode variant and CPPR-off variant must also work.
+"$TMM" train "$DIR/mr.gnn" "$DIR/t1.dsn" --regression
+"$TMM" generate "$DIR/mr.gnn" "$DIR/block.dsn" "$DIR/block2.macro" --regression
+"$TMM" evaluate "$DIR/block.dsn" "$DIR/block2.macro" --no-cppr
+"$TMM" export-lib "$DIR/cells.lib"
+"$TMM" export-lib "$DIR/cells_early.lib" --early
+test -s "$DIR/cells.lib"
+echo "CLI_OK"

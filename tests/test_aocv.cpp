@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "flow/framework.hpp"
+#include "macro/model_io.hpp"
+#include "test_helpers.hpp"
+
+#include <sstream>
+
+namespace tmm {
+namespace {
+
+AocvConfig demo_aocv() {
+  AocvConfig cfg;
+  cfg.enabled = true;
+  cfg.late_derate = 1.10;
+  cfg.early_derate = 0.90;
+  cfg.depth_constant = 5.0;
+  return cfg;
+}
+
+TEST(Aocv, DerateDecaysTowardOneWithDepth) {
+  const AocvConfig cfg = demo_aocv();
+  EXPECT_DOUBLE_EQ(cfg.derate(kLate, 0), 1.10);
+  EXPECT_DOUBLE_EQ(cfg.derate(kEarly, 0), 0.90);
+  EXPECT_GT(cfg.derate(kLate, 5), cfg.derate(kLate, 20));
+  EXPECT_LT(cfg.derate(kEarly, 5), cfg.derate(kEarly, 20));
+  EXPECT_NEAR(cfg.derate(kLate, 100000), 1.0, 1e-3);
+  AocvConfig off;
+  EXPECT_DOUBLE_EQ(off.derate(kLate, 0), 1.0);
+}
+
+TEST(Aocv, DepthsRestartAtLaunchPoints) {
+  const Design d = test::make_tiny_design("aocv", 1);
+  const TimingGraph g = build_timing_graph(d);
+  for (NodeId p : g.primary_inputs())
+    EXPECT_EQ(g.node(p).aocv_depth, 0u);
+  for (const auto& c : g.checks())
+    EXPECT_EQ(g.node(c.clock).aocv_depth, 0u);  // CK pins restart
+  // Somewhere in the data logic the depth must exceed 1.
+  std::uint32_t max_depth = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    max_depth = std::max(max_depth, g.node(n).aocv_depth);
+  EXPECT_GT(max_depth, 1u);
+
+  // On a pure buffer chain the depth equals the stage count.
+  const Design chain = test::make_buffer_chain(4);
+  const TimingGraph cg = build_timing_graph(chain);
+  EXPECT_EQ(cg.node(chain.primary_outputs()[0]).aocv_depth, 4u);
+}
+
+TEST(Aocv, WidensEarlyLateSpread) {
+  const Design d = test::make_buffer_chain(5);
+  const TimingGraph g = build_timing_graph(d);
+  const BoundaryConstraints bc = nominal_constraints(1, 1);
+  Sta plain(g);
+  plain.run(bc);
+  Sta aocv(g, {.aocv = demo_aocv()});
+  aocv.run(bc);
+  const NodeId out = d.primary_outputs()[0];
+  const double plain_spread = plain.timing(out).at(kLate, kRise) -
+                              plain.timing(out).at(kEarly, kRise);
+  const double aocv_spread = aocv.timing(out).at(kLate, kRise) -
+                             aocv.timing(out).at(kEarly, kRise);
+  EXPECT_GT(aocv_spread, plain_spread);
+  EXPECT_GT(aocv.timing(out).at(kLate, kRise),
+            plain.timing(out).at(kLate, kRise));
+  EXPECT_LT(aocv.timing(out).at(kEarly, kRise),
+            plain.timing(out).at(kEarly, kRise));
+}
+
+TEST(Aocv, ShallowStagesDeratedMoreThanDeepOnes) {
+  // Two chains of different length: the per-stage late inflation at the
+  // front of the chain must exceed the inflation near its end.
+  const Design d = test::make_buffer_chain(10);
+  const TimingGraph g = build_timing_graph(d);
+  const BoundaryConstraints bc = nominal_constraints(1, 1);
+  Sta plain(g);
+  plain.run(bc);
+  Sta aocv(g, {.aocv = demo_aocv()});
+  aocv.run(bc);
+  // Inflation ratio of the first gate stage vs the whole chain.
+  NodeId first_out = kInvalidId;
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    if (g.node(n).name == "b0/Y") first_out = n;
+  ASSERT_NE(first_out, kInvalidId);
+  const NodeId out = d.primary_outputs()[0];
+  const double at0 = bc.pi[0].at(kLate, kRise);
+  const double infl_first = (aocv.timing(first_out).at(kLate, kRise) - at0) /
+                            (plain.timing(first_out).at(kLate, kRise) - at0);
+  const double infl_total = (aocv.timing(out).at(kLate, kRise) - at0) /
+                            (plain.timing(out).at(kLate, kRise) - at0);
+  EXPECT_GT(infl_first, infl_total);
+  EXPECT_GT(infl_total, 1.0);
+}
+
+TEST(Aocv, IlmStaysBoundaryExactUnderAocv) {
+  const Design d = test::make_small_design("aocv", 2);
+  const TimingGraph flat = build_timing_graph(d);
+  const IlmResult ilm = extract_ilm(flat);
+  Rng rng(3);
+  std::vector<BoundaryConstraints> sets{random_constraints(
+      d.primary_inputs().size(), d.primary_outputs().size(), {}, rng)};
+  Sta::Options opt;
+  opt.aocv = demo_aocv();
+  const AccuracyReport rep =
+      evaluate_accuracy(flat, ilm.graph, sets, opt);
+  EXPECT_LT(rep.max_err_ps, 1e-6);
+  EXPECT_EQ(rep.structural_mismatches, 0u);
+}
+
+TEST(Aocv, MergedModelBakesDeratesCorrectly) {
+  const Design d = test::make_small_design("aocv", 4);
+  const TimingGraph flat = build_timing_graph(d);
+  IlmResult ilm = extract_ilm(flat);
+  std::vector<bool> keep(ilm.graph.num_nodes(), false);
+  for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n)
+    if (is_cppr_crucial(ilm.graph, n)) keep[n] = true;
+  MergeConfig merge;
+  merge.aocv = demo_aocv();
+  merge_insensitive_pins(ilm.graph, keep, merge);
+
+  Rng rng(9);
+  std::vector<BoundaryConstraints> sets;
+  for (int i = 0; i < 2; ++i)
+    sets.push_back(random_constraints(d.primary_inputs().size(),
+                                      d.primary_outputs().size(), {}, rng));
+  Sta::Options opt;
+  opt.aocv = demo_aocv();
+  const AccuracyReport rep = evaluate_accuracy(flat, ilm.graph, sets, opt);
+  EXPECT_EQ(rep.structural_mismatches, 0u);
+  EXPECT_LT(rep.max_err_ps, 0.5);
+}
+
+TEST(Aocv, ModeMismatchedModelIsVisiblyWrong) {
+  // A model generated for plain NLDM, analyzed under AOCV, must show a
+  // clear error against the AOCV flat reference (the reason mode-aware
+  // generation exists).
+  const Design d = test::make_small_design("aocv", 5);
+  const TimingGraph flat = build_timing_graph(d);
+  IlmResult ilm = extract_ilm(flat);
+  std::vector<bool> keep(ilm.graph.num_nodes(), false);
+  merge_insensitive_pins(ilm.graph, keep, MergeConfig{});  // NLDM tables
+
+  Rng rng(11);
+  std::vector<BoundaryConstraints> sets{random_constraints(
+      d.primary_inputs().size(), d.primary_outputs().size(), {}, rng)};
+  Sta::Options opt;
+  opt.aocv = demo_aocv();
+  const AccuracyReport rep = evaluate_accuracy(flat, ilm.graph, sets, opt);
+  EXPECT_GT(rep.max_err_ps, 1.0);
+}
+
+TEST(Aocv, ModelIoPreservesBakedFlagAndDepth) {
+  const Design d = test::make_tiny_design("aocv", 6);
+  const TimingGraph flat = build_timing_graph(d);
+  IlmResult ilm = extract_ilm(flat);
+  std::vector<bool> keep(ilm.graph.num_nodes(), false);
+  MergeConfig merge;
+  merge.aocv = demo_aocv();
+  merge_insensitive_pins(ilm.graph, keep, merge);
+
+  MacroModel model;
+  model.design_name = "aocv";
+  model.graph = std::move(ilm.graph);
+  std::stringstream ss;
+  write_macro_model(model, ss);
+  const MacroModel back = read_macro_model(ss);
+
+  Rng rng(13);
+  std::vector<BoundaryConstraints> sets{random_constraints(
+      d.primary_inputs().size(), d.primary_outputs().size(), {}, rng)};
+  Sta::Options opt;
+  opt.aocv = demo_aocv();
+  const AccuracyReport rep =
+      evaluate_accuracy(model.graph, back.graph, sets, opt);
+  EXPECT_LT(rep.max_err_ps, 1e-5);
+}
+
+TEST(Aocv, EndToEndFlowUnderAocv) {
+  FlowConfig cfg;
+  cfg.cppr = true;
+  cfg.aocv = demo_aocv();
+  cfg.data.ts.num_constraint_sets = 2;
+  cfg.train.epochs = 80;
+  Framework fw(cfg);
+  std::vector<Design> training;
+  training.push_back(test::make_tiny_design("aocv_t", 7));
+  fw.train(training);
+  const Design d = test::make_small_design("aocv_e", 8);
+  const DesignResult r = fw.run_design(d);
+  EXPECT_EQ(r.acc.structural_mismatches, 0u);
+  EXPECT_LT(r.acc.max_err_ps, 0.5);
+  EXPECT_LT(r.gen.model_pins, r.gen.ilm_pins);
+}
+
+}  // namespace
+}  // namespace tmm

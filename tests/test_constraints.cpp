@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "sta/constraints.hpp"
+#include "test_helpers.hpp"
+
+namespace tmm {
+namespace {
+
+TEST(Constraints, RandomWithinConfiguredRanges) {
+  Rng rng(1);
+  ConstraintGenConfig cfg;
+  const BoundaryConstraints bc = random_constraints(20, 15, cfg, rng);
+  ASSERT_EQ(bc.pi.size(), 20u);
+  ASSERT_EQ(bc.po.size(), 15u);
+  for (const auto& p : bc.pi) {
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      EXPECT_GE(p.at(kLate, rf), cfg.pi_at_min);
+      EXPECT_LE(p.at(kLate, rf), cfg.pi_at_max);
+      EXPECT_GE(p.slew(kLate, rf), cfg.pi_slew_min);
+      EXPECT_LE(p.slew(kLate, rf), cfg.pi_slew_max);
+    }
+  }
+  for (const auto& p : bc.po) {
+    EXPECT_GE(p.load_ff, cfg.po_load_min);
+    EXPECT_LE(p.load_ff, cfg.po_load_max);
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      EXPECT_GE(p.rat(kLate, rf), cfg.clock_period_ps * cfg.po_rat_frac_min);
+      EXPECT_LE(p.rat(kLate, rf), cfg.clock_period_ps * cfg.po_rat_frac_max);
+    }
+  }
+}
+
+TEST(Constraints, EarlyNeverExceedsLate) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BoundaryConstraints bc = random_constraints(8, 8, {}, rng);
+    for (const auto& p : bc.pi)
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        EXPECT_LE(p.at(kEarly, rf), p.at(kLate, rf));
+        EXPECT_LE(p.slew(kEarly, rf), p.slew(kLate, rf));
+      }
+    for (const auto& p : bc.po)
+      for (unsigned rf = 0; rf < kNumRf; ++rf)
+        EXPECT_LE(p.rat(kEarly, rf), p.rat(kLate, rf));
+  }
+}
+
+TEST(Constraints, DeterministicGivenRng) {
+  Rng a(77);
+  Rng b(77);
+  const BoundaryConstraints x = random_constraints(5, 5, {}, a);
+  const BoundaryConstraints y = random_constraints(5, 5, {}, b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(x.pi[i].at(kLate, kRise), y.pi[i].at(kLate, kRise));
+    EXPECT_DOUBLE_EQ(x.po[i].load_ff, y.po[i].load_ff);
+  }
+}
+
+TEST(Constraints, NominalIsFixedAndConsistent) {
+  const BoundaryConstraints bc = nominal_constraints(3, 2, 750.0);
+  EXPECT_DOUBLE_EQ(bc.clock_period_ps, 750.0);
+  ASSERT_EQ(bc.pi.size(), 3u);
+  ASSERT_EQ(bc.po.size(), 2u);
+  EXPECT_DOUBLE_EQ(bc.pi[0].slew(kLate, kRise), 10.0);
+  EXPECT_DOUBLE_EQ(bc.po[1].rat(kLate, kFall), 750.0 * 0.9);
+}
+
+TEST(LibraryGen, Deterministic) {
+  const Library a = generate_library();
+  const Library b = generate_library();
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (CellId c = 0; c < a.num_cells(); ++c) {
+    EXPECT_EQ(a.cell(c).name, b.cell(c).name);
+    if (!a.cell(c).arcs.empty())
+      EXPECT_DOUBLE_EQ(
+          a.cell(c).arcs[0].delay(kLate, kRise).lookup(10, 5),
+          b.cell(c).arcs[0].delay(kLate, kRise).lookup(10, 5));
+  }
+}
+
+}  // namespace
+}  // namespace tmm

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace tmm {
+namespace {
+
+TEST(Design, BufferChainStructure) {
+  const Design d = test::make_buffer_chain(3);
+  EXPECT_EQ(d.num_gates(), 3u);
+  EXPECT_EQ(d.num_nets(), 4u);
+  EXPECT_EQ(d.num_pins(), 2u + 3u * 2u);
+  EXPECT_EQ(d.primary_inputs().size(), 1u);
+  EXPECT_EQ(d.primary_outputs().size(), 1u);
+  EXPECT_EQ(d.clock_root(), kInvalidId);
+}
+
+TEST(Design, PinNamesAndCaps) {
+  const Design d = test::make_buffer_chain(1);
+  EXPECT_EQ(d.pin_name(d.primary_inputs()[0]), "in0");
+  const Gate& g = d.gate(0);
+  EXPECT_EQ(d.pin_name(g.pins[0]), "b0/A");
+  EXPECT_GT(d.pin_cap_ff(g.pins[0]), 0.0);
+  EXPECT_DOUBLE_EQ(d.pin_cap_ff(g.pins[1]), 0.0);  // output pin
+}
+
+TEST(Design, NetLoadIncludesWireAndSinks) {
+  const Design d = test::make_buffer_chain(2, 0.1, 0.5);
+  const Net& n0 = d.net(0);  // in0 -> b0/A
+  const double load = d.net_load_ff(0);
+  EXPECT_NEAR(load, 0.5 + d.pin_cap_ff(n0.sinks[0]), 1e-12);
+}
+
+TEST(Design, BuilderRejectsBadConnections) {
+  const Library& lib = test::shared_library();
+  Design d("bad", &lib);
+  d.add_port("i", TopPortDir::kPrimaryInput);
+  d.add_port("o", TopPortDir::kPrimaryOutput);
+  const PinId in = d.port(0).pin;
+  const PinId out = d.port(1).pin;
+  EXPECT_THROW(d.add_net("n", out), std::invalid_argument);  // PO not driver
+  const NetId n = d.add_net("n", in);
+  EXPECT_THROW(d.add_net("n2", in), std::invalid_argument);  // already on net
+  d.connect_sink(n, out);
+  EXPECT_THROW(d.connect_sink(n, out), std::invalid_argument);  // again
+  EXPECT_THROW(d.connect_sink(n, in), std::invalid_argument);   // driver
+}
+
+TEST(Design, ValidateCatchesDanglingInput) {
+  const Library& lib = test::shared_library();
+  Design d("dangle", &lib);
+  d.add_gate("g", lib.cell_id("INV_X1"));
+  EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(DesignGen, GeneratesValidConnectedDesign) {
+  const Design d = test::make_small_design();
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_GT(d.num_gates(), 100u);
+  EXPECT_NE(d.clock_root(), kInvalidId);
+  // Every FF clock pin must be connected.
+  const Library& lib = d.library();
+  for (GateId g = 0; g < d.num_gates(); ++g) {
+    const Cell& cell = lib.cell(d.gate(g).cell);
+    if (!cell.is_sequential) continue;
+    const PinId ck = d.gate(g).pins[cell.port_index("CK")];
+    EXPECT_NE(d.pin(ck).net, kInvalidId);
+  }
+}
+
+TEST(DesignGen, DeterministicForSameSeed) {
+  const Design a = test::make_small_design("x", 77);
+  const Design b = test::make_small_design("x", 77);
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (NetId n = 0; n < a.num_nets(); ++n) {
+    EXPECT_EQ(a.net(n).driver, b.net(n).driver);
+    EXPECT_EQ(a.net(n).sinks, b.net(n).sinks);
+    EXPECT_DOUBLE_EQ(a.net(n).wire_cap_ff, b.net(n).wire_cap_ff);
+  }
+}
+
+TEST(DesignGen, DifferentSeedsDiffer) {
+  const Design a = test::make_small_design("x", 1);
+  const Design b = test::make_small_design("x", 2);
+  bool differs = a.num_pins() != b.num_pins();
+  if (!differs) {
+    for (NetId n = 0; n < a.num_nets() && !differs; ++n)
+      differs = a.net(n).sinks != b.net(n).sinks;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DesignGen, RespectsFanoutCapApproximately) {
+  const Design d = test::make_small_design();
+  std::size_t over = 0;
+  for (NetId n = 0; n < d.num_nets(); ++n)
+    if (d.net(n).sinks.size() > 12) ++over;
+  // The cap is soft (retry-based); violations must be rare.
+  EXPECT_LT(over, d.num_nets() / 20 + 2);
+}
+
+TEST(DesignGen, SuitesHaveExpectedEntries) {
+  const Library& lib = test::shared_library();
+  const auto testing_suite = tau_testing_suite(lib, 400);
+  ASSERT_EQ(testing_suite.size(), 11u);
+  EXPECT_EQ(testing_suite[0].name, "mgc_edit_dist_iccad_eval");
+  EXPECT_EQ(testing_suite[10].name, "mgc_matrix_mult_iccad");
+  const auto train = training_suite(lib, 40);
+  ASSERT_EQ(train.size(), 6u);
+  EXPECT_EQ(train[0].name, "fft_ispd");
+}
+
+TEST(DesignGen, ScaledSizesTrackTauPins) {
+  const Library& lib = test::shared_library();
+  const auto suite = tau_testing_suite(lib, 400);
+  const Design small = generate_design(lib, suite[0].cfg);   // ~1.5k
+  const Design large = generate_design(lib, suite[4].cfg);   // ~13k
+  EXPECT_GT(large.num_pins(), 2 * small.num_pins());
+  // Generated sizes within a factor ~2.5 of the scaled target.
+  const double target0 = static_cast<double>(suite[0].tau_pins) / 400.0;
+  EXPECT_GT(static_cast<double>(small.num_pins()), target0 / 2.5);
+  EXPECT_LT(static_cast<double>(small.num_pins()), target0 * 2.5);
+}
+
+TEST(DesignGen, StatsMatchAccessors) {
+  const Design d = test::make_tiny_design();
+  const DesignStats s = design_stats(d);
+  EXPECT_EQ(s.pins, d.num_pins());
+  EXPECT_EQ(s.cells, d.num_gates());
+  EXPECT_EQ(s.nets, d.num_nets());
+}
+
+}  // namespace
+}  // namespace tmm

@@ -1,0 +1,65 @@
+// Reproducibility: identical configs and seeds must give bit-identical
+// training outcomes and models — the property every experiment harness
+// in bench/ relies on.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/framework.hpp"
+#include "test_helpers.hpp"
+
+namespace tmm {
+namespace {
+
+TEST(FlowDeterminism, TrainingIsBitReproducible) {
+  auto run_once = [](std::string* weights) {
+    FlowConfig cfg;
+    cfg.data.ts.num_constraint_sets = 2;
+    cfg.train.epochs = 40;
+    Framework fw(cfg);
+    std::vector<Design> training;
+    training.push_back(test::make_tiny_design("det", 123));
+    const TrainingSummary sum = fw.train(training);
+    std::stringstream ss;
+    fw.model().save(ss);
+    *weights = ss.str();
+    return sum;
+  };
+  std::string w1, w2;
+  const TrainingSummary a = run_once(&w1);
+  const TrainingSummary b = run_once(&w2);
+  EXPECT_EQ(a.positives, b.positives);
+  EXPECT_EQ(a.labeled_pins, b.labeled_pins);
+  EXPECT_DOUBLE_EQ(a.report.final_loss, b.report.final_loss);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(FlowDeterminism, GeneratedModelsAreIdenticalAcrossRuns) {
+  FlowConfig cfg;
+  cfg.label_all_remained = true;
+  Framework fw(cfg);
+  const Design d = test::make_tiny_design("det2", 124);
+  const DesignResult r1 = fw.run_design(d);
+  const DesignResult r2 = fw.run_design(d);
+  EXPECT_EQ(r1.model_file_bytes, r2.model_file_bytes);
+  EXPECT_DOUBLE_EQ(r1.acc.max_err_ps, r2.acc.max_err_ps);
+  std::stringstream s1, s2;
+  write_macro_model(r1.model, s1);
+  write_macro_model(r2.model, s2);
+  EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(FlowDeterminism, EvalSetsDependOnlyOnSeedAndArity) {
+  FlowConfig cfg;
+  cfg.label_all_remained = true;
+  cfg.eval_seed = 555;
+  Framework a(cfg);
+  Framework b(cfg);
+  const Design d = test::make_tiny_design("det3", 125);
+  EXPECT_DOUBLE_EQ(a.run_design(d).acc.max_err_ps,
+                   b.run_design(d).acc.max_err_ps);
+}
+
+}  // namespace
+}  // namespace tmm

@@ -1,0 +1,78 @@
+#pragma once
+// Shared fixtures: a process-wide generated library and small
+// hand-sized designs with known structure.
+
+#include <memory>
+
+#include "liberty/library_gen.hpp"
+#include "netlist/design.hpp"
+#include "netlist/design_gen.hpp"
+
+namespace tmm::test {
+
+/// One generated library shared by all tests (cells are immutable).
+inline const Library& shared_library() {
+  static const Library lib = generate_library();
+  return lib;
+}
+
+/// clk + 2 data PIs -> small comb cloud -> 2 FFs -> comb -> 2 POs,
+/// with a 2-level clock tree. Small enough to reason about by hand.
+inline Design make_tiny_design(const std::string& name = "tiny",
+                               std::uint64_t seed = 5) {
+  DesignGenConfig cfg;
+  cfg.name = name;
+  cfg.seed = seed;
+  cfg.num_data_inputs = 2;
+  cfg.num_outputs = 2;
+  cfg.num_flops = 4;
+  cfg.levels = 3;
+  cfg.gates_per_level = 4;
+  return generate_design(shared_library(), cfg);
+}
+
+/// Mid-size random design for integration tests.
+inline Design make_small_design(const std::string& name = "small",
+                                std::uint64_t seed = 11) {
+  DesignGenConfig cfg;
+  cfg.name = name;
+  cfg.seed = seed;
+  cfg.num_data_inputs = 8;
+  cfg.num_outputs = 8;
+  cfg.num_flops = 24;
+  cfg.levels = 6;
+  cfg.gates_per_level = 20;
+  return generate_design(shared_library(), cfg);
+}
+
+/// A pure buffer chain: in -> BUF x n -> out. Deterministic timing.
+inline Design make_buffer_chain(std::size_t n, double wire_res = 0.1,
+                                double wire_cap = 0.5) {
+  static const Library& lib = shared_library();
+  Design d("chain", &lib);
+  const CellId buf = lib.cell_id("BUF_X1");
+  const auto& cell = lib.cell(buf);
+  const auto a = cell.port_index("A");
+  const auto y = cell.port_index("Y");
+
+  d.add_port("in0", TopPortDir::kPrimaryInput);
+  d.add_port("out0", TopPortDir::kPrimaryOutput);
+  const PinId in_pin = d.port(0).pin;
+  const PinId out_pin = d.port(1).pin;
+
+  PinId prev = in_pin;
+  NetId net = d.add_net("n_in", prev);
+  for (std::size_t i = 0; i < n; ++i) {
+    const GateId g = d.add_gate("b" + std::to_string(i), buf);
+    d.connect_sink(net, d.gate(g).pins[a], wire_res);
+    d.set_wire_cap(net, wire_cap);
+    prev = d.gate(g).pins[y];
+    net = d.add_net("n" + std::to_string(i), prev);
+  }
+  d.connect_sink(net, out_pin, wire_res);
+  d.set_wire_cap(net, wire_cap);
+  d.validate();
+  return d;
+}
+
+}  // namespace tmm::test

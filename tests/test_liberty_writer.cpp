@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "liberty/liberty_writer.hpp"
+#include "test_helpers.hpp"
+
+namespace tmm {
+namespace {
+
+TEST(LibertyWriter, EmitsWellFormedGroups) {
+  const Library& lib = test::shared_library();
+  std::stringstream ss;
+  const std::size_t bytes = write_liberty(lib, ss);
+  EXPECT_GT(bytes, 10000u);
+  const std::string s = ss.str();
+
+  // Balanced braces.
+  long depth = 0;
+  for (char c : s) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  // Header and the expected group kinds.
+  EXPECT_NE(s.find("library (tmm_nldm45_late)"), std::string::npos);
+  EXPECT_NE(s.find("delay_model : table_lookup;"), std::string::npos);
+  EXPECT_NE(s.find("lu_table_template ("), std::string::npos);
+  EXPECT_NE(s.find("cell (INV_X1)"), std::string::npos);
+  EXPECT_NE(s.find("cell (DFF_X1)"), std::string::npos);
+  EXPECT_NE(s.find("timing_type : rising_edge;"), std::string::npos);
+  EXPECT_NE(s.find("timing_type : setup_rising;"), std::string::npos);
+  EXPECT_NE(s.find("timing_sense : negative_unate;"), std::string::npos);
+  EXPECT_NE(s.find("rise_constraint"), std::string::npos);
+  EXPECT_NE(s.find("cell_rise"), std::string::npos);
+  EXPECT_NE(s.find("fall_transition"), std::string::npos);
+}
+
+TEST(LibertyWriter, OneCellGroupPerCell) {
+  const Library& lib = test::shared_library();
+  std::stringstream ss;
+  write_liberty(lib, ss);
+  const std::string s = ss.str();
+  std::size_t count = 0;
+  for (std::size_t pos = s.find("\n  cell ("); pos != std::string::npos;
+       pos = s.find("\n  cell (", pos + 1))
+    ++count;
+  EXPECT_EQ(count, lib.num_cells());
+}
+
+TEST(LibertyWriter, EarlyCornerDiffers) {
+  const Library& lib = test::shared_library();
+  std::stringstream late_ss, early_ss;
+  write_liberty(lib, late_ss, {.el = kLate});
+  write_liberty(lib, early_ss, {.el = kEarly});
+  EXPECT_NE(late_ss.str(), early_ss.str());
+  EXPECT_NE(early_ss.str().find("library (tmm_nldm45_early)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmm

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "liberty/library_gen.hpp"
+#include "liberty/lut.hpp"
+#include "util/rng.hpp"
+
+namespace tmm {
+namespace {
+
+TEST(Lut, ScalarAlwaysReturnsValue) {
+  const Lut l = Lut::scalar(3.5);
+  EXPECT_TRUE(l.is_scalar());
+  EXPECT_DOUBLE_EQ(l.lookup(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(l.lookup(100, -5), 3.5);
+}
+
+TEST(Lut, Table1dExactAtGridPoints) {
+  const Lut l = Lut::table1d({1, 2, 4}, {10, 20, 40});
+  EXPECT_DOUBLE_EQ(l.lookup(1, 0), 10);
+  EXPECT_DOUBLE_EQ(l.lookup(2, 99), 20);
+  EXPECT_DOUBLE_EQ(l.lookup(4, 0), 40);
+}
+
+TEST(Lut, Table1dInterpolates) {
+  const Lut l = Lut::table1d({0, 10}, {0, 100});
+  EXPECT_DOUBLE_EQ(l.lookup(2.5, 0), 25.0);
+  EXPECT_DOUBLE_EQ(l.lookup(7.5, 0), 75.0);
+}
+
+TEST(Lut, Table1dExtrapolatesLinearly) {
+  const Lut l = Lut::table1d({0, 10}, {0, 100});
+  EXPECT_DOUBLE_EQ(l.lookup(-5, 0), -50.0);
+  EXPECT_DOUBLE_EQ(l.lookup(20, 0), 200.0);
+}
+
+TEST(Lut, Table2dExactAtGridPoints) {
+  const Lut l = Lut::table2d({1, 2}, {10, 20}, {100, 200, 300, 400});
+  EXPECT_DOUBLE_EQ(l.lookup(1, 10), 100);
+  EXPECT_DOUBLE_EQ(l.lookup(1, 20), 200);
+  EXPECT_DOUBLE_EQ(l.lookup(2, 10), 300);
+  EXPECT_DOUBLE_EQ(l.lookup(2, 20), 400);
+}
+
+TEST(Lut, Table2dBilinearCenter) {
+  const Lut l = Lut::table2d({0, 2}, {0, 2}, {0, 2, 2, 4});  // f = x + y
+  EXPECT_DOUBLE_EQ(l.lookup(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(l.lookup(0.5, 1.5), 2.0);
+}
+
+TEST(Lut, Table2dCornerExtrapolation) {
+  const Lut l = Lut::table2d({0, 1}, {0, 1}, {0, 1, 1, 2});  // f = x + y
+  EXPECT_DOUBLE_EQ(l.lookup(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(l.lookup(-1, 0), -1.0);
+}
+
+TEST(Lut, RejectsMalformedInputs) {
+  EXPECT_THROW(Lut::table1d({1}, {2}), std::invalid_argument);
+  EXPECT_THROW(Lut::table1d({2, 1}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(Lut::table1d({1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(Lut::table2d({1, 2}, {1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(Lut::table2d({1, 2}, {2, 1}, {1, 2, 3, 4}),
+               std::invalid_argument);
+}
+
+TEST(Lut, StorageDoublesCounts) {
+  EXPECT_EQ(Lut::scalar(1).storage_doubles(), 1u);
+  EXPECT_EQ(Lut::table1d({1, 2}, {1, 2}).storage_doubles(), 4u);
+  EXPECT_EQ(Lut::table2d({1, 2}, {1, 2, 3}, std::vector<double>(6, 0.0))
+                .storage_doubles(),
+            11u);
+}
+
+TEST(InterpSegment, FindsEnclosingSegment) {
+  const std::vector<double> axis{1, 2, 4, 8};
+  EXPECT_EQ(interp::segment(axis, 0.5), 0u);
+  EXPECT_EQ(interp::segment(axis, 1.5), 0u);
+  EXPECT_EQ(interp::segment(axis, 3.0), 1u);
+  EXPECT_EQ(interp::segment(axis, 5.0), 2u);
+  EXPECT_EQ(interp::segment(axis, 100.0), 2u);
+}
+
+// --- generated surfaces ----------------------------------------------
+
+class GeneratedSurface : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedSurface, LutApproximatesAnalyticModelBetweenGridPoints) {
+  LibraryGenConfig cfg;
+  DriveModel model;
+  model.intrinsic_ps = 8.0 + GetParam();
+  model.res_kohm = 1.5 + 0.3 * GetParam();
+  ElRf<Lut> delay;
+  ElRf<Lut> slew;
+  characterize(model, cfg, delay, slew);
+  Rng rng(100 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const double s = rng.uniform(1.0, 120.0);
+    const double c = rng.uniform(0.5, 32.0);
+    const double exact = model.delay(s, c);
+    const double approx = delay(kLate, kRise).lookup(s, c);
+    EXPECT_NEAR(approx, exact, 0.05 * exact + 0.2)
+        << "slew=" << s << " load=" << c;
+  }
+}
+
+TEST_P(GeneratedSurface, MonotoneInSlewAndLoad) {
+  LibraryGenConfig cfg;
+  DriveModel model;
+  model.slew_coef = 0.1 + 0.02 * GetParam();
+  ElRf<Lut> delay;
+  ElRf<Lut> slew;
+  characterize(model, cfg, delay, slew);
+  const auto& lut = delay(kLate, kFall);
+  for (double s = 1; s < 110; s += 7)
+    for (double c = 0.5; c < 30; c += 3) {
+      EXPECT_LE(lut.lookup(s, c), lut.lookup(s + 5, c) + 1e-9);
+      EXPECT_LE(lut.lookup(s, c), lut.lookup(s, c + 2) + 1e-9);
+    }
+}
+
+TEST_P(GeneratedSurface, EarlyBelowLate) {
+  LibraryGenConfig cfg;
+  DriveModel model;
+  ElRf<Lut> delay;
+  ElRf<Lut> slew;
+  model.intrinsic_ps += GetParam();
+  characterize(model, cfg, delay, slew);
+  Rng rng(7 + GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const double s = rng.uniform(1.0, 120.0);
+    const double c = rng.uniform(0.5, 32.0);
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      EXPECT_LT(delay(kEarly, rf).lookup(s, c), delay(kLate, rf).lookup(s, c));
+      EXPECT_LT(slew(kEarly, rf).lookup(s, c), slew(kLate, rf).lookup(s, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratedSurface, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace tmm

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "macro/evaluate.hpp"
+#include "netlist/netlist_io.hpp"
+#include "sta/propagation.hpp"
+#include "test_helpers.hpp"
+
+namespace tmm {
+namespace {
+
+TEST(NetlistIo, RoundTripPreservesStructure) {
+  const Design d = test::make_small_design("io", 42);
+  std::stringstream ss;
+  const std::size_t bytes = write_design(d, ss);
+  EXPECT_GT(bytes, 1000u);
+  const Design back = read_design(ss, test::shared_library());
+  EXPECT_EQ(back.name(), d.name());
+  ASSERT_EQ(back.num_pins(), d.num_pins());
+  ASSERT_EQ(back.num_gates(), d.num_gates());
+  ASSERT_EQ(back.num_nets(), d.num_nets());
+  ASSERT_EQ(back.num_ports(), d.num_ports());
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    EXPECT_EQ(back.net(n).driver, d.net(n).driver);
+    EXPECT_EQ(back.net(n).sinks, d.net(n).sinks);
+    EXPECT_DOUBLE_EQ(back.net(n).wire_cap_ff, d.net(n).wire_cap_ff);
+    for (std::size_t k = 0; k < d.net(n).sinks.size(); ++k)
+      EXPECT_DOUBLE_EQ(back.net(n).sink_res_kohm[k],
+                       d.net(n).sink_res_kohm[k]);
+  }
+  EXPECT_EQ(back.clock_root(), d.clock_root());
+}
+
+TEST(NetlistIo, RoundTripPreservesTiming) {
+  const Design d = test::make_small_design("iot", 43);
+  std::stringstream ss;
+  write_design(d, ss);
+  const Design back = read_design(ss, test::shared_library());
+
+  const TimingGraph ga = build_timing_graph(d);
+  const TimingGraph gb = build_timing_graph(back);
+  Rng rng(77);
+  const BoundaryConstraints bc = random_constraints(
+      d.primary_inputs().size(), d.primary_outputs().size(), {}, rng);
+  Sta sa(ga, {.cppr = true});
+  Sta sb(gb, {.cppr = true});
+  sa.run(bc);
+  sb.run(bc);
+  const SnapshotDiff diff =
+      diff_snapshots(sa.boundary_snapshot(), sb.boundary_snapshot());
+  EXPECT_LT(diff.max_abs, 1e-6);
+  EXPECT_EQ(diff.mismatched, 0u);
+}
+
+TEST(NetlistIo, RejectsWrongLibrary) {
+  const Design d = test::make_tiny_design();
+  std::stringstream ss;
+  write_design(d, ss);
+  const Library other("some_other_lib");
+  EXPECT_THROW(read_design(ss, other), std::runtime_error);
+}
+
+TEST(NetlistIo, RejectsGarbage) {
+  std::stringstream ss("not a design at all");
+  EXPECT_THROW(read_design(ss, test::shared_library()), std::runtime_error);
+}
+
+TEST(NetlistIo, RejectsTruncated) {
+  const Design d = test::make_tiny_design();
+  std::stringstream ss;
+  write_design(d, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_design(cut, test::shared_library()), std::exception);
+}
+
+}  // namespace
+}  // namespace tmm

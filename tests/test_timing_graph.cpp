@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "sta/timing_graph.hpp"
+#include "test_helpers.hpp"
+
+namespace tmm {
+namespace {
+
+TEST(TimingGraph, BuildMapsPinsOneToOne) {
+  const Design d = test::make_tiny_design();
+  const TimingGraph g = build_timing_graph(d);
+  EXPECT_EQ(g.num_nodes(), d.num_pins());
+  for (PinId p = 0; p < d.num_pins(); ++p)
+    EXPECT_EQ(g.node(p).name, d.pin_name(p));
+}
+
+TEST(TimingGraph, WireArcsCarryElmoreDelay) {
+  const Design d = test::make_buffer_chain(1, /*wire_res=*/0.2,
+                                           /*wire_cap=*/0.5);
+  const TimingGraph g = build_timing_graph(d);
+  // in0 -> b0/A: delay = res * cap(b0/A).
+  const auto& arcs = g.fanout(d.primary_inputs()[0]);
+  ASSERT_EQ(arcs.size(), 1u);
+  const GraphArc& a = g.arc(arcs[0]);
+  EXPECT_EQ(a.kind, GraphArcKind::kWire);
+  EXPECT_NEAR(a.wire_delay_ps, 0.2 * d.pin_cap_ff(a.to), 1e-9);
+}
+
+TEST(TimingGraph, DriverLoadsAccumulateWireAndPins) {
+  const Design d = test::make_tiny_design();
+  const TimingGraph g = build_timing_graph(d);
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    EXPECT_NEAR(g.node(net.driver).static_load_ff, d.net_load_ff(n), 1e-9);
+  }
+}
+
+TEST(TimingGraph, PoAttachmentRecorded) {
+  const Design d = test::make_buffer_chain(2);
+  const TimingGraph g = build_timing_graph(d);
+  const NodeId po = d.primary_outputs()[0];
+  const NodeId driver = g.arc(g.fanin(po)[0]).from;
+  ASSERT_EQ(g.node(driver).attached_po_loads.size(), 1u);
+  EXPECT_EQ(g.node(driver).attached_po_loads[0],
+            g.node(po).port_ordinal);
+}
+
+TEST(TimingGraph, KillNodeRemovesIncidentArcs) {
+  const Design d = test::make_buffer_chain(3);
+  TimingGraph g = build_timing_graph(d);
+  const std::size_t arcs_before = g.num_live_arcs();
+  const NodeId victim = g.arc(g.fanout(d.primary_inputs()[0])[0]).to;
+  g.kill_node(victim);
+  EXPECT_TRUE(g.node(victim).dead);
+  EXPECT_LT(g.num_live_arcs(), arcs_before);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(a);
+    if (!arc.dead) {
+      EXPECT_NE(arc.from, victim);
+      EXPECT_NE(arc.to, victim);
+    }
+  }
+  EXPECT_NO_THROW(g.topo_order());
+}
+
+TEST(TimingGraph, TopoOrderDetectsCycles) {
+  TimingGraph g;
+  GraphNode n;
+  n.name = "a";
+  const NodeId a = g.add_node(n);
+  n.name = "b";
+  const NodeId b = g.add_node(n);
+  g.add_wire_arc(a, b, 1.0);
+  g.add_wire_arc(b, a, 1.0);
+  EXPECT_THROW(g.topo_order(), std::runtime_error);
+}
+
+TEST(TimingGraph, OwnedTablesStableAcrossGrowthAndMove) {
+  TimingGraph g;
+  GraphNode n;
+  n.name = "x";
+  g.add_node(n);
+  std::vector<const ElRf<Lut>*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    ElRf<Lut> t;
+    t.fill(Lut::scalar(static_cast<double>(i)));
+    ptrs.push_back(g.own_tables(std::move(t)));
+  }
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ((*ptrs[i])(kLate, kRise).lookup(0, 0),
+                     static_cast<double>(i));
+  TimingGraph moved = std::move(g);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ((*ptrs[i])(kLate, kRise).lookup(0, 0),
+                     static_cast<double>(i));
+  EXPECT_GT(moved.owned_table_doubles(), 0u);
+}
+
+TEST(TimingGraph, ChecksIndexedByDataPin) {
+  const Design d = test::make_tiny_design();
+  const TimingGraph g = build_timing_graph(d);
+  std::size_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (std::uint32_t c : g.checks_of(u)) {
+      EXPECT_EQ(g.check(c).data, u);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, g.num_checks());
+  EXPECT_GT(total, 0u);
+}
+
+TEST(TimingGraph, ClockNetworkBoundedByFlops) {
+  const Design d = test::make_tiny_design();
+  const TimingGraph g = build_timing_graph(d);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!g.node(u).in_clock_network || g.node(u).is_ff_clock) continue;
+    // Clock-network interior must not be a flop data pin or a PO.
+    EXPECT_FALSE(g.node(u).is_ff_data);
+    EXPECT_NE(g.node(u).role, NodeRole::kPrimaryOutput);
+  }
+  // Every flop clock pin is in the network.
+  for (const auto& c : g.checks())
+    EXPECT_TRUE(g.node(c.clock).in_clock_network);
+}
+
+TEST(TimingGraph, WireSlewDegradationIsMonotone) {
+  EXPECT_DOUBLE_EQ(wire_slew(10.0, 0.0), 10.0);
+  EXPECT_GT(wire_slew(10.0, 5.0), 10.0);
+  EXPECT_GT(wire_slew(10.0, 8.0), wire_slew(10.0, 5.0));
+  EXPECT_GT(wire_slew(20.0, 5.0), wire_slew(10.0, 5.0));
+}
+
+TEST(TimingGraph, LiveCountsTrackKills) {
+  const Design d = test::make_buffer_chain(4);
+  TimingGraph g = build_timing_graph(d);
+  const std::size_t n0 = g.num_live_nodes();
+  const std::size_t a0 = g.num_live_arcs();
+  g.kill_arc(0);
+  EXPECT_EQ(g.num_live_arcs(), a0 - 1);
+  EXPECT_EQ(g.num_live_nodes(), n0);
+}
+
+}  // namespace
+}  // namespace tmm

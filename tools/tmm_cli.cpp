@@ -1,0 +1,268 @@
+// tmm — command-line driver for the timing-macro-modeling framework.
+//
+// Subcommands (everything uses the built-in generated NLDM library):
+//   tmm gen-design <out.dsn> [--pins N] [--seed S] [--name X]
+//   tmm stats      <in.dsn>
+//   tmm sta        <in.dsn> [--no-cppr] [--period PS]
+//   tmm train      <out.gnn> <train1.dsn> [train2.dsn ...] [--no-cppr]
+//                  [--regression]
+//   tmm generate   <in.gnn> <in.dsn> <out.macro> [--no-cppr]
+//   tmm evaluate   <in.dsn> <in.macro> [--no-cppr] [--sets K]
+//   tmm export-lib <out.lib> [--early]
+//
+// Exit code 0 on success; errors are printed to stderr.
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "flow/framework.hpp"
+#include "liberty/liberty_writer.hpp"
+#include "liberty/library_gen.hpp"
+#include "netlist/design_gen.hpp"
+#include "netlist/netlist_io.hpp"
+
+namespace {
+
+using namespace tmm;
+
+const Library& default_library() {
+  static const Library lib = generate_library();
+  return lib;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  bool cppr = true;
+  bool regression = false;
+  std::size_t pins = 5000;
+  std::uint64_t seed = 1;
+  std::string name = "design";
+  double period = 1000.0;
+  std::size_t sets = 4;
+  bool early = false;
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--no-cppr")
+      args.cppr = false;
+    else if (a == "--regression")
+      args.regression = true;
+    else if (a == "--pins")
+      args.pins = std::stoul(next());
+    else if (a == "--seed")
+      args.seed = std::stoull(next());
+    else if (a == "--name")
+      args.name = next();
+    else if (a == "--period")
+      args.period = std::stod(next());
+    else if (a == "--sets")
+      args.sets = std::stoul(next());
+    else if (a == "--early")
+      args.early = true;
+    else if (a.rfind("--", 0) == 0)
+      throw std::runtime_error("unknown option " + a);
+    else
+      args.positional.push_back(a);
+  }
+  return args;
+}
+
+Design load_design(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_design(is, default_library());
+}
+
+int cmd_gen_design(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("gen-design: output path required");
+  DesignGenConfig cfg;
+  cfg.name = args.name;
+  cfg.seed = args.seed;
+  const double budget = static_cast<double>(args.pins) / 3.3;
+  cfg.num_flops = std::max<std::size_t>(8, static_cast<std::size_t>(budget * 0.1));
+  cfg.levels = 8;
+  cfg.gates_per_level = std::max<std::size_t>(
+      4, static_cast<std::size_t>(budget * 0.85) / cfg.levels);
+  cfg.num_data_inputs =
+      std::clamp<std::size_t>(static_cast<std::size_t>(budget / 60.0), 8, 256);
+  cfg.num_outputs = cfg.num_data_inputs;
+  const Design d = generate_design(default_library(), cfg);
+  std::ofstream os(args.positional[0]);
+  const std::size_t bytes = write_design(d, os);
+  std::printf("wrote %s: %zu pins, %zu cells, %zu nets (%zu bytes)\n",
+              args.positional[0].c_str(), d.num_pins(), d.num_gates(),
+              d.num_nets(), bytes);
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("stats: design path required");
+  const Design d = load_design(args.positional[0]);
+  std::size_t ffs = 0;
+  for (GateId g = 0; g < d.num_gates(); ++g)
+    if (d.library().cell(d.gate(g).cell).is_sequential) ++ffs;
+  std::printf("design %s\n  pins  %zu\n  cells %zu (%zu flops)\n  nets  "
+              "%zu\n  PIs   %zu\n  POs   %zu\n",
+              d.name().c_str(), d.num_pins(), d.num_gates(), ffs,
+              d.num_nets(), d.primary_inputs().size(),
+              d.primary_outputs().size());
+  return 0;
+}
+
+int cmd_sta(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("sta: design path required");
+  const Design d = load_design(args.positional[0]);
+  const TimingGraph g = build_timing_graph(d);
+  Sta sta(g, {.cppr = args.cppr});
+  sta.run(nominal_constraints(d.primary_inputs().size(),
+                              d.primary_outputs().size(), args.period));
+  std::printf("%s @ %.0f ps (CPPR %s):\n", d.name().c_str(), args.period,
+              args.cppr ? "on" : "off");
+  std::printf("  worst setup slack: %10.3f ps\n", sta.worst_slack(kLate));
+  std::printf("  worst hold  slack: %10.3f ps\n", sta.worst_slack(kEarly));
+
+  unsigned rf = kRise;
+  const NodeId endpoint = sta.worst_endpoint(kLate, &rf);
+  if (endpoint != kInvalidId) {
+    std::printf("\n  critical setup path (endpoint %s, %s):\n",
+                g.node(endpoint).name.c_str(), rf == kRise ? "rise" : "fall");
+    const auto path = sta.worst_path(endpoint, kLate, rf);
+    double prev = path.empty() ? 0.0 : path.front().at;
+    for (const auto& step : path) {
+      std::printf("    %-28s %c  at %9.3f ps  (+%7.3f)\n",
+                  g.node(step.node).name.c_str(),
+                  step.rf == kRise ? 'r' : 'f', step.at, step.at - prev);
+      prev = step.at;
+    }
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (args.positional.size() < 2)
+    throw std::runtime_error("train: <out.gnn> <train.dsn...> required");
+  FlowConfig cfg;
+  cfg.cppr = args.cppr;
+  cfg.cppr_feature = args.cppr;
+  cfg.regression = args.regression;
+  Framework fw(cfg);
+  std::vector<Design> designs;
+  for (std::size_t i = 1; i < args.positional.size(); ++i)
+    designs.push_back(load_design(args.positional[i]));
+  const TrainingSummary sum = fw.train(designs);
+  std::printf("trained on %zu designs: %zu pins (%zu timing-variant), "
+              "filter removed %.1f%%, %zu epochs, loss %.4f\n",
+              sum.designs, sum.labeled_pins, sum.positives,
+              sum.mean_filtered_fraction * 100.0, sum.report.epochs_run,
+              sum.report.final_loss);
+  std::ofstream os(args.positional[0]);
+  fw.model().save(os);
+  std::printf("model written to %s\n", args.positional[0].c_str());
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  if (args.positional.size() < 3)
+    throw std::runtime_error("generate: <in.gnn> <in.dsn> <out.macro>");
+  FlowConfig cfg;
+  cfg.cppr = args.cppr;
+  cfg.cppr_feature = args.cppr;
+  cfg.regression = args.regression;
+  Framework fw(cfg);
+  {
+    std::ifstream is(args.positional[0]);
+    if (!is) throw std::runtime_error("cannot open " + args.positional[0]);
+    fw.set_model(GnnModel::load(is));
+  }
+  const Design d = load_design(args.positional[1]);
+  DesignResult r = fw.run_design(d);
+  std::ofstream os(args.positional[2]);
+  write_macro_model(r.model, os);
+  std::printf("macro for %s: %zu -> %zu pins, %zu bytes, max boundary "
+              "error %.4f ps (gen %.3f s)\n",
+              d.name().c_str(), r.gen.ilm_pins, r.gen.model_pins,
+              r.model_file_bytes, r.acc.max_err_ps,
+              r.gen.generation_seconds);
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  if (args.positional.size() < 2)
+    throw std::runtime_error("evaluate: <in.dsn> <in.macro>");
+  const Design d = load_design(args.positional[0]);
+  std::ifstream is(args.positional[1]);
+  if (!is) throw std::runtime_error("cannot open " + args.positional[1]);
+  const MacroModel model = read_macro_model(is);
+  const TimingGraph flat = build_timing_graph(d);
+  Rng rng(0xC11);
+  std::vector<BoundaryConstraints> sets;
+  for (std::size_t i = 0; i < args.sets; ++i)
+    sets.push_back(random_constraints(d.primary_inputs().size(),
+                                      d.primary_outputs().size(), {}, rng));
+  const AccuracyReport rep =
+      evaluate_accuracy(flat, model.graph, sets, args.cppr);
+  std::printf("%s vs %s over %zu constraint sets (CPPR %s):\n",
+              args.positional[1].c_str(), d.name().c_str(), args.sets,
+              args.cppr ? "on" : "off");
+  std::printf("  max error %.4f ps, avg error %.4f ps, %zu values, "
+              "%zu structural mismatches\n",
+              rep.max_err_ps, rep.avg_err_ps, rep.compared_values,
+              rep.structural_mismatches);
+  return rep.structural_mismatches == 0 ? 0 : 2;
+}
+
+int cmd_export_lib(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("export-lib: output path required");
+  std::ofstream os(args.positional[0]);
+  LibertyWriteOptions opt;
+  opt.el = args.early ? kEarly : kLate;
+  const std::size_t bytes = write_liberty(default_library(), os, opt);
+  std::printf("wrote %s (%s corner, %zu bytes, %zu cells)\n",
+              args.positional[0].c_str(), args.early ? "early" : "late",
+              bytes, default_library().num_cells());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tmm <gen-design|stats|sta|train|generate|evaluate|"
+               "export-lib> "
+               "[args...]  (see tools/tmm_cli.cpp header)\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse(argc, argv, 2);
+    if (cmd == "gen-design") return cmd_gen_design(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "sta") return cmd_sta(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "export-lib") return cmd_export_lib(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tmm %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
