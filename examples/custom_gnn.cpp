@@ -41,7 +41,8 @@ int main() {
   std::vector<SensitivityData> data;
   for (std::uint64_t seed : {51, 52, 53}) {
     DesignGenConfig cfg;
-    cfg.name = "d" + std::to_string(seed);
+    cfg.name = "d";
+    cfg.name += std::to_string(seed);
     cfg.seed = seed;
     cfg.num_flops = 48;
     cfg.levels = 6;

@@ -39,7 +39,8 @@ int main() {
   std::vector<Design> training;
   for (std::uint64_t seed : {21, 22}) {
     DesignGenConfig t;
-    t.name = "t" + std::to_string(seed);
+    t.name = "t";
+    t.name += std::to_string(seed);
     t.seed = seed;
     t.num_flops = 32;
     t.levels = 5;

@@ -1,0 +1,51 @@
+#include "analysis/design_lint.hpp"
+
+#include <string>
+
+namespace tmm::analysis {
+
+LintReport lint_design(const Design& d) {
+  LintReport report;
+  for (PinId p = 0; p < d.num_pins(); ++p) {
+    const Pin& pin = d.pin(p);
+    if (pin.net == kInvalidId) {
+      // Dangling gate outputs are tolerated (unused logic); dangling
+      // inputs make timing undefined.
+      if (!pin.is_driver && pin.gate != kInvalidId)
+        report.add(rule::kUnconnectedInput, Severity::kError,
+                   "pin " + d.pin_name(p),
+                   "gate input pin is not connected to any net",
+                   "connect the pin or remove the gate");
+      continue;
+    }
+    if (pin.net >= d.num_nets()) {
+      report.add(rule::kDriverMismatch, Severity::kError,
+                 "pin " + d.pin_name(p),
+                 "pin references an out-of-range net id", "");
+      continue;
+    }
+    if (pin.is_driver && d.net(pin.net).driver != p)
+      report.add(rule::kDriverMismatch, Severity::kError,
+                 "pin " + d.pin_name(p),
+                 "pin claims to drive net " + d.net(pin.net).name +
+                     " but the net records a different driver",
+                 "keep Pin::is_driver and Net::driver in sync");
+  }
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.driver == kInvalidId)
+      report.add(rule::kUndrivenNet, Severity::kError, "net " + net.name,
+                 "net has no driver", "every net needs a driving pin");
+    if (net.sinks.size() != net.sink_res_kohm.size())
+      report.add(rule::kParasiticsArity, Severity::kError,
+                 "net " + net.name,
+                 "net has " + std::to_string(net.sinks.size()) +
+                     " sinks but " +
+                     std::to_string(net.sink_res_kohm.size()) +
+                     " sink resistances",
+                 "parasitics must stay parallel to the sink list");
+  }
+  return report;
+}
+
+}  // namespace tmm::analysis

@@ -1,0 +1,14 @@
+#pragma once
+// Netlist-level invariant checks (D* rules): the diagnostic counterpart
+// of Design::validate(), extended with boundary/clock sanity. Unlike
+// validate() it never throws — every violation becomes a Diagnostic, so
+// `tmm lint` can report all problems of a corrupt design at once.
+
+#include "analysis/diagnostics.hpp"
+#include "netlist/design.hpp"
+
+namespace tmm::analysis {
+
+LintReport lint_design(const Design& d);
+
+}  // namespace tmm::analysis

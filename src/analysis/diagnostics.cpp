@@ -1,0 +1,90 @@
+#include "analysis/diagnostics.hpp"
+
+#include <utility>
+
+namespace tmm::analysis {
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = "[";
+  out += severity_name(severity);
+  out += "] ";
+  out += rule;
+  if (!location.empty()) {
+    out += " @ ";
+    out += location;
+  }
+  out += ": ";
+  out += message;
+  if (!fix_hint.empty()) {
+    out += " (hint: ";
+    out += fix_hint;
+    out += ")";
+  }
+  return out;
+}
+
+void LintReport::add(std::string rule_id, Severity severity,
+                     std::string location, std::string message,
+                     std::string fix_hint) {
+  Diagnostic d;
+  d.rule = std::move(rule_id);
+  d.severity = severity;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  diags_.push_back(std::move(d));
+}
+
+void LintReport::merge(LintReport other) {
+  diags_.insert(diags_.end(),
+                std::make_move_iterator(other.diags_.begin()),
+                std::make_move_iterator(other.diags_.end()));
+}
+
+std::size_t LintReport::errors() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == Severity::kError) ++n;
+  return n;
+}
+
+std::size_t LintReport::warnings() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == Severity::kWarning) ++n;
+  return n;
+}
+
+std::size_t LintReport::count(std::string_view rule_id) const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.rule == rule_id) ++n;
+  return n;
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  out += std::to_string(errors());
+  out += " error(s), ";
+  out += std::to_string(warnings());
+  out += " warning(s)\n";
+  return out;
+}
+
+}  // namespace tmm::analysis

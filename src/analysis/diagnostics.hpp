@@ -1,0 +1,81 @@
+#pragma once
+// Structured diagnostics for the static invariant checker (tmm_lint).
+//
+// Every finding carries a stable rule id (catalogued in
+// docs/ANALYSIS.md), a severity, a human-readable location inside the
+// checked artifact, a message, and a fix hint. Reports from several
+// passes compose with merge(); errors() gates pipeline validation and
+// the `tmm lint` exit code.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tmm::analysis {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+std::string_view severity_name(Severity s) noexcept;
+
+/// Stable rule identifiers. Prefixes: G = graph structure, B = boundary,
+/// L = lookup tables, D = design/netlist, M = macro model.
+namespace rule {
+inline constexpr const char* kCycle = "G001";
+inline constexpr const char* kDanglingArc = "G002";
+inline constexpr const char* kDanglingCheck = "G003";
+inline constexpr const char* kPoLoadRange = "G004";
+inline constexpr const char* kNullTables = "G005";
+inline constexpr const char* kBoundaryOrdinal = "B001";
+inline constexpr const char* kClockReach = "B002";
+inline constexpr const char* kLutNonFinite = "L001";
+inline constexpr const char* kLutIndexOrder = "L002";
+inline constexpr const char* kLutNonMonotone = "L003";
+inline constexpr const char* kLutShape = "L004";
+inline constexpr const char* kUnconnectedInput = "D001";
+inline constexpr const char* kDriverMismatch = "D002";
+inline constexpr const char* kUndrivenNet = "D003";
+inline constexpr const char* kParasiticsArity = "D004";
+inline constexpr const char* kBoundaryLost = "M001";
+inline constexpr const char* kBakedDerate = "M002";
+}  // namespace rule
+
+struct Diagnostic {
+  std::string rule;      ///< stable id, e.g. "G001"
+  Severity severity = Severity::kError;
+  std::string location;  ///< e.g. "pin u3/Y", "arc u1/Y -> u3/A"
+  std::string message;
+  std::string fix_hint;  ///< optional remediation advice
+
+  /// "[error] G001 @ pin u3/Y: <message> (hint: <fix_hint>)"
+  std::string to_string() const;
+};
+
+class LintReport {
+ public:
+  void add(std::string rule_id, Severity severity, std::string location,
+           std::string message, std::string fix_hint = {});
+  void merge(LintReport other);
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  std::size_t size() const noexcept { return diags_.size(); }
+  bool empty() const noexcept { return diags_.empty(); }
+
+  std::size_t errors() const noexcept;
+  std::size_t warnings() const noexcept;
+  /// No error-severity findings (warnings/infos allowed).
+  bool clean() const noexcept { return errors() == 0; }
+
+  /// Number of diagnostics carrying the given rule id.
+  std::size_t count(std::string_view rule_id) const noexcept;
+
+  /// One line per diagnostic, plus a trailing summary line.
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace tmm::analysis

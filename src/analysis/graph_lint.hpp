@@ -1,0 +1,37 @@
+#pragma once
+// Rule-based invariant checker for timing graphs.
+//
+// The macro-modeling flow mutates graphs in place (ILM capture kills
+// pins, merging splices re-characterized arcs), so a silent invariant
+// violation — a cycle introduced by a bad merge, a live arc into a dead
+// node, a NaN in a re-characterized surface — corrupts boundary timing
+// without crashing. lint_graph() proves well-formedness statically and
+// reports structured diagnostics instead of throwing, so it is safe to
+// run on arbitrarily corrupted graphs.
+//
+// Rule catalogue: docs/ANALYSIS.md.
+
+#include "analysis/diagnostics.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace tmm::analysis {
+
+struct GraphLintOptions {
+  /// Run the L003 gross delay-vs-load monotonicity check over owned
+  /// (re-characterized) tables.
+  bool check_monotonicity = true;
+  /// A backwards delay step is tolerated up to
+  /// max(mono_abs_tol_ps, mono_rel_tol * |value|); larger steps fire
+  /// L003.
+  double mono_abs_tol_ps = 1.0;
+  double mono_rel_tol = 0.05;
+};
+
+/// Run every graph rule (G*, B*, L*) and return the findings.
+LintReport lint_graph(const TimingGraph& g, const GraphLintOptions& opt = {});
+
+/// Test/assertion helper: throw std::runtime_error carrying the full
+/// report when lint_graph() finds any error-severity diagnostic.
+void expect_clean(const TimingGraph& g, const GraphLintOptions& opt = {});
+
+}  // namespace tmm::analysis

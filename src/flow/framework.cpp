@@ -1,11 +1,31 @@
 #include "flow/framework.hpp"
 
+#include <stdexcept>
+
+#include "analysis/graph_lint.hpp"
+#include "analysis/model_lint.hpp"
 #include "sta/propagation.hpp"
 #include "util/instrument.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
 namespace tmm {
+
+namespace {
+
+/// Stage-boundary invariant gate (FlowConfig::validate_stages): a
+/// corrupt graph must stop the pipeline where the corruption appeared,
+/// not surface as silently wrong boundary timing three stages later.
+void validate_stage(bool enabled, const char* stage, const TimingGraph& g) {
+  if (!enabled) return;
+  const analysis::LintReport report = analysis::lint_graph(g);
+  if (!report.clean())
+    throw std::runtime_error(std::string("flow: invariant check failed "
+                                         "after stage '") +
+                             stage + "':\n" + report.to_string());
+}
+
+}  // namespace
 
 Framework::Framework(FlowConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.data.ts.cppr = cfg_.cppr;
@@ -26,6 +46,7 @@ TrainingSummary Framework::train(std::span<const Design> designs) {
   for (const Design& d : designs) {
     const TimingGraph flat = build_timing_graph(d);
     const IlmResult ilm = extract_ilm(flat);
+    validate_stage(cfg_.validate_stages, "ilm (train)", ilm.graph);
     const SensitivityData data = generate_training_data(ilm.graph, cfg_.data);
 
     GraphSample sample;
@@ -146,6 +167,7 @@ DesignResult Framework::run_design(const Design& design) {
   const TimingGraph flat = build_timing_graph(design);
   Stopwatch gen_sw;
   IlmResult ilm = extract_ilm(flat);
+  validate_stage(cfg_.validate_stages, "ilm", ilm.graph);
   GenerationStats gen;
   gen.ilm_pins = ilm.graph.num_live_nodes();
 
@@ -155,6 +177,7 @@ DesignResult Framework::run_design(const Design& design) {
     if (k) ++gen.pins_kept;
 
   merge_insensitive_pins(ilm.graph, keep, cfg_.merge);
+  validate_stage(cfg_.validate_stages, "merge/index-selection", ilm.graph);
   gen.model_pins = ilm.graph.num_live_nodes();
   gen.generation_seconds = gen_sw.seconds();
   gen.generation_peak_rss = peak_rss_bytes();
@@ -162,6 +185,14 @@ DesignResult Framework::run_design(const Design& design) {
   MacroModel model;
   model.design_name = design.name();
   model.graph = std::move(ilm.graph);
+  if (cfg_.validate_stages) {
+    const analysis::LintReport report =
+        analysis::lint_model_against(model, design);
+    if (!report.clean())
+      throw std::runtime_error(
+          "flow: invariant check failed on the generated model:\n" +
+          report.to_string());
+  }
   DesignResult result = evaluate(design, flat, std::move(model), gen);
   result.inference_seconds = inference_seconds;
   return result;

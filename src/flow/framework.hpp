@@ -54,6 +54,13 @@ struct FlowConfig {
   std::size_t eval_constraint_sets = 4;
   ConstraintGenConfig eval_constraint_gen;
   std::uint64_t eval_seed = 0xE7A1;
+
+  /// Run the static invariant checker (src/analysis) after each macro
+  /// generation stage — ILM capture, merging/index selection, final
+  /// model — and throw std::runtime_error with the full diagnostic
+  /// report when any error-severity rule fires. Off by default: it adds
+  /// one full graph sweep per stage.
+  bool validate_stages = false;
 };
 
 /// Everything the experiment tables report about one design.

@@ -145,7 +145,9 @@ Design generate_design(const Library& lib, const DesignGenConfig& cfg) {
       for (std::size_t gi = 0; gi < per_level; ++gi) {
         const CellId cid = combs[rng.below(combs.size())];
         const auto& cell = lib.cell(cid);
-        const GateId gate = d.add_gate("g" + std::to_string(gidx++), cid);
+        std::string gname = "g";
+        gname += std::to_string(gidx++);
+        const GateId gate = d.add_gate(gname, cid);
         for (std::uint32_t pi = 0; pi < cell.ports.size(); ++pi) {
           if (cell.ports[pi].dir != PortDir::kInput) continue;
           // Restrict picks to recent levels of this cloud, or alt pool.
@@ -155,8 +157,9 @@ Design generate_design(const Library& lib, const DesignGenConfig& cfg) {
         for (std::uint32_t pi = 0; pi < cell.ports.size(); ++pi) {
           if (cell.ports[pi].dir != PortDir::kOutput) continue;
           const PinId out = d.gate(gate).pins[pi];
-          sources.push_back(
-              {out, d.add_net("n_g" + std::to_string(gidx), out)});
+          std::string nname = "n_g";
+          nname += std::to_string(gidx);
+          sources.push_back({out, d.add_net(nname, out)});
         }
       }
       level_start.push_back(first_new);

@@ -9,7 +9,9 @@ namespace tmm {
 namespace {
 
 constexpr std::size_t idx(NodeId n, unsigned el, unsigned rf) {
-  return static_cast<std::size_t>(n) * (kNumEl * kNumRf) + el * kNumRf + rf;
+  return static_cast<std::size_t>(n) * (static_cast<std::size_t>(kNumEl) *
+                                      kNumRf) +
+         el * kNumRf + rf;
 }
 
 /// True if `cand` is worse (dominates) than `cur` in the el corner:
@@ -392,7 +394,7 @@ BoundarySnapshot Sta::boundary_snapshot() const {
   for (NodeId p : graph_->primary_inputs()) ports.push_back(p);
   for (NodeId p : graph_->primary_outputs()) ports.push_back(p);
   snap.num_ports = ports.size();
-  const std::size_t stride = kNumEl * kNumRf;
+  const std::size_t stride = static_cast<std::size_t>(kNumEl) * kNumRf;
   snap.slew.assign(snap.num_ports * stride, kInf);
   snap.at.assign(snap.num_ports * stride, kInf);
   snap.rat.assign(snap.num_ports * stride, kInf);

@@ -1,6 +1,8 @@
 #include "sta/timing_graph.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace tmm {
 
@@ -53,6 +55,13 @@ std::uint32_t TimingGraph::add_check(NodeId clock, NodeId data, bool is_setup,
 const ElRf<Lut>* TimingGraph::own_tables(ElRf<Lut> tables) {
   owned_tables_.push_back(std::move(tables));
   return &owned_tables_.back();
+}
+
+bool TimingGraph::owns_tables(const ElRf<Lut>* tables) const noexcept {
+  if (tables == nullptr) return false;
+  for (const auto& t : owned_tables_)
+    if (&t == tables) return true;
+  return false;
 }
 
 void TimingGraph::kill_node(NodeId n) {
@@ -138,8 +147,19 @@ const std::vector<NodeId>& TimingGraph::topo_order() const {
       if (--indeg[v] == 0) topo_.push_back(v);
     }
   }
-  if (topo_.size() != num_live_nodes())
-    throw std::runtime_error("TimingGraph::topo_order: graph has a cycle");
+  if (topo_.size() != num_live_nodes()) {
+    std::string msg = "TimingGraph::topo_order: graph has a cycle";
+    const std::vector<NodeId> cycle = find_cycle(*this);
+    if (!cycle.empty()) {
+      msg += " through ";
+      for (NodeId u : cycle) {
+        msg += nodes_[u].name;
+        msg += " -> ";
+      }
+      msg += nodes_[cycle.front()].name;
+    }
+    throw std::runtime_error(msg);
+  }
   topo_valid_ = true;
   return topo_;
 }
@@ -184,6 +204,44 @@ std::size_t TimingGraph::memory_bytes() const {
   }
   bytes += owned_table_doubles() * sizeof(double);
   return bytes;
+}
+
+std::vector<NodeId> find_cycle(const TimingGraph& g) {
+  const NodeId n = static_cast<NodeId>(g.num_nodes());
+  // 0 = unvisited, 1 = on the current DFS path, 2 = finished.
+  std::vector<std::uint8_t> color(n, 0);
+  std::vector<NodeId> path;
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, next fanout)
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != 0 || g.node(root).dead) continue;
+    color[root] = 1;
+    path.push_back(root);
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      const NodeId u = stack.back().first;
+      const std::size_t idx = stack.back().second;
+      const auto& fo = g.fanout(u);
+      if (idx < fo.size()) {
+        ++stack.back().second;
+        const NodeId v = g.arc(fo[idx]).to;
+        if (color[v] == 1) {
+          // Back edge: the cycle is the path suffix starting at v.
+          const auto it = std::find(path.begin(), path.end(), v);
+          return {it, path.end()};
+        }
+        if (color[v] == 0 && !g.node(v).dead) {
+          color[v] = 1;
+          path.push_back(v);
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        color[u] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
 }
 
 TimingGraph build_timing_graph(const Design& design) {

@@ -12,6 +12,7 @@
 // re-characterized arcs); `compact()` drops dead nodes/arcs and the
 // lazily computed topological order is invalidated by any mutation.
 
+#include <cmath>
 #include <deque>
 #include <string>
 #include <vector>
@@ -93,6 +94,13 @@ class TimingGraph {
   /// stable for the lifetime of the graph.
   const ElRf<Lut>* own_tables(ElRf<Lut> tables);
 
+  /// True if `tables` points into this graph's owned storage (i.e. the
+  /// surface was re-characterized rather than shared with a library).
+  bool owns_tables(const ElRf<Lut>* tables) const noexcept;
+  const std::deque<ElRf<Lut>>& owned_tables() const noexcept {
+    return owned_tables_;
+  }
+
   /// Mark a node and all incident arcs/checks dead.
   void kill_node(NodeId n);
   void kill_arc(ArcId a);
@@ -159,11 +167,17 @@ class TimingGraph {
 /// Build the flat timing graph of a design. Node ids equal pin ids.
 TimingGraph build_timing_graph(const Design& design);
 
+/// One cycle through live delay arcs, as node ids in traversal order
+/// (cycle[i] feeds cycle[i+1], the last node feeds the first); empty if
+/// the live graph is acyclic. Shared by TimingGraph::topo_order's error
+/// message and the analysis-layer invariant checker.
+std::vector<NodeId> find_cycle(const TimingGraph& g);
+
 /// PERI-style slew degradation through a wire: the output slew of a wire
 /// segment with Elmore delay `wire_delay` given input slew `slew_in`.
 inline double wire_slew(double slew_in, double wire_delay) noexcept {
   const double d = 2.2 * wire_delay;
-  return __builtin_sqrt(slew_in * slew_in + d * d);
+  return std::sqrt(slew_in * slew_in + d * d);
 }
 
 }  // namespace tmm

@@ -15,6 +15,11 @@ trap 'rm -rf "$DIR"' EXIT
 "$TMM" generate "$DIR/m.gnn" "$DIR/block.dsn" "$DIR/block.macro"
 "$TMM" evaluate "$DIR/block.dsn" "$DIR/block.macro"
 
+# Invariant checker: every design and the generated macro model must be
+# free of error-severity diagnostics.
+"$TMM" lint "$DIR/block.dsn" "$DIR/t1.dsn" "$DIR/t2.dsn"
+"$TMM" lint "$DIR/block.macro"
+
 # Regression-mode variant and CPPR-off variant must also work.
 "$TMM" train "$DIR/mr.gnn" "$DIR/t1.dsn" --regression
 "$TMM" generate "$DIR/mr.gnn" "$DIR/block.dsn" "$DIR/block2.macro" --regression

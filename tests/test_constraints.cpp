@@ -71,10 +71,11 @@ TEST(LibraryGen, Deterministic) {
   ASSERT_EQ(a.num_cells(), b.num_cells());
   for (CellId c = 0; c < a.num_cells(); ++c) {
     EXPECT_EQ(a.cell(c).name, b.cell(c).name);
-    if (!a.cell(c).arcs.empty())
+    if (!a.cell(c).arcs.empty()) {
       EXPECT_DOUBLE_EQ(
           a.cell(c).arcs[0].delay(kLate, kRise).lookup(10, 5),
           b.cell(c).arcs[0].delay(kLate, kRise).lookup(10, 5));
+    }
   }
 }
 

@@ -110,8 +110,11 @@ TEST_F(FlowTest, PredictKeepHonorsCpprRule) {
   const TimingGraph flat = build_timing_graph(d);
   const IlmResult ilm = extract_ilm(flat);
   const auto keep = fw.predict_keep(ilm.graph);
-  for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n)
-    if (is_cppr_crucial(ilm.graph, n)) EXPECT_TRUE(keep[n]);
+  for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n) {
+    if (is_cppr_crucial(ilm.graph, n)) {
+      EXPECT_TRUE(keep[n]);
+    }
+  }
 }
 
 TEST_F(FlowTest, ModelSurvivesSaveLoadViaFramework) {

@@ -63,11 +63,15 @@ inline Design make_buffer_chain(std::size_t n, double wire_res = 0.1,
   PinId prev = in_pin;
   NetId net = d.add_net("n_in", prev);
   for (std::size_t i = 0; i < n; ++i) {
-    const GateId g = d.add_gate("b" + std::to_string(i), buf);
+    std::string gate_name = "b";
+    gate_name += std::to_string(i);
+    const GateId g = d.add_gate(gate_name, buf);
     d.connect_sink(net, d.gate(g).pins[a], wire_res);
     d.set_wire_cap(net, wire_cap);
     prev = d.gate(g).pins[y];
-    net = d.add_net("n" + std::to_string(i), prev);
+    std::string net_name = "n";
+    net_name += std::to_string(i);
+    net = d.add_net(net_name, prev);
   }
   d.connect_sink(net, out_pin, wire_res);
   d.set_wire_cap(net, wire_cap);

@@ -60,8 +60,9 @@ TEST(Merge, ProtectedPinsSurvive) {
   }
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
     if (g.node(n).dead) continue;
-    if (!g.node(n).attached_po_loads.empty())
+    if (!g.node(n).attached_po_loads.empty()) {
       EXPECT_FALSE(g.node(n).dead);
+    }
   }
 }
 

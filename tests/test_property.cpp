@@ -123,10 +123,16 @@ TEST_P(DesignSweep, MergePreservesBoundaryPortsAndChecksEndpoints) {
   for (const auto& chk : ilm.graph.checks())
     if (!chk.dead) ++checks_after;
   EXPECT_EQ(checks_before, checks_after);
-  for (NodeId p : ilm.graph.primary_inputs())
-    if (p != kInvalidId) EXPECT_FALSE(ilm.graph.node(p).dead);
-  for (NodeId p : ilm.graph.primary_outputs())
-    if (p != kInvalidId) EXPECT_FALSE(ilm.graph.node(p).dead);
+  for (NodeId p : ilm.graph.primary_inputs()) {
+    if (p != kInvalidId) {
+      EXPECT_FALSE(ilm.graph.node(p).dead);
+    }
+  }
+  for (NodeId p : ilm.graph.primary_outputs()) {
+    if (p != kInvalidId) {
+      EXPECT_FALSE(ilm.graph.node(p).dead);
+    }
+  }
 }
 
 TEST_P(DesignSweep, FilterNeverDropsLastStagePins) {
@@ -136,7 +142,9 @@ TEST_P(DesignSweep, FilterNeverDropsLastStagePins) {
   const FilterResult fr = filter_insensitive_pins(ilm.graph);
   for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n) {
     if (ilm.graph.node(n).dead) continue;
-    if (is_last_stage(ilm.graph, n)) EXPECT_TRUE(fr.remained[n]);
+    if (is_last_stage(ilm.graph, n)) {
+      EXPECT_TRUE(fr.remained[n]);
+    }
   }
 }
 

@@ -141,11 +141,14 @@ TEST(Sta, EarlyNeverExceedsLate) {
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
     for (unsigned rf = 0; rf < kNumRf; ++rf) {
       const auto& t = sta.timing(n);
-      if (std::isfinite(t.at(kEarly, rf)) && std::isfinite(t.at(kLate, rf)))
+      if (std::isfinite(t.at(kEarly, rf)) &&
+          std::isfinite(t.at(kLate, rf))) {
         EXPECT_LE(t.at(kEarly, rf), t.at(kLate, rf) + 1e-9) << g.node(n).name;
+      }
       if (std::isfinite(t.slew(kEarly, rf)) &&
-          std::isfinite(t.slew(kLate, rf)))
+          std::isfinite(t.slew(kLate, rf))) {
         EXPECT_LE(t.slew(kEarly, rf), t.slew(kLate, rf) + 1e-9);
+      }
     }
   }
 }

@@ -1,0 +1,80 @@
+#!/bin/sh
+# tools/check.sh — continuous static/dynamic analysis driver.
+#
+#   tools/check.sh [release] [sanitize] [tidy]
+#
+# With no arguments all three stages run:
+#   release   Release build with -Werror (TMM_WERROR=ON) + full ctest.
+#   sanitize  ASan+UBSan build (TMM_SANITIZE=address,undefined) + full
+#             ctest; any sanitizer report fails the test.
+#   tidy      clang-tidy over src/ using the repo .clang-tidy config
+#             (skipped with a notice when clang-tidy is not installed).
+#             TIDY_BASE=<git-ref> restricts it to files changed since
+#             that ref (used by CI on pull requests).
+#
+# Build trees live in build-check-* so the developer build/ is never
+# clobbered. Exit code is non-zero as soon as any stage fails.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+run_release() {
+  echo "== check: release (-Werror) =="
+  cmake -S "$ROOT" -B "$ROOT/build-check-release" \
+    -DCMAKE_BUILD_TYPE=Release -DTMM_WERROR=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  cmake --build "$ROOT/build-check-release" -j"$JOBS"
+  ctest --test-dir "$ROOT/build-check-release" --output-on-failure -j"$JOBS"
+}
+
+run_sanitize() {
+  echo "== check: ASan+UBSan =="
+  cmake -S "$ROOT" -B "$ROOT/build-check-asan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTMM_WERROR=ON \
+    -DTMM_SANITIZE=address,undefined >/dev/null
+  cmake --build "$ROOT/build-check-asan" -j"$JOBS"
+  # halt_on_error turns any UBSan finding into a test failure instead of
+  # a log line; leak checking needs ptrace and is unavailable in some
+  # containers, so tolerate LSan being absent.
+  UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}" \
+  ctest --test-dir "$ROOT/build-check-asan" --output-on-failure -j"$JOBS"
+}
+
+run_tidy() {
+  echo "== check: clang-tidy =="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed — skipping the tidy stage"
+    return 0
+  fi
+  # Reuse (or create) the release tree's compilation database.
+  if [ ! -f "$ROOT/build-check-release/compile_commands.json" ]; then
+    cmake -S "$ROOT" -B "$ROOT/build-check-release" \
+      -DCMAKE_BUILD_TYPE=Release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  if [ -n "${TIDY_BASE:-}" ]; then
+    files=$(cd "$ROOT" && git diff --name-only "$TIDY_BASE" -- 'src/*.cpp' \
+              'src/**/*.cpp' | sed "s|^|$ROOT/|" | sort -u)
+  else
+    files=$(find "$ROOT/src" -name '*.cpp' | sort)
+  fi
+  if [ -z "$files" ]; then
+    echo "no source files to tidy"
+    return 0
+  fi
+  echo "$files" | xargs -P "$JOBS" -n 1 \
+    clang-tidy -p "$ROOT/build-check-release" --quiet
+}
+
+stages="${*:-release sanitize tidy}"
+for stage in $stages; do
+  case "$stage" in
+    release)  run_release ;;
+    sanitize) run_sanitize ;;
+    tidy)     run_tidy ;;
+    *) echo "unknown stage '$stage' (expected release|sanitize|tidy)" >&2
+       exit 64 ;;
+  esac
+done
+echo "CHECK_OK"

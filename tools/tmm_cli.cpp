@@ -9,8 +9,11 @@
 //   tmm generate   <in.gnn> <in.dsn> <out.macro> [--no-cppr]
 //   tmm evaluate   <in.dsn> <in.macro> [--no-cppr] [--sets K]
 //   tmm export-lib <out.lib> [--early]
+//   tmm lint       <file...>  (.macro files are linted as macro models,
+//                  anything else as designs + their flat timing graphs)
 //
-// Exit code 0 on success; errors are printed to stderr.
+// Exit code 0 on success; errors are printed to stderr. `lint` exits 3
+// when any error-severity diagnostic fired.
 
 #include <cstdio>
 #include <algorithm>
@@ -19,6 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/design_lint.hpp"
+#include "analysis/graph_lint.hpp"
+#include "analysis/model_lint.hpp"
 #include "flow/framework.hpp"
 #include "liberty/liberty_writer.hpp"
 #include "liberty/library_gen.hpp"
@@ -225,6 +231,36 @@ int cmd_evaluate(const Args& args) {
   return rep.structural_mismatches == 0 ? 0 : 2;
 }
 
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int cmd_lint(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("lint: at least one file required");
+  std::size_t total_errors = 0;
+  for (const std::string& path : args.positional) {
+    analysis::LintReport report;
+    if (has_suffix(path, ".macro")) {
+      std::ifstream is(path);
+      if (!is) throw std::runtime_error("cannot open " + path);
+      const MacroModel model = read_macro_model(is);
+      report = analysis::lint_model(model);
+    } else {
+      const Design d = load_design(path);
+      report = analysis::lint_design(d);
+      report.merge(analysis::lint_graph(build_timing_graph(d)));
+    }
+    std::printf("%s: %zu diagnostic(s), %zu error(s), %zu warning(s)\n",
+                path.c_str(), report.size(), report.errors(),
+                report.warnings());
+    if (!report.empty()) std::fputs(report.to_string().c_str(), stdout);
+    total_errors += report.errors();
+  }
+  return total_errors == 0 ? 0 : 3;
+}
+
 int cmd_export_lib(const Args& args) {
   if (args.positional.empty())
     throw std::runtime_error("export-lib: output path required");
@@ -241,7 +277,7 @@ int cmd_export_lib(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: tmm <gen-design|stats|sta|train|generate|evaluate|"
-               "export-lib> "
+               "export-lib|lint> "
                "[args...]  (see tools/tmm_cli.cpp header)\n");
   return 64;
 }
@@ -260,6 +296,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "export-lib") return cmd_export_lib(args);
+    if (cmd == "lint") return cmd_lint(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tmm %s: %s\n", cmd.c_str(), e.what());
