@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 namespace tmm::bench {
 
@@ -40,6 +41,160 @@ std::string fmt_seconds(double s) { return AsciiTable::num(s, 3); }
 
 std::string fmt_mb(std::size_t bytes) {
   return AsciiTable::num(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf literals; clamp them so the file always parses.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void write_kv_object(std::ofstream& os,
+                     const std::vector<std::pair<std::string, double>>& kv,
+                     const char* indent) {
+  os << "{";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    os << (i ? "," : "") << "\n" << indent << "  \""
+       << json_escape(kv[i].first) << "\": " << json_num(kv[i].second);
+  }
+  if (!kv.empty()) os << "\n" << indent;
+  os << "}";
+}
+
+void write_stages(std::ofstream& os, const std::vector<StageTiming>& stages,
+                  const char* indent) {
+  std::vector<std::pair<std::string, double>> kv;
+  kv.reserve(stages.size());
+  for (const auto& st : stages) kv.emplace_back(st.stage, st.seconds);
+  write_kv_object(os, kv, indent);
+}
+
+}  // namespace
+
+void JsonReport::set_meta(const std::string& key, double value) {
+  meta_.emplace_back(key, value);
+}
+
+void JsonReport::add_training(const std::string& label,
+                              const TrainingSummary& sum) {
+  trainings_.push_back({label, sum});
+}
+
+void JsonReport::add_result(const std::string& design, const std::string& impl,
+                            const DesignResult& r) {
+  RowRec rec;
+  rec.design = design;
+  rec.impl = impl;
+  rec.metrics = {
+      {"avg_err_ps", r.acc.avg_err_ps},
+      {"max_err_ps", r.acc.max_err_ps},
+      {"compared_values", static_cast<double>(r.acc.compared_values)},
+      {"structural_mismatches",
+       static_cast<double>(r.acc.structural_mismatches)},
+      {"model_file_bytes", static_cast<double>(r.model_file_bytes)},
+      {"model_memory_bytes", static_cast<double>(r.model_memory_bytes)},
+      {"generation_seconds", r.gen.generation_seconds},
+      {"generation_peak_rss_bytes",
+       static_cast<double>(r.gen.generation_peak_rss)},
+      {"usage_seconds", r.acc.usage_seconds},
+      {"usage_peak_rss_bytes", static_cast<double>(r.usage_peak_rss)},
+      {"inference_seconds", r.inference_seconds},
+      {"ilm_pins", static_cast<double>(r.gen.ilm_pins)},
+      {"pins_kept", static_cast<double>(r.gen.pins_kept)},
+      {"model_pins", static_cast<double>(r.gen.model_pins)},
+  };
+  rec.stages = r.stage_timings;
+  rows_.push_back(std::move(rec));
+}
+
+void JsonReport::add_row(
+    const std::string& design, const std::string& impl,
+    std::vector<std::pair<std::string, double>> metrics) {
+  rows_.push_back({design, impl, std::move(metrics), {}});
+}
+
+void JsonReport::set_summary(const std::string& key, double value) {
+  summary_.emplace_back(key, value);
+}
+
+bool JsonReport::write() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("TMM_BENCH_JSON_DIR"))
+    if (*dir) path = std::string(dir) + "/" + path;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "# bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"meta\": ";
+  write_kv_object(os, meta_, "  ");
+  os << ",\n  \"training\": [";
+  for (std::size_t i = 0; i < trainings_.size(); ++i) {
+    const TrainingRec& t = trainings_[i];
+    os << (i ? "," : "") << "\n    {\n      \"label\": \""
+       << json_escape(t.label) << "\",\n      \"designs\": "
+       << t.sum.designs << ",\n      \"labeled_pins\": " << t.sum.labeled_pins
+       << ",\n      \"positives\": " << t.sum.positives
+       << ",\n      \"mean_filtered_fraction\": "
+       << json_num(t.sum.mean_filtered_fraction)
+       << ",\n      \"data_generation_seconds\": "
+       << json_num(t.sum.data_generation_seconds)
+       << ",\n      \"epochs_run\": " << t.sum.report.epochs_run
+       << ",\n      \"final_loss\": " << json_num(t.sum.report.final_loss)
+       << ",\n      \"train_seconds\": " << json_num(t.sum.report.seconds)
+       << ",\n      \"stages\": ";
+    write_stages(os, t.sum.stage_timings, "      ");
+    os << "\n    }";
+  }
+  if (!trainings_.empty()) os << "\n  ";
+  os << "],\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const RowRec& r = rows_[i];
+    os << (i ? "," : "") << "\n    {\n      \"design\": \""
+       << json_escape(r.design) << "\",\n      \"impl\": \""
+       << json_escape(r.impl) << "\",\n      \"metrics\": ";
+    write_kv_object(os, r.metrics, "      ");
+    os << ",\n      \"stages\": ";
+    write_stages(os, r.stages, "      ");
+    os << "\n    }";
+  }
+  if (!rows_.empty()) os << "\n  ";
+  os << "],\n  \"summary\": ";
+  write_kv_object(os, summary_, "  ");
+  os << "\n}\n";
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "# bench: error writing %s\n", path.c_str());
+    return false;
+  }
+  std::printf("# wrote %s\n", path.c_str());
+  return true;
 }
 
 double mean_ratio(const std::vector<double>& baseline,

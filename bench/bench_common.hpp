@@ -50,4 +50,55 @@ std::string fmt_mb(std::size_t bytes);
 double mean_ratio(const std::vector<double>& baseline,
                   const std::vector<double>& ours);
 
+/// Machine-readable companion to the ASCII tables. Each bench binary
+/// accumulates its per-row numbers here and calls write(), producing
+/// `BENCH_<name>.json` in the working directory (overridable with
+/// TMM_BENCH_JSON_DIR) so CI and plotting scripts never have to scrape
+/// the human-oriented table output. Schema: docs/OBSERVABILITY.md.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Run parameters (scale, train_scale, ...).
+  void set_meta(const std::string& key, double value);
+
+  /// Training-phase record; `label` distinguishes multiple trainings in
+  /// one bench (e.g. Table 4's before/after variants).
+  void add_training(const std::string& label, const TrainingSummary& sum);
+
+  /// Full DesignResult row: accuracy, size, runtime, memory and the
+  /// per-stage wall-clock breakdown.
+  void add_result(const std::string& design, const std::string& impl,
+                  const DesignResult& r);
+
+  /// Free-form numeric row for benches without DesignResults (Table 2).
+  void add_row(const std::string& design, const std::string& impl,
+               std::vector<std::pair<std::string, double>> metrics);
+
+  /// Cross-row aggregates (the "Ratio" lines).
+  void set_summary(const std::string& key, double value);
+
+  /// Write BENCH_<name>.json; returns false (with a log line) on I/O
+  /// failure so a read-only CWD does not kill the bench itself.
+  bool write() const;
+
+ private:
+  struct RowRec {
+    std::string design;
+    std::string impl;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<StageTiming> stages;
+  };
+  struct TrainingRec {
+    std::string label;
+    TrainingSummary sum;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> meta_;
+  std::vector<TrainingRec> trainings_;
+  std::vector<RowRec> rows_;
+  std::vector<std::pair<std::string, double>> summary_;
+};
+
 }  // namespace tmm::bench

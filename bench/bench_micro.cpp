@@ -8,6 +8,8 @@
 #include "flow/framework.hpp"
 #include "liberty/library_gen.hpp"
 #include "netlist/design_gen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -70,6 +72,73 @@ void BM_StaFullRun(benchmark::State& state) {
                           static_cast<std::int64_t>(g.num_nodes()));
 }
 BENCHMARK(BM_StaFullRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Observability overhead. Sta::run carries an obs::Span and two metric
+// counters; BM_StaFullRun above therefore measures the
+// instrumented-but-disabled path. The entries below isolate the obs
+// primitives themselves: a disabled span must cost one predicted branch
+// (compare BM_StaFullRun before/after instrumentation stays within
+// noise, i.e. <1%), and an enabled span stays cheap enough for
+// per-epoch / per-stage granularity.
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::set_tracing_enabled(false);
+  for (auto _ : state) {
+    obs::Span span("bench.span");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::set_tracing_enabled(true);
+  std::size_t since_reset = 0;
+  for (auto _ : state) {
+    {
+      obs::Span span("bench.span");
+      benchmark::DoNotOptimize(&span);
+    }
+    // Bound buffer growth; amortized over 64Ki spans the reset cost is
+    // negligible next to the two clock reads per span.
+    if (++since_reset == (1u << 16)) {
+      since_reset = 0;
+      obs::reset_trace();
+    }
+  }
+  obs::set_tracing_enabled(false);
+  obs::reset_trace();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsCounter(benchmark::State& state) {
+  static obs::Counter& c = obs::counter("bench.counter");
+  for (auto _ : state) {
+    c.add();
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_ObsCounter);
+
+void BM_StaFullRunTraced(benchmark::State& state) {
+  const TimingGraph& g = flat_graph();
+  Sta sta(g, {.cppr = false});
+  const BoundaryConstraints bc = nominal_constraints(
+      g.primary_inputs().size(), g.primary_outputs().size());
+  obs::set_tracing_enabled(true);
+  std::size_t since_reset = 0;
+  for (auto _ : state) {
+    sta.run(bc);
+    benchmark::DoNotOptimize(sta.worst_slack(kLate));
+    if (++since_reset == 4096) {
+      since_reset = 0;
+      obs::reset_trace();
+    }
+  }
+  obs::set_tracing_enabled(false);
+  obs::reset_trace();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_StaFullRunTraced)->Unit(benchmark::kMillisecond);
 
 void BM_SlewOnlyPropagation(benchmark::State& state) {
   const TimingGraph& g = flat_graph();

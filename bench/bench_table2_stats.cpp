@@ -18,6 +18,9 @@ int main() {
   const Library lib = generate_library();
   const auto suite = tau_testing_suite(lib, scale);
 
+  JsonReport report("table2_stats");
+  report.set_meta("scale", static_cast<double>(scale));
+
   AsciiTable table({"Design", "TAU #Pins", "#Pins", "#Cells", "#Nets",
                     "#PIs", "#POs", "#FFs"});
   for (const auto& entry : suite) {
@@ -35,9 +38,19 @@ int main() {
                    AsciiTable::integer(
                        static_cast<long long>(d.primary_outputs().size())),
                    AsciiTable::integer(static_cast<long long>(ffs))});
+    report.add_row(
+        entry.name, "design",
+        {{"tau_pins", static_cast<double>(entry.tau_pins)},
+         {"pins", static_cast<double>(d.num_pins())},
+         {"cells", static_cast<double>(d.num_gates())},
+         {"nets", static_cast<double>(d.num_nets())},
+         {"primary_inputs", static_cast<double>(d.primary_inputs().size())},
+         {"primary_outputs", static_cast<double>(d.primary_outputs().size())},
+         {"flip_flops", static_cast<double>(ffs)}});
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\nPaper shape: 0.45M-5.2M pins; ours are the same designs "
               "scaled 1/%zu with the same relative ordering.\n", scale);
+  report.write();
   return 0;
 }

@@ -21,11 +21,15 @@ int main() {
               "scale) ==\n",
               scale);
 
+  JsonReport report("table3_cppr");
+  report.set_meta("scale", static_cast<double>(scale));
+  report.set_meta("train_scale", static_cast<double>(train_scale));
+
   FlowConfig cfg;
   cfg.cppr = true;
   cfg.cppr_feature = true;
   Framework fw(cfg);
-  train_framework(fw, train_scale);
+  report.add_training("gnn", train_framework(fw, train_scale));
 
   const Library lib = generate_library();
   const auto suite = tau_testing_suite(lib, scale);
@@ -61,6 +65,8 @@ int main() {
     };
     add("Ours", ours);
     add("iTimerM", itm);
+    report.add_result(entry.name, "ours", ours);
+    report.add_result(entry.name, "itimerm", itm);
     auto& size_ours = tau16 ? size_ours16 : size_ours17;
     auto& size_itm = tau16 ? size_itm16 : size_itm17;
     auto& gen_ours = tau16 ? gen_ours16 : gen_ours17;
@@ -79,6 +85,7 @@ int main() {
     if (tau16) {
       const DesignResult lb = fw.run_libabs(d);
       add("[4]", lb);
+      report.add_result(entry.name, "libabs", lb);
       size_lib16.push_back(static_cast<double>(lb.model_file_bytes));
       gen_lib16.push_back(lb.gen.generation_seconds);
       use_lib16.push_back(lb.acc.usage_seconds);
@@ -110,5 +117,27 @@ int main() {
   std::printf("\nPaper shape: ours matches iTimerM max error; size ratio ~1.1 "
               "(ours ~10%% smaller); [4] size ratio ~1.8 and ~0.2 ps worse "
               "max error.\n");
+  report.set_summary("tau16_size_ratio_itimerm",
+                     mean_ratio(size_itm16, size_ours16));
+  report.set_summary("tau16_gen_ratio_itimerm",
+                     mean_ratio(gen_itm16, gen_ours16));
+  report.set_summary("tau16_usage_ratio_itimerm",
+                     mean_ratio(use_itm16, use_ours16));
+  report.set_summary("tau16_max_err_gap_ps", max_err_gap16);
+  report.set_summary("tau16_size_ratio_libabs",
+                     mean_ratio(size_lib16, size_ours16));
+  report.set_summary("tau16_gen_ratio_libabs",
+                     mean_ratio(gen_lib16, gen_ours16));
+  report.set_summary("tau16_usage_ratio_libabs",
+                     mean_ratio(use_lib16, use_ours16));
+  report.set_summary("tau16_max_err_gap_libabs_ps", max_err_gap_lib);
+  report.set_summary("tau17_size_ratio_itimerm",
+                     mean_ratio(size_itm17, size_ours17));
+  report.set_summary("tau17_gen_ratio_itimerm",
+                     mean_ratio(gen_itm17, gen_ours17));
+  report.set_summary("tau17_usage_ratio_itimerm",
+                     mean_ratio(use_itm17, use_ours17));
+  report.set_summary("tau17_max_err_gap_ps", max_err_gap17);
+  report.write();
   return 0;
 }

@@ -54,10 +54,14 @@ int main() {
     c.cppr_feature = true;
     return c;
   }());
+  JsonReport report("table4_cppr_feature");
+  report.set_meta("scale", static_cast<double>(scale));
+  report.set_meta("train_scale", static_cast<double>(train_scale));
   std::printf("-- training 'Before' (8 basic features)\n");
-  train_framework(before, train_scale);
+  report.add_training("before_basic_features",
+                      train_framework(before, train_scale));
   std::printf("-- training 'After' (+ is_CPPR)\n");
-  train_framework(after, train_scale);
+  report.add_training("after_is_cppr", train_framework(after, train_scale));
 
   const Library lib = generate_library();
   const auto suite = tau_testing_suite(lib, scale);
@@ -71,6 +75,9 @@ int main() {
     const DesignResult itm = after.run_itimerm(d);
     const DesignResult rb = before.run_design(d);
     const DesignResult ra = after.run_design(d);
+    report.add_result(suite[i].name, "itimerm", itm);
+    report.add_result(suite[i].name, "before_basic_features", rb);
+    report.add_result(suite[i].name, "after_is_cppr", ra);
     (tau16 ? agg16_before : agg17_before).add(rb, itm);
     (tau16 ? agg16_after : agg17_after).add(ra, itm);
   }
@@ -93,5 +100,20 @@ int main() {
   std::printf("\nPaper shape: error differences ~0 in both variants; the "
               "size ratio improves from ~1.06 to ~1.10-1.12 once the "
               "dedicated feature is added.\n");
+  auto summarize = [&](const char* prefix, const Agg& a) {
+    const double rows_d = static_cast<double>(std::max<std::size_t>(1, a.rows));
+    report.set_summary(std::string(prefix) + "_avg_err_diff_ps",
+                       a.avg_diff / rows_d);
+    report.set_summary(std::string(prefix) + "_max_err_diff_ps", a.err_diff);
+    report.set_summary(std::string(prefix) + "_size_ratio",
+                       mean_ratio(a.size_base, a.size_ours));
+    report.set_summary(std::string(prefix) + "_gen_ratio",
+                       mean_ratio(a.gen_base, a.gen_ours));
+  };
+  summarize("tau16_before", agg16_before);
+  summarize("tau16_after", agg16_after);
+  summarize("tau17_before", agg17_before);
+  summarize("tau17_after", agg17_after);
+  report.write();
   return 0;
 }

@@ -22,11 +22,15 @@ int main() {
               "scale) ==\n",
               scale);
 
+  JsonReport report("table5_nocppr");
+  report.set_meta("scale", static_cast<double>(scale));
+  report.set_meta("train_scale", static_cast<double>(train_scale));
+
   FlowConfig cfg;
   cfg.cppr = false;
   cfg.cppr_feature = false;
   Framework fw(cfg);
-  train_framework(fw, train_scale);
+  report.add_training("gnn", train_framework(fw, train_scale));
 
   EtmConfig etm_cfg;
   etm_cfg.slew_samples = {2.0, 6.0, 15.0, 35.0, 70.0};
@@ -61,6 +65,9 @@ int main() {
     add("Ours", ours);
     add("iTimerM", itm);
     add("ATM", etm);
+    report.add_result(entry.name, "ours", ours);
+    report.add_result(entry.name, "itimerm", itm);
+    report.add_result(entry.name, "etm", etm);
     table.add_separator();
     size_ours.push_back(static_cast<double>(ours.model_file_bytes));
     size_itm.push_back(static_cast<double>(itm.model_file_bytes));
@@ -91,5 +98,17 @@ int main() {
   std::printf("\nPaper shape: ratio1 size ~1.09 with zero max-err "
               "difference; ratio2 size ~0.03 (ATM tiny), gen ~18x slower, "
               "usage ~0.03x, max-err difference ~+0.27 ps.\n");
+  report.set_summary("size_ratio_itimerm", mean_ratio(size_itm, size_ours));
+  report.set_summary("gen_ratio_itimerm", mean_ratio(gen_itm, gen_ours));
+  report.set_summary("usage_ratio_itimerm", mean_ratio(use_itm, use_ours));
+  report.set_summary("max_err_gap_itimerm_ps", diff1);
+  report.set_summary("size_ratio_etm", mean_ratio(size_etm, size_ours));
+  report.set_summary("gen_ratio_etm", mean_ratio(gen_etm, gen_ours));
+  report.set_summary("usage_ratio_etm", mean_ratio(use_etm, use_ours));
+  report.set_summary("max_err_gap_etm_ps", diff2);
+  report.set_summary(
+      "avg_err_gap_etm_ps",
+      avg2 / static_cast<double>(std::max<std::size_t>(1, rows)));
+  report.write();
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include "analysis/graph_lint.hpp"
 #include "analysis/model_lint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sta/propagation.hpp"
 #include "util/instrument.hpp"
 #include "util/log.hpp"
@@ -36,6 +38,8 @@ Framework::Framework(FlowConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 TrainingSummary Framework::train(std::span<const Design> designs) {
+  obs::Span train_span("flow.train");
+  obs::trace_rss_sample();
   TrainingSummary summary;
   Stopwatch data_sw;
   std::vector<GraphSample> samples;
@@ -44,6 +48,9 @@ TrainingSummary Framework::train(std::span<const Design> designs) {
   double filtered_sum = 0.0;
 
   for (const Design& d : designs) {
+    const std::string design_span_name = "flow.train.design:" + d.name();
+    obs::Span design_span(design_span_name.c_str());
+    Stopwatch design_sw;
     const TimingGraph flat = build_timing_graph(d);
     const IlmResult ilm = extract_ilm(flat);
     validate_stage(cfg_.validate_stages, "ilm (train)", ilm.graph);
@@ -66,8 +73,14 @@ TrainingSummary Framework::train(std::span<const Design> designs) {
              data.filter.filtered_fraction() * 100.0);
     per_design_ts.push_back(data.ts.ts);
     samples.push_back(std::move(sample));
+    if (cfg_.collect_stage_timings)
+      summary.stage_timings.push_back(
+          {"data_generation:" + d.name(), design_sw.seconds()});
   }
   summary.data_generation_seconds = data_sw.seconds();
+  if (cfg_.collect_stage_timings)
+    summary.stage_timings.push_back(
+        {"data_generation", summary.data_generation_seconds});
   if (summary.designs > 0)
     summary.mean_filtered_fraction =
         filtered_sum / static_cast<double>(summary.designs);
@@ -104,6 +117,9 @@ TrainingSummary Framework::train(std::span<const Design> designs) {
   TrainConfig tcfg = cfg_.train;
   if (cfg_.regression) tcfg.loss = LossKind::kMeanSquaredError;
   summary.report = train_model(*gnn_, samples, tcfg);
+  if (cfg_.collect_stage_timings)
+    summary.stage_timings.push_back({"gnn_training", summary.report.seconds});
+  obs::trace_rss_sample();
   return summary;
 }
 
@@ -164,10 +180,23 @@ DesignResult Framework::evaluate(const Design& design, const TimingGraph& flat,
 }
 
 DesignResult Framework::run_design(const Design& design) {
+  const std::string span_name = "flow.run_design:" + design.name();
+  obs::Span run_span(span_name.c_str());
+  obs::trace_rss_sample();
+  std::vector<StageTiming> stages;
+  Stopwatch stage_sw;
+  auto mark = [&](const char* stage) {
+    if (cfg_.collect_stage_timings)
+      stages.push_back({stage, stage_sw.seconds()});
+    stage_sw.reset();
+  };
+
   const TimingGraph flat = build_timing_graph(design);
+  mark("build_flat_graph");
   Stopwatch gen_sw;
   IlmResult ilm = extract_ilm(flat);
   validate_stage(cfg_.validate_stages, "ilm", ilm.graph);
+  mark("ilm");
   GenerationStats gen;
   gen.ilm_pins = ilm.graph.num_live_nodes();
 
@@ -175,12 +204,15 @@ DesignResult Framework::run_design(const Design& design) {
   const auto keep = predict_keep(ilm.graph, &inference_seconds);
   for (bool k : keep)
     if (k) ++gen.pins_kept;
+  mark("inference");
 
   merge_insensitive_pins(ilm.graph, keep, cfg_.merge);
   validate_stage(cfg_.validate_stages, "merge/index-selection", ilm.graph);
+  mark("merge");
   gen.model_pins = ilm.graph.num_live_nodes();
   gen.generation_seconds = gen_sw.seconds();
   gen.generation_peak_rss = peak_rss_bytes();
+  obs::trace_rss_sample();
 
   MacroModel model;
   model.design_name = design.name();
@@ -192,14 +224,19 @@ DesignResult Framework::run_design(const Design& design) {
       throw std::runtime_error(
           "flow: invariant check failed on the generated model:\n" +
           report.to_string());
+    mark("validate");
   }
   DesignResult result = evaluate(design, flat, std::move(model), gen);
   result.inference_seconds = inference_seconds;
+  mark("evaluate");
+  result.stage_timings = std::move(stages);
   return result;
 }
 
 DesignResult Framework::run_itimerm(const Design& design,
                                     const ITimerMConfig& cfg) {
+  obs::Span span("flow.run_itimerm");
+  Stopwatch stage_sw;
   const TimingGraph flat = build_timing_graph(design);
   GenerationStats gen;
   ITimerMConfig effective = cfg;
@@ -207,24 +244,49 @@ DesignResult Framework::run_itimerm(const Design& design,
   effective.merge.aocv = cfg_.aocv;
   MacroModel model = generate_itimerm_model(flat, effective, &gen);
   model.design_name = design.name();
-  return evaluate(design, flat, std::move(model), gen);
+  const double gen_seconds = stage_sw.seconds();
+  DesignResult result = evaluate(design, flat, std::move(model), gen);
+  if (cfg_.collect_stage_timings) {
+    result.stage_timings.push_back({"generate", gen_seconds});
+    result.stage_timings.push_back(
+        {"evaluate", stage_sw.seconds() - gen_seconds});
+  }
+  return result;
 }
 
 DesignResult Framework::run_libabs(const Design& design,
                                    const LibAbsConfig& cfg) {
+  obs::Span span("flow.run_libabs");
+  Stopwatch stage_sw;
   const TimingGraph flat = build_timing_graph(design);
   GenerationStats gen;
   MacroModel model = generate_libabs_model(flat, cfg, &gen);
   model.design_name = design.name();
-  return evaluate(design, flat, std::move(model), gen);
+  const double gen_seconds = stage_sw.seconds();
+  DesignResult result = evaluate(design, flat, std::move(model), gen);
+  if (cfg_.collect_stage_timings) {
+    result.stage_timings.push_back({"generate", gen_seconds});
+    result.stage_timings.push_back(
+        {"evaluate", stage_sw.seconds() - gen_seconds});
+  }
+  return result;
 }
 
 DesignResult Framework::run_etm(const Design& design, const EtmConfig& cfg) {
+  obs::Span span("flow.run_etm");
+  Stopwatch stage_sw;
   const TimingGraph flat = build_timing_graph(design);
   GenerationStats gen;
   MacroModel model = generate_etm_model(flat, cfg, &gen);
   model.design_name = design.name();
-  return evaluate(design, flat, std::move(model), gen);
+  const double gen_seconds = stage_sw.seconds();
+  DesignResult result = evaluate(design, flat, std::move(model), gen);
+  if (cfg_.collect_stage_timings) {
+    result.stage_timings.push_back({"generate", gen_seconds});
+    result.stage_timings.push_back(
+        {"evaluate", stage_sw.seconds() - gen_seconds});
+  }
+  return result;
 }
 
 }  // namespace tmm

@@ -14,6 +14,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "gnn/features.hpp"
 #include "gnn/trainer.hpp"
@@ -61,6 +62,19 @@ struct FlowConfig {
   /// report when any error-severity rule fires. Off by default: it adds
   /// one full graph sweep per stage.
   bool validate_stages = false;
+
+  /// Observability hook: record a per-stage wall-clock breakdown into
+  /// TrainingSummary::stage_timings / DesignResult::stage_timings (one
+  /// Stopwatch read per stage; see docs/OBSERVABILITY.md for the stage
+  /// names). Trace spans are emitted regardless — they are free unless
+  /// obs::set_tracing_enabled(true) was called.
+  bool collect_stage_timings = true;
+};
+
+/// One named flow stage and its wall-clock cost.
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
 };
 
 /// Everything the experiment tables report about one design.
@@ -74,6 +88,11 @@ struct DesignResult {
   std::size_t usage_peak_rss = 0;
   /// In-memory footprint of the loaded model graph ("Usage Memory").
   std::size_t model_memory_bytes = 0;
+  /// Wall-clock breakdown of the run (ilm / inference / merge /
+  /// evaluate, plus validate when FlowConfig::validate_stages is on);
+  /// empty when FlowConfig::collect_stage_timings is off or for
+  /// baseline runs.
+  std::vector<StageTiming> stage_timings;
 };
 
 struct TrainingSummary {
@@ -83,6 +102,10 @@ struct TrainingSummary {
   std::size_t positives = 0;
   double data_generation_seconds = 0.0;
   double mean_filtered_fraction = 0.0;
+  /// Wall-clock breakdown (data_generation / gnn_training, plus one
+  /// data_generation:<design> entry per training design); empty when
+  /// FlowConfig::collect_stage_timings is off.
+  std::vector<StageTiming> stage_timings;
 };
 
 class Framework {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/instrument.hpp"
 #include "util/log.hpp"
 
@@ -79,10 +81,18 @@ TrainReport train_model(GnnModel& model, std::span<const GraphSample> samples,
     pos_weight = std::min(pos_weight, 50.0f);
   }
 
+  obs::Span train_span("gnn.train");
+  static obs::Counter& epochs_total = obs::counter("gnn.epochs");
+  static const double kEpochBounds[] = {0.001, 0.01, 0.1, 1.0, 10.0};
+  static obs::Histogram& epoch_hist =
+      obs::histogram("gnn.epoch_seconds", kEpochBounds);
+
   Adam opt(model.params(), cfg.adam);
   double best_loss = std::numeric_limits<double>::infinity();
   std::size_t stall = 0;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::Span epoch_span("gnn.epoch");
+    Stopwatch epoch_sw;
     double epoch_loss = 0.0;
     for (const auto& s : samples) {
       Matrix logits = model.forward(s.graph, s.features);
@@ -97,6 +107,9 @@ TrainReport train_model(GnnModel& model, std::span<const GraphSample> samples,
     epoch_loss /= static_cast<double>(std::max<std::size_t>(1, samples.size()));
     report.final_loss = epoch_loss;
     report.epochs_run = epoch + 1;
+    epochs_total.add();
+    epoch_hist.observe(epoch_sw.seconds());
+    epoch_span.set_arg("loss", epoch_loss);
     if (epoch % 25 == 0)
       log_debug("gnn epoch %zu loss %.6f", epoch, epoch_loss);
     if (cfg.patience > 0) {
@@ -119,6 +132,9 @@ TrainReport train_model(GnnModel& model, std::span<const GraphSample> samples,
     report.train_confusion.fn += c.fn;
   }
   report.seconds = sw.seconds();
+  obs::gauge("gnn.final_loss").set(report.final_loss);
+  obs::gauge("gnn.epochs_run").set(static_cast<double>(report.epochs_run));
+  train_span.set_arg("epochs", static_cast<double>(report.epochs_run));
   return report;
 }
 

@@ -1,5 +1,7 @@
 #include "macro/evaluate.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/instrument.hpp"
 
 namespace tmm {
@@ -17,6 +19,7 @@ AccuracyReport evaluate_accuracy(const TimingGraph& reference,
                                  const TimingGraph& model,
                                  std::span<const BoundaryConstraints> sets,
                                  const Sta::Options& options) {
+  obs::Span span("evaluate.accuracy");
   AccuracyReport report;
   Sta ref_sta(reference, options);
   Sta model_sta(model, options);
@@ -38,6 +41,10 @@ AccuracyReport evaluate_accuracy(const TimingGraph& reference,
   }
   report.compared_values = count;
   if (count > 0) report.avg_err_ps = sum / static_cast<double>(count);
+  static obs::Counter& evals = obs::counter("evaluate.runs");
+  evals.add();
+  obs::gauge("evaluate.max_err_ps").set(report.max_err_ps);
+  span.set_arg("max_err_ps", report.max_err_ps);
   return report;
 }
 

@@ -1,5 +1,8 @@
 #include "macro/ilm.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tmm {
 
 std::vector<bool> ilm_keep_set(const TimingGraph& flat) {
@@ -102,6 +105,7 @@ std::vector<bool> ilm_keep_set(const TimingGraph& flat) {
 }
 
 IlmResult extract_ilm(const TimingGraph& flat) {
+  obs::Span span("ilm.extract");
   const std::vector<bool> keep = ilm_keep_set(flat);
   const std::size_t n = flat.num_nodes();
 
@@ -150,6 +154,11 @@ IlmResult extract_ilm(const TimingGraph& flat) {
     if (ck == kInvalidId || d == kInvalidId) continue;
     out.graph.add_check(ck, d, c.is_setup, c.guard);
   }
+  static obs::Counter& extractions = obs::counter("ilm.extractions");
+  extractions.add();
+  obs::gauge("ilm.flat_pins").set(static_cast<double>(flat.num_live_nodes()));
+  obs::gauge("ilm.pins").set(static_cast<double>(out.graph.num_live_nodes()));
+  span.set_arg("pins", static_cast<double>(out.graph.num_live_nodes()));
   return out;
 }
 

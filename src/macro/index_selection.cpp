@@ -4,10 +4,33 @@
 #include <cmath>
 
 #include "liberty/lut.hpp"
+#include "obs/metrics.hpp"
 
 namespace tmm {
 
 namespace {
+
+/// Metrics shared by both selection strategies: grid points kept and
+/// the residual (worst remaining) interpolation error of the chosen
+/// grid — the quantity the error-driven loop minimizes and the fixed
+/// grid ignores. One extra error sweep is ~1/budget of the selection
+/// cost itself.
+void record_selection(std::span<const double> xs,
+                      std::span<const std::vector<double>> funcs,
+                      std::span<const std::size_t> sel) {
+  static obs::Counter& selections = obs::counter("index.selections");
+  static const double kPointBounds[] = {2, 4, 8, 16, 32};
+  static obs::Histogram& points = obs::histogram("index.points", kPointBounds);
+  static const double kErrBounds[] = {0.01, 0.1, 0.5, 1.0, 5.0};
+  static obs::Histogram& residual =
+      obs::histogram("index.residual_err_ps", kErrBounds);
+  selections.add();
+  points.observe(static_cast<double>(sel.size()));
+  double worst = 0.0;
+  for (const auto& f : funcs)
+    worst = std::max(worst, interpolation_error(xs, f, sel));
+  residual.observe(worst);
+}
 
 /// Error at candidate position `i` of `func` under the selected grid.
 double point_error(std::span<const double> xs, std::span<const double> func,
@@ -65,6 +88,7 @@ std::vector<std::size_t> select_indices(
     }
     std::sort(sel.begin(), sel.end());
     sel.erase(std::unique(sel.begin(), sel.end()), sel.end());
+    record_selection(xs, funcs, sel);
     return sel;
   }
 
@@ -85,6 +109,7 @@ std::vector<std::size_t> select_indices(
     if (worst_err <= cfg.tolerance_ps) break;
     sel.insert(std::upper_bound(sel.begin(), sel.end(), worst_pos), worst_pos);
   }
+  record_selection(xs, funcs, sel);
   return sel;
 }
 

@@ -2,6 +2,9 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tmm {
 
 namespace {
@@ -336,6 +339,7 @@ bool mergeable(const TimingGraph& g, NodeId n, const MergeConfig& cfg) {
 MergeStats merge_insensitive_pins(TimingGraph& g,
                                   const std::vector<bool>& keep,
                                   const MergeConfig& cfg) {
+  obs::Span span("merge.insensitive_pins");
   MergeStats stats;
   LocalAdjacency adj(g);
   // Chains backing arcs created during this merge; primitive arcs have
@@ -450,6 +454,16 @@ MergeStats merge_insensitive_pins(TimingGraph& g,
   }
 
   stats.parallel_arcs_merged = merge_parallel_arcs(g, cfg);
+  static obs::Counter& pins_removed = obs::counter("merge.pins_removed");
+  static obs::Counter& serial_arcs = obs::counter("merge.serial_arcs_created");
+  static obs::Counter& parallel_arcs =
+      obs::counter("merge.parallel_arcs_merged");
+  static obs::Counter& refused = obs::counter("merge.refused");
+  pins_removed.add(stats.pins_removed);
+  serial_arcs.add(stats.serial_arcs_created);
+  parallel_arcs.add(stats.parallel_arcs_merged);
+  refused.add(stats.refused);
+  span.set_arg("pins_removed", static_cast<double>(stats.pins_removed));
   return stats;
 }
 

@@ -1,0 +1,158 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/instrument.hpp"
+
+namespace tmm::obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double v) noexcept {
+  // lower_bound: bounds are *inclusive* upper bounds, so a value equal
+  // to a bound counts in that bound's bucket, and only values above the
+  // last bound reach the overflow bucket.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS add: std::atomic<double>::fetch_add is C++20 but spotty on
+  // older toolchains; the loop is equivalent and relaxed-safe.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Name -> metric maps. The mutex guards only registration/lookup and
+/// snapshotting; mutation goes through the atomics inside each metric.
+struct RegistryImpl {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+RegistryImpl& registry() {
+  static RegistryImpl* r = new RegistryImpl();  // leaked: see trace.cpp
+  return *r;
+}
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  RegistryImpl& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end())
+    it = r.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  RegistryImpl& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end())
+    it = r.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name, std::span<const double> bounds) {
+  RegistryImpl& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end())
+    it = r.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  return *it->second;
+}
+
+void write_metrics_json(std::ostream& os) {
+  RegistryImpl& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : r.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": " << c->value();
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : r.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": " << g->value();
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : r.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    json_string(os, name);
+    os << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i)
+      os << (i ? "," : "") << h->bounds()[i];
+    os << "], \"buckets\": [";
+    const auto counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? "," : "") << counts[i];
+    os << "], \"count\": " << h->count() << ", \"sum\": " << h->sum() << "}";
+  }
+  os << "\n  },\n  \"process\": {\n    \"current_rss_bytes\": "
+     << current_rss_bytes()
+     << ",\n    \"peak_rss_bytes\": " << peak_rss_bytes() << "\n  }\n}\n";
+}
+
+bool write_metrics_json_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_metrics_json(os);
+  return os.good();
+}
+
+void reset_metrics() {
+  RegistryImpl& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace tmm::obs

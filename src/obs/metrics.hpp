@@ -1,0 +1,98 @@
+#pragma once
+// Global metrics registry: named counters, gauges and fixed-bucket
+// histograms, dumped as one JSON snapshot (`tmm --metrics out.json`,
+// Framework stage accounting, bench harnesses).
+//
+// All mutators are lock-free atomics, safe under concurrent use from
+// the TS-evaluation worker pool (ThreadSanitizer-clean). Call sites
+// cache the returned reference in a function-local static so the hot
+// path is a single relaxed atomic operation:
+//
+//   static obs::Counter& runs = obs::counter("sta.runs");
+//   runs.add();
+//
+// Metric names follow the `layer.quantity` convention documented in
+// docs/OBSERVABILITY.md.
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tmm::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. "pins remained by the latest filter run").
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending upper bounds; one
+/// implicit overflow bucket collects everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Look up (or register on first use) a metric by name. References stay
+/// valid for the process lifetime; repeated calls with the same name
+/// return the same object. A histogram's bucket bounds are fixed by the
+/// first registration; later `bounds` arguments are ignored.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+/// Snapshot every registered metric as JSON, plus a `process` section
+/// with the current/peak RSS sampled at dump time (instrument.hpp).
+void write_metrics_json(std::ostream& os);
+
+/// Convenience: write_metrics_json to `path`; returns false on I/O error.
+bool write_metrics_json_file(const std::string& path);
+
+/// Zero every registered metric (bench and test isolation). Registered
+/// references remain valid.
+void reset_metrics();
+
+}  // namespace tmm::obs

@@ -1,0 +1,204 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/instrument.hpp"
+
+namespace tmm::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  char phase = 'X';  // 'X' complete span, 'C' counter sample
+  bool has_arg = false;
+  std::string arg_name;
+  double arg_value = 0.0;
+};
+
+/// One buffer per thread. Appends come only from the owning thread;
+/// the mutex makes export/reset from another thread race-free without
+/// contending the hot path (the owner's lock is almost always
+/// uncontended).
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may outlive main
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void append(TraceEvent ev) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          os << hex;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_event(std::ostream& os, const TraceEvent& ev, std::uint32_t tid) {
+  os << "{\"name\":\"";
+  json_escape(os, ev.name);
+  os << "\",\"cat\":\"tmm\",\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":"
+     << tid << ",\"ts\":" << ev.ts_us;
+  if (ev.phase == 'X') os << ",\"dur\":" << ev.dur_us;
+  if (ev.phase == 'C') {
+    os << ",\"args\":{\"value\":" << ev.arg_value << "}";
+  } else if (ev.has_arg) {
+    os << ",\"args\":{\"";
+    json_escape(os, ev.arg_name);
+    os << "\":" << ev.arg_value << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+  if (on) trace_epoch();  // pin the epoch before the first span
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::size_t trace_event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::uint64_t trace_now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+namespace detail {
+
+void span_end(const char* name, std::uint64_t start_us, const char* arg_name,
+              double arg_value, bool has_arg) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_us = start_us;
+  const std::uint64_t now = trace_now_us();
+  ev.dur_us = now > start_us ? now - start_us : 0;
+  ev.phase = 'X';
+  if (has_arg) {
+    ev.has_arg = true;
+    ev.arg_name = arg_name;
+    ev.arg_value = arg_value;
+  }
+  append(std::move(ev));
+}
+
+void counter_event(const char* name, double value) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_us = trace_now_us();
+  ev.phase = 'C';
+  ev.arg_value = value;
+  append(std::move(ev));
+}
+
+}  // namespace detail
+
+void trace_rss_sample() {
+  if (!tracing_enabled()) return;
+  detail::counter_event(
+      "rss_mb", static_cast<double>(current_rss_bytes()) / (1024.0 * 1024.0));
+}
+
+void write_chrome_trace(std::ostream& os) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    for (const TraceEvent& ev : buf->events) {
+      if (!first) os << ",\n";
+      first = false;
+      write_event(os, ev, buf->tid);
+    }
+  }
+  os << "]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+}  // namespace tmm::obs

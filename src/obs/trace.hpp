@@ -1,0 +1,88 @@
+#pragma once
+// Flow-wide tracing: RAII scoped spans collected into per-thread
+// buffers and exported as Chrome trace-event JSON, loadable by
+// chrome://tracing and https://ui.perfetto.dev.
+//
+// Tracing is off by default. A disabled Span costs exactly one relaxed
+// atomic load and a branch — no clock read, no allocation — so the
+// pipeline stays permanently instrumented (see BM_ObsSpanDisabled in
+// bench/bench_micro.cpp for the measured cost). Span names follow the
+// `layer.operation` convention documented in docs/OBSERVABILITY.md.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace tmm::obs {
+
+/// Global tracing switch; read with one relaxed atomic load.
+bool tracing_enabled() noexcept;
+void set_tracing_enabled(bool on) noexcept;
+
+/// Drop every buffered event (tests and repeated CLI runs).
+void reset_trace();
+
+/// Number of buffered events across all threads.
+std::size_t trace_event_count();
+
+/// Microseconds since the process-wide trace epoch (steady clock).
+std::uint64_t trace_now_us() noexcept;
+
+namespace detail {
+// Records one complete ("X") event; called from ~Span with the start
+// timestamp captured at construction.
+void span_end(const char* name, std::uint64_t start_us, const char* arg_name,
+              double arg_value, bool has_arg);
+void counter_event(const char* name, double value);
+}  // namespace detail
+
+/// RAII scoped span. Nesting is expressed by lifetime: a span that
+/// begins and ends inside another renders nested in the trace viewer
+/// (Chrome "X" complete events on the same thread track).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing_enabled()) {
+      name_ = name;
+      start_us_ = trace_now_us();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr)
+      detail::span_end(name_, start_us_, arg_name_, arg_value_, has_arg_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach one numeric argument shown under the span in the viewer
+  /// (e.g. a loss value or a pin count). Last call wins.
+  void set_arg(const char* key, double value) noexcept {
+    if (name_ == nullptr) return;
+    arg_name_ = key;
+    arg_value_ = value;
+    has_arg_ = true;
+  }
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr == span disabled at entry
+  const char* arg_name_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  double arg_value_ = 0.0;
+  bool has_arg_ = false;
+};
+
+/// Record a Chrome "C" counter sample (rendered as a stacked chart).
+inline void trace_counter(const char* name, double value) {
+  if (tracing_enabled()) detail::counter_event(name, value);
+}
+
+/// Sample the current resident set size as a "rss_mb" counter event.
+void trace_rss_sample();
+
+/// Serialize every buffered event as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream& os);
+
+/// Convenience: write_chrome_trace to `path`; returns false on I/O error.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace tmm::obs

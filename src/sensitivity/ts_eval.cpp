@@ -4,8 +4,11 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sta/propagation.hpp"
 #include "util/instrument.hpp"
+#include "util/log.hpp"
 
 namespace tmm {
 
@@ -44,6 +47,7 @@ double snapshot_ts(const BoundarySnapshot& after,
 TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
                                      const std::vector<bool>& candidates,
                                      const TsConfig& cfg) {
+  obs::Span span("ts.eval");
   TsResult out;
   out.ts.assign(ilm.num_nodes(), 0.0);
   Stopwatch sw;
@@ -85,6 +89,35 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
       std::min(cfg.threads == 0 ? hw : cfg.threads,
                std::max<std::size_t>(1, work.size()));
   std::atomic<std::size_t> next{0};
+
+  // Progress heartbeat: the TS loop is the dominant stage-1 cost and
+  // can run for minutes; report done/total + ETA at info level, rate-
+  // limited so the log stays readable at any design size. The CAS on
+  // the deadline elects exactly one reporting thread per interval.
+  constexpr double kHeartbeatSeconds = 2.0;
+  std::atomic<std::size_t> done{0};
+  std::atomic<double> next_report{kHeartbeatSeconds};
+  auto heartbeat = [&](std::size_t finished) {
+    if (log_level() > LogLevel::kInfo) return;
+    const double elapsed = sw.seconds();
+    double deadline = next_report.load(std::memory_order_relaxed);
+    if (elapsed < deadline) return;
+    if (!next_report.compare_exchange_strong(deadline,
+                                             elapsed + kHeartbeatSeconds,
+                                             std::memory_order_relaxed))
+      return;  // another worker reported this interval
+    const double rate = static_cast<double>(finished) / elapsed;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(work.size() - finished) / rate : 0.0;
+    log_info("ts-eval: %zu/%zu pins (%.0f%%), %.1fs elapsed, eta %.1fs",
+             finished, work.size(),
+             100.0 * static_cast<double>(finished) /
+                 static_cast<double>(std::max<std::size_t>(1, work.size())),
+             elapsed, eta);
+  };
+
+  static obs::Counter& pins_evaluated = obs::counter("ts.pins_evaluated");
+  static obs::Counter& repropagations = obs::counter("ts.repropagations");
   auto worker = [&]() {
     std::vector<bool> keep(ilm.num_nodes(), true);
     for (;;) {
@@ -104,6 +137,9 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
         ts_sum += snapshot_ts(sta.boundary_snapshot(), refs[c]);
       }
       out.ts[n] = ts_sum / static_cast<double>(sets.size());
+      pins_evaluated.add();
+      repropagations.add(sets.size());
+      heartbeat(done.fetch_add(1, std::memory_order_relaxed) + 1);
     }
   };
   if (threads <= 1) {
@@ -116,6 +152,8 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
   }
   out.evaluated_pins = work.size();
   out.eval_seconds = sw.seconds();
+  span.set_arg("pins", static_cast<double>(out.evaluated_pins));
+  obs::trace_rss_sample();
   return out;
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tmm {
 
 namespace {
@@ -59,6 +62,11 @@ SnapshotDiff diff_snapshots(const BoundarySnapshot& a,
 Sta::Sta(const TimingGraph& graph, Options opt) : graph_(&graph), opt_(opt) {}
 
 void Sta::run(const BoundaryConstraints& bc) {
+  obs::Span span("sta.run");
+  static obs::Counter& runs = obs::counter("sta.runs");
+  static obs::Counter& nodes = obs::counter("sta.nodes_propagated");
+  runs.add();
+  nodes.add(graph_->num_live_nodes());
   const std::size_t n = graph_->num_nodes();
   values_.assign(n, PinTiming{});
   preds_.assign(n * kNumEl * kNumRf, Pred{});
@@ -418,6 +426,9 @@ BoundarySnapshot Sta::boundary_snapshot() const {
 
 std::vector<double> propagate_slew_only(const TimingGraph& graph,
                                         double pi_slew_ps, double po_load_ff) {
+  obs::Span span("sta.slew_only");
+  static obs::Counter& runs = obs::counter("sta.slew_only_runs");
+  runs.add();
   const std::size_t n = graph.num_nodes();
   // Work in the late corner over both transitions; report the max.
   std::vector<double> slew(n * kNumRf, -kInf);

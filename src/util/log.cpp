@@ -1,11 +1,13 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 
 namespace tmm {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -16,17 +18,63 @@ const char* level_name(LogLevel level) {
     default: return "?";
   }
 }
+
+/// Startup level: TMM_LOG=debug|info|warn|error|off, default warn so
+/// bench tables stay clean. Unrecognized values keep the default.
+LogLevel initial_level() {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("TMM_LOG")) parse_log_level(env, &level);
+  return level;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Small dense per-thread id (1 = first logging thread), stable for the
+/// thread's lifetime; cheaper to read than kernel tids and stable across
+/// platforms.
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{1};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
-LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+bool parse_log_level(const char* text, LogLevel* out) noexcept {
+  if (text == nullptr || out == nullptr) return false;
+  if (std::strcmp(text, "debug") == 0) *out = LogLevel::kDebug;
+  else if (std::strcmp(text, "info") == 0) *out = LogLevel::kInfo;
+  else if (std::strcmp(text, "warn") == 0) *out = LogLevel::kWarn;
+  else if (std::strcmp(text, "error") == 0) *out = LogLevel::kError;
+  else if (std::strcmp(text, "off") == 0) *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+LogLevel log_level() noexcept {
+  return level_ref().load(std::memory_order_relaxed);
+}
 
 void set_log_level(LogLevel level) noexcept {
-  g_level.store(level, std::memory_order_relaxed);
+  level_ref().store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[tmm %s] %s\n", level_name(level), msg.c_str());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    log_epoch())
+          .count();
+  std::fprintf(stderr, "[tmm %s +%9.3fs t%u] %s\n", level_name(level), elapsed,
+               thread_ordinal(), msg.c_str());
 }
 }  // namespace detail
 

@@ -1,7 +1,10 @@
 #pragma once
 // Minimal leveled logger. Off-by-default debug level keeps benchmark
 // output clean; everything goes to stderr so bench tables on stdout
-// stay machine-parseable.
+// stay machine-parseable. The startup threshold can be set with the
+// TMM_LOG environment variable (debug/info/warn/error/off); each line
+// carries a monotonic elapsed-time prefix and a dense thread id:
+//   [tmm INFO  +    1.234s t1] message
 
 #include <cstdio>
 #include <string>
@@ -11,9 +14,14 @@ namespace tmm {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. Initialized
+/// from TMM_LOG at startup (default warn).
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+/// Parse a level name ("debug", "info", "warn", "error", "off") into
+/// `*out`; returns false (and leaves `*out` untouched) otherwise.
+bool parse_log_level(const char* text, LogLevel* out) noexcept;
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

@@ -27,4 +27,34 @@ trap 'rm -rf "$DIR"' EXIT
 "$TMM" export-lib "$DIR/cells.lib"
 "$TMM" export-lib "$DIR/cells_early.lib" --early
 test -s "$DIR/cells.lib"
+
+# Observability: --trace/--metrics must produce non-empty files on any
+# subcommand, parseable as JSON when python3 is around.
+"$TMM" --trace "$DIR/trace.json" --metrics "$DIR/metrics.json" \
+  sta "$DIR/block.dsn"
+test -s "$DIR/trace.json"
+test -s "$DIR/metrics.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$DIR/trace.json" > /dev/null
+  python3 -m json.tool "$DIR/metrics.json" > /dev/null
+fi
+grep -q '"ph"' "$DIR/trace.json"
+grep -q 'sta.runs' "$DIR/metrics.json"
+
+# Unknown or out-of-place options must be rejected with exit code 2.
+set +e
+"$TMM" lint --pins 5 "$DIR/block.dsn" 2> "$DIR/err1.txt"
+rc1=$?
+"$TMM" sta "$DIR/block.dsn" --bogus 2> "$DIR/err2.txt"
+rc2=$?
+set -e
+[ "$rc1" -eq 2 ]
+[ "$rc2" -eq 2 ]
+grep -q "not valid for subcommand" "$DIR/err1.txt"
+grep -q "unknown option" "$DIR/err2.txt"
+
+# TMM_LOG controls the startup threshold; info lines carry the
+# "[tmm INFO" prefix.
+TMM_LOG=info "$TMM" sta "$DIR/block.dsn" 2> "$DIR/log.txt"
+grep -q "\[tmm INFO" "$DIR/log.txt"
 echo "CLI_OK"

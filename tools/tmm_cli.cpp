@@ -1,5 +1,10 @@
 // tmm — command-line driver for the timing-macro-modeling framework.
 //
+// Global options (before or after the subcommand):
+//   --trace <out.json>    write a Chrome trace of the run (load in
+//                         chrome://tracing or https://ui.perfetto.dev)
+//   --metrics <out.json>  dump the metrics-registry snapshot on exit
+//
 // Subcommands (everything uses the built-in generated NLDM library):
 //   tmm gen-design <out.dsn> [--pins N] [--seed S] [--name X]
 //   tmm stats      <in.dsn>
@@ -12,14 +17,18 @@
 //   tmm lint       <file...>  (.macro files are linted as macro models,
 //                  anything else as designs + their flat timing graphs)
 //
-// Exit code 0 on success; errors are printed to stderr. `lint` exits 3
-// when any error-severity diagnostic fired.
+// Exit code 0 on success; errors are printed to stderr. Unrecognized
+// options — including options that exist but do not apply to the
+// chosen subcommand — exit 2. `lint` exits 3 when any error-severity
+// diagnostic fired.
 
 #include <cstdio>
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <exception>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/design_lint.hpp"
@@ -30,6 +39,9 @@
 #include "liberty/library_gen.hpp"
 #include "netlist/design_gen.hpp"
 #include "netlist/netlist_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -39,6 +51,12 @@ const Library& default_library() {
   static const Library lib = generate_library();
   return lib;
 }
+
+/// Bad invocation (unknown/misplaced option): exit code 2, distinct
+/// from runtime failures (1) and lint findings (3).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::vector<std::string> positional;
@@ -52,14 +70,45 @@ struct Args {
   bool early = false;
 };
 
-Args parse(int argc, char** argv, int first) {
+/// Observability outputs, valid with every subcommand.
+struct GlobalOpts {
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+/// Parse the arguments after the subcommand. Every option must be in
+/// the subcommand's `allowed` list: `tmm lint --pins 5 x.dsn` is an
+/// error, not a silently ignored flag.
+Args parse(int argc, char** argv, int first, const std::string& cmd,
+           const std::vector<std::string_view>& allowed, GlobalOpts& g) {
   Args args;
+  static constexpr std::string_view kKnownFlags[] = {
+      "--no-cppr", "--regression", "--pins", "--seed",
+      "--name",    "--period",     "--sets", "--early"};
+  auto check_allowed = [&](std::string_view a) {
+    if (std::find(allowed.begin(), allowed.end(), a) != allowed.end()) return;
+    const bool known = std::find(std::begin(kKnownFlags), std::end(kKnownFlags),
+                                 a) != std::end(kKnownFlags);
+    if (known)
+      throw UsageError("option " + std::string(a) +
+                       " is not valid for subcommand '" + cmd + "'");
+    throw UsageError("unknown option " + std::string(a));
+  };
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+      if (i + 1 >= argc) throw UsageError("missing value for " + a);
       return argv[++i];
     };
+    if (a == "--trace") {
+      g.trace_path = next();
+      continue;
+    }
+    if (a == "--metrics") {
+      g.metrics_path = next();
+      continue;
+    }
+    if (a.rfind("--", 0) == 0) check_allowed(a);
     if (a == "--no-cppr")
       args.cppr = false;
     else if (a == "--regression")
@@ -77,7 +126,7 @@ Args parse(int argc, char** argv, int first) {
     else if (a == "--early")
       args.early = true;
     else if (a.rfind("--", 0) == 0)
-      throw std::runtime_error("unknown option " + a);
+      throw UsageError("unknown option " + a);
     else
       args.positional.push_back(a);
   }
@@ -276,28 +325,97 @@ int cmd_export_lib(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tmm <gen-design|stats|sta|train|generate|evaluate|"
+               "usage: tmm [--trace out.json] [--metrics out.json] "
+               "<gen-design|stats|sta|train|generate|evaluate|"
                "export-lib|lint> "
                "[args...]  (see tools/tmm_cli.cpp header)\n");
   return 64;
 }
 
+struct Command {
+  std::string_view name;
+  int (*run)(const Args&);
+  std::vector<std::string_view> allowed;
+};
+
+const Command kCommands[] = {
+    {"gen-design", cmd_gen_design, {"--pins", "--seed", "--name"}},
+    {"stats", cmd_stats, {}},
+    {"sta", cmd_sta, {"--no-cppr", "--period"}},
+    {"train", cmd_train, {"--no-cppr", "--regression"}},
+    {"generate", cmd_generate, {"--no-cppr", "--regression"}},
+    {"evaluate", cmd_evaluate, {"--no-cppr", "--sets"}},
+    {"export-lib", cmd_export_lib, {"--early"}},
+    {"lint", cmd_lint, {}},
+};
+
+/// Flush the requested observability outputs; never throws (a failed
+/// dump must not change the subcommand's exit code).
+void write_observability(const GlobalOpts& g) {
+  if (!g.trace_path.empty() && !obs::write_chrome_trace_file(g.trace_path))
+    std::fprintf(stderr, "tmm: cannot write trace to %s\n",
+                 g.trace_path.c_str());
+  if (!g.metrics_path.empty() &&
+      !obs::write_metrics_json_file(g.metrics_path))
+    std::fprintf(stderr, "tmm: cannot write metrics to %s\n",
+                 g.metrics_path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  GlobalOpts global;
+  int first = 1;
+  std::string cmd;
   try {
-    const Args args = parse(argc, argv, 2);
-    if (cmd == "gen-design") return cmd_gen_design(args);
-    if (cmd == "stats") return cmd_stats(args);
-    if (cmd == "sta") return cmd_sta(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "evaluate") return cmd_evaluate(args);
-    if (cmd == "export-lib") return cmd_export_lib(args);
-    if (cmd == "lint") return cmd_lint(args);
-    return usage();
+    // Global options may precede the subcommand.
+    while (first < argc && std::strncmp(argv[first], "--", 2) == 0) {
+      const std::string a = argv[first];
+      if (a == "--trace" || a == "--metrics") {
+        if (first + 1 >= argc) throw UsageError("missing value for " + a);
+        (a == "--trace" ? global.trace_path : global.metrics_path) =
+            argv[first + 1];
+        first += 2;
+      } else {
+        throw UsageError("unknown global option " + a);
+      }
+    }
+    if (first >= argc) return usage();
+    cmd = argv[first];
+    const Command* command = nullptr;
+    for (const Command& c : kCommands)
+      if (c.name == cmd) command = &c;
+    if (command == nullptr) return usage();
+
+    const Args args =
+        parse(argc, argv, first + 1, cmd, command->allowed, global);
+    if (!global.trace_path.empty()) obs::set_tracing_enabled(true);
+    log_info("tmm %s: starting (trace=%s, metrics=%s)", cmd.c_str(),
+             global.trace_path.empty() ? "off" : global.trace_path.c_str(),
+             global.metrics_path.empty() ? "off"
+                                         : global.metrics_path.c_str());
+    int rc = 0;
+    std::exception_ptr err;
+    {
+      // Scope the top-level span so it is recorded (and therefore
+      // exported) even when the subcommand throws.
+      const std::string span_name = "tmm." + cmd;
+      obs::Span span(span_name.c_str());
+      obs::trace_rss_sample();
+      try {
+        rc = command->run(args);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      obs::trace_rss_sample();
+    }
+    write_observability(global);
+    if (err) std::rethrow_exception(err);
+    return rc;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "tmm%s%s: %s\n", cmd.empty() ? "" : " ",
+                 cmd.c_str(), e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tmm %s: %s\n", cmd.c_str(), e.what());
     return 1;
