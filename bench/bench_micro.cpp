@@ -1,15 +1,25 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // substrate pieces: LUT lookup, full STA propagation, the slew-only
 // filter propagation, GraphSAGE inference, feature extraction, ILM
-// extraction and merging.
+// extraction, merging and the incremental TS evaluation loop.
+//
+// Besides the google-benchmark entries, main() directly times the TS
+// loop full vs incremental and records `speedup_incremental` in
+// BENCH_micro.json (CI asserts it stays >= 1).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
 #include "flow/framework.hpp"
 #include "liberty/library_gen.hpp"
 #include "netlist/design_gen.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sensitivity/ts_eval.hpp"
+#include "util/instrument.hpp"
 
 namespace {
 
@@ -225,6 +235,73 @@ void BM_GnnTrainEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_GnnTrainEpoch)->Unit(benchmark::kMillisecond);
 
+void BM_TsEvalFullVsIncremental(benchmark::State& state) {
+  static const IlmResult ilm = extract_ilm(flat_graph());
+  const std::vector<bool> cands(ilm.graph.num_nodes(), true);
+  TsConfig cfg;
+  cfg.threads = 1;
+  cfg.incremental = state.range(0) != 0;
+  for (auto _ : state) {
+    TsResult r = evaluate_timing_sensitivity(ilm.graph, cands, cfg);
+    benchmark::DoNotOptimize(r.ts.data());
+  }
+}
+BENCHMARK(BM_TsEvalFullVsIncremental)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);  // a single TS sweep is seconds on the full path
+
+// Direct full-vs-incremental comparison on the bench design, recorded
+// in BENCH_micro.json: CI smoke-checks `speedup_incremental`, and the
+// loop double-checks the bit-identity contract on the way.
+void record_ts_speedup() {
+  const IlmResult ilm = extract_ilm(flat_graph());
+  const std::vector<bool> cands(ilm.graph.num_nodes(), true);
+  TsConfig cfg;
+  cfg.threads = 1;
+
+  Stopwatch sw;
+  cfg.incremental = false;
+  const TsResult full = evaluate_timing_sensitivity(ilm.graph, cands, cfg);
+  const double full_s = sw.seconds();
+
+  sw = Stopwatch();
+  cfg.incremental = true;
+  const TsResult inc = evaluate_timing_sensitivity(ilm.graph, cands, cfg);
+  const double inc_s = sw.seconds();
+
+  std::size_t mismatches = 0;
+  for (std::size_t n = 0; n < full.ts.size(); ++n)
+    if (std::memcmp(&full.ts[n], &inc.ts[n], sizeof(double)) != 0)
+      ++mismatches;
+
+  const double speedup = inc_s > 0.0 ? full_s / inc_s : 0.0;
+  std::printf(
+      "\nTS eval on %zu pins: full %.3fs, incremental %.3fs -> "
+      "speedup_incremental %.2fx (%zu TS mismatches)\n",
+      full.evaluated_pins, full_s, inc_s, speedup, mismatches);
+
+  bench::JsonReport json("micro");
+  json.set_meta("ts_pins", static_cast<double>(full.evaluated_pins));
+  json.add_row("bench", "full",
+               {{"ts_eval_seconds", full_s},
+                {"pins", static_cast<double>(full.evaluated_pins)}});
+  json.add_row("bench", "incremental",
+               {{"ts_eval_seconds", inc_s},
+                {"pins", static_cast<double>(inc.evaluated_pins)}});
+  json.set_summary("speedup_incremental", speedup);
+  json.set_summary("ts_bitwise_mismatches", static_cast<double>(mismatches));
+  json.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  record_ts_speedup();
+  return 0;
+}

@@ -10,6 +10,18 @@
 
 namespace tmm {
 
+namespace {
+
+// Metric handles resolved at namespace scope (the registry is a leaked
+// function-local static, so this is static-init safe) — keeps the init
+// guard out of the per-epoch loop.
+constexpr double kEpochBounds[] = {0.001, 0.01, 0.1, 1.0, 10.0};
+obs::Counter& g_epochs_total = obs::counter("gnn.epochs");
+obs::Histogram& g_epoch_hist =
+    obs::histogram("gnn.epoch_seconds", kEpochBounds);
+
+}  // namespace
+
 double bce_with_logits(const Matrix& logits, std::span<const float> labels,
                        std::span<const unsigned char> mask, float pos_weight,
                        Matrix& dlogits) {
@@ -82,10 +94,6 @@ TrainReport train_model(GnnModel& model, std::span<const GraphSample> samples,
   }
 
   obs::Span train_span("gnn.train");
-  static obs::Counter& epochs_total = obs::counter("gnn.epochs");
-  static const double kEpochBounds[] = {0.001, 0.01, 0.1, 1.0, 10.0};
-  static obs::Histogram& epoch_hist =
-      obs::histogram("gnn.epoch_seconds", kEpochBounds);
 
   Adam opt(model.params(), cfg.adam);
   double best_loss = std::numeric_limits<double>::infinity();
@@ -107,8 +115,8 @@ TrainReport train_model(GnnModel& model, std::span<const GraphSample> samples,
     epoch_loss /= static_cast<double>(std::max<std::size_t>(1, samples.size()));
     report.final_loss = epoch_loss;
     report.epochs_run = epoch + 1;
-    epochs_total.add();
-    epoch_hist.observe(epoch_sw.seconds());
+    g_epochs_total.add();
+    g_epoch_hist.observe(epoch_sw.seconds());
     epoch_span.set_arg("loss", epoch_loss);
     if (epoch % 25 == 0)
       log_debug("gnn epoch %zu loss %.6f", epoch, epoch_loss);

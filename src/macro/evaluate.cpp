@@ -6,6 +6,14 @@
 
 namespace tmm {
 
+namespace {
+
+// Metric handle resolved at namespace scope (the registry is a leaked
+// function-local static, so this is static-init safe).
+obs::Counter& g_evals = obs::counter("evaluate.runs");
+
+}  // namespace
+
 AccuracyReport evaluate_accuracy(const TimingGraph& reference,
                                  const TimingGraph& model,
                                  std::span<const BoundaryConstraints> sets,
@@ -41,8 +49,7 @@ AccuracyReport evaluate_accuracy(const TimingGraph& reference,
   }
   report.compared_values = count;
   if (count > 0) report.avg_err_ps = sum / static_cast<double>(count);
-  static obs::Counter& evals = obs::counter("evaluate.runs");
-  evals.add();
+  g_evals.add();
   obs::gauge("evaluate.max_err_ps").set(report.max_err_ps);
   span.set_arg("max_err_ps", report.max_err_ps);
   return report;

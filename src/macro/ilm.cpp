@@ -5,6 +5,14 @@
 
 namespace tmm {
 
+namespace {
+
+// Metric handle resolved at namespace scope (the registry is a leaked
+// function-local static, so this is static-init safe).
+obs::Counter& g_extractions = obs::counter("ilm.extractions");
+
+}  // namespace
+
 std::vector<bool> ilm_keep_set(const TimingGraph& flat) {
   const std::size_t n = flat.num_nodes();
   std::vector<bool> fwd(n, false);
@@ -154,8 +162,7 @@ IlmResult extract_ilm(const TimingGraph& flat) {
     if (ck == kInvalidId || d == kInvalidId) continue;
     out.graph.add_check(ck, d, c.is_setup, c.guard);
   }
-  static obs::Counter& extractions = obs::counter("ilm.extractions");
-  extractions.add();
+  g_extractions.add();
   obs::gauge("ilm.flat_pins").set(static_cast<double>(flat.num_live_nodes()));
   obs::gauge("ilm.pins").set(static_cast<double>(out.graph.num_live_nodes()));
   span.set_arg("pins", static_cast<double>(out.graph.num_live_nodes()));

@@ -10,6 +10,16 @@ namespace tmm {
 
 namespace {
 
+// Metric handles resolved at namespace scope (the registry is a leaked
+// function-local static, so this is static-init safe) — avoids the
+// per-call lookup and init guard in hot code.
+constexpr double kPointBounds[] = {2, 4, 8, 16, 32};
+constexpr double kErrBounds[] = {0.01, 0.1, 0.5, 1.0, 5.0};
+obs::Counter& g_selections = obs::counter("index.selections");
+obs::Histogram& g_points = obs::histogram("index.points", kPointBounds);
+obs::Histogram& g_residual =
+    obs::histogram("index.residual_err_ps", kErrBounds);
+
 /// Metrics shared by both selection strategies: grid points kept and
 /// the residual (worst remaining) interpolation error of the chosen
 /// grid — the quantity the error-driven loop minimizes and the fixed
@@ -18,18 +28,12 @@ namespace {
 void record_selection(std::span<const double> xs,
                       std::span<const std::vector<double>> funcs,
                       std::span<const std::size_t> sel) {
-  static obs::Counter& selections = obs::counter("index.selections");
-  static const double kPointBounds[] = {2, 4, 8, 16, 32};
-  static obs::Histogram& points = obs::histogram("index.points", kPointBounds);
-  static const double kErrBounds[] = {0.01, 0.1, 0.5, 1.0, 5.0};
-  static obs::Histogram& residual =
-      obs::histogram("index.residual_err_ps", kErrBounds);
-  selections.add();
-  points.observe(static_cast<double>(sel.size()));
+  g_selections.add();
+  g_points.observe(static_cast<double>(sel.size()));
   double worst = 0.0;
   for (const auto& f : funcs)
     worst = std::max(worst, interpolation_error(xs, f, sel));
-  residual.observe(worst);
+  g_residual.observe(worst);
 }
 
 /// Error at candidate position `i` of `func` under the selected grid.

@@ -1,6 +1,9 @@
 #include "macro/merge.hpp"
 
+#include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -8,6 +11,23 @@
 namespace tmm {
 
 namespace {
+
+// Metric handles resolved once at namespace scope instead of per call
+// (the registry is a leaked function-local static, so this is safe at
+// static-initialization time).
+obs::Counter& g_pins_removed = obs::counter("merge.pins_removed");
+obs::Counter& g_serial_arcs = obs::counter("merge.serial_arcs_created");
+obs::Counter& g_parallel_arcs = obs::counter("merge.parallel_arcs_merged");
+obs::Counter& g_refused = obs::counter("merge.refused");
+
+/// Parallel-duplicate identity of a delay arc: same endpoints *and the
+/// same unateness* (enveloping arcs of different senses would conflate
+/// per-transition surfaces).
+std::uint64_t parallel_key(const GraphArc& arc) {
+  return (static_cast<std::uint64_t>(arc.from) << 33) |
+         (static_cast<std::uint64_t>(arc.to) << 2) |
+         static_cast<std::uint64_t>(arc.sense);
+}
 
 /// Static (degree-independent) legality of merging node n.
 bool mergeable_static(const TimingGraph& g, NodeId n) {
@@ -252,10 +272,12 @@ void build_chain_tables(const Chain& chain, ArcSense variant,
 
 /// Materialize a chain onto graph arc `id`. Unate chains need one arc;
 /// non-unate chains split into a positive- and a negative-unate variant
-/// so each input transition keeps its own delay surface.
+/// so each input transition keeps its own delay surface. With `delta`,
+/// the variant arc is appended through the cache-preserving delta API
+/// (MergeDelta); the resulting graph is identical either way.
 void materialize_chain(TimingGraph& g, ArcId id, const Chain& chain,
                        const IndexSelectionConfig& cfg,
-                       const AocvConfig& aocv) {
+                       const AocvConfig& aocv, bool delta = false) {
   const ArcSense sense = chain_sense(chain);
   const ArcSense first =
       sense == ArcSense::kNegativeUnate ? ArcSense::kNegativeUnate
@@ -277,10 +299,13 @@ void materialize_chain(TimingGraph& g, ArcId id, const Chain& chain,
     build_chain_tables(chain, ArcSense::kNegativeUnate, cfg, aocv, delay,
                        out_slew);
     const GraphArc arc = g.arc(id);
-    const ArcId neg = g.add_cell_arc(arc.from, arc.to,
-                                     ArcSense::kNegativeUnate,
-                                     g.own_tables(std::move(delay)),
-                                     g.own_tables(std::move(out_slew)), false);
+    const ElRf<Lut>* dt = g.own_tables(std::move(delay));
+    const ElRf<Lut>* st = g.own_tables(std::move(out_slew));
+    const ArcId neg =
+        delta ? g.delta_add_cell_arc(arc.from, arc.to,
+                                     ArcSense::kNegativeUnate, dt, st, false)
+              : g.add_cell_arc(arc.from, arc.to, ArcSense::kNegativeUnate, dt,
+                               st, false);
     g.arc(neg).baked_derate = true;
   }
 }
@@ -454,15 +479,10 @@ MergeStats merge_insensitive_pins(TimingGraph& g,
   }
 
   stats.parallel_arcs_merged = merge_parallel_arcs(g, cfg);
-  static obs::Counter& pins_removed = obs::counter("merge.pins_removed");
-  static obs::Counter& serial_arcs = obs::counter("merge.serial_arcs_created");
-  static obs::Counter& parallel_arcs =
-      obs::counter("merge.parallel_arcs_merged");
-  static obs::Counter& refused = obs::counter("merge.refused");
-  pins_removed.add(stats.pins_removed);
-  serial_arcs.add(stats.serial_arcs_created);
-  parallel_arcs.add(stats.parallel_arcs_merged);
-  refused.add(stats.refused);
+  g_pins_removed.add(stats.pins_removed);
+  g_serial_arcs.add(stats.serial_arcs_created);
+  g_parallel_arcs.add(stats.parallel_arcs_merged);
+  g_refused.add(stats.refused);
   span.set_arg("pins_removed", static_cast<double>(stats.pins_removed));
   return stats;
 }
@@ -473,11 +493,7 @@ std::size_t merge_parallel_arcs(TimingGraph& g, const MergeConfig& cfg) {
   for (ArcId a = 0; a < g.num_arcs(); ++a) {
     const GraphArc arc = g.arc(a);
     if (arc.dead || arc.is_launch) continue;
-    // Same endpoints *and the same unateness*: enveloping arcs of
-    // different senses would conflate per-transition surfaces.
-    const std::uint64_t key = (static_cast<std::uint64_t>(arc.from) << 33) |
-                              (static_cast<std::uint64_t>(arc.to) << 2) |
-                              static_cast<std::uint64_t>(arc.sense);
+    const std::uint64_t key = parallel_key(arc);
     auto [it, inserted] = first_arc.emplace(key, a);
     if (inserted || it->second == a) continue;
     // Fold this arc into the representative by worst-case envelope.
@@ -497,6 +513,173 @@ std::size_t merge_parallel_arcs(TimingGraph& g, const MergeConfig& cfg) {
     ++merged;
   }
   return merged;
+}
+
+bool has_parallel_duplicate_arcs(const TimingGraph& g) {
+  std::unordered_set<std::uint64_t> seen;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const GraphArc& arc = g.arc(a);
+    if (arc.dead || arc.is_launch) continue;
+    if (!seen.insert(parallel_key(arc)).second) return true;
+  }
+  return false;
+}
+
+MergeDelta::MergeDelta(TimingGraph& g) : g_(&g) {
+  // Materialize the adjacency + topological-order caches the delta_*
+  // mutators patch in place.
+  g.topo_order();
+  graph_has_duplicates_ = has_parallel_duplicate_arcs(g);
+  if (graph_has_duplicates_) return;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const GraphArc& arc = g.arc(a);
+    if (arc.dead || arc.is_launch) continue;
+    pristine_keys_.emplace(parallel_key(arc), a);
+  }
+}
+
+// The body below replays merge_insensitive_pins for a single-pin keep
+// mask step by step — same refusal rules, same splice order (and thus
+// the same arc-id allocation sequence as on a scratch copy), the same
+// unordered_map key/insertion sequence for chain materialization (hence
+// the same iteration order and id sequence for non-unate second-variant
+// arcs), and a fold-for-fold replay of the merge_parallel_arcs scan.
+// That replication is what makes the incremental TS path bit-identical
+// to the copy + full-merge path; the equivalence is enforced by the
+// randomized harness in tests/test_sta_incremental.cpp.
+bool MergeDelta::apply(NodeId pin, const MergeConfig& cfg) {
+  if (applied_)
+    throw std::logic_error("MergeDelta::apply: previous delta not undone");
+  if (!applicable()) return false;
+  TimingGraph& g = *g_;
+  touched_.clear();
+  killed_.clear();
+  if (!mergeable_static(g, pin) || !g.checks_of(pin).empty()) return false;
+  const std::vector<ArcId> fin(g.fanin(pin));
+  const std::vector<ArcId> fout(g.fanout(pin));
+  const bool dangling = fin.empty() || fout.empty();
+  std::unordered_map<ArcId, Chain> chains;
+  auto chain_of = [&](ArcId a) -> Chain {
+    auto it = chains.find(a);
+    if (it != chains.end()) return it->second;
+    const GraphArc& arc = g.arc(a);
+    return Chain{{arc, g.node(arc.to).static_load_ff,
+                  g.node(arc.from).aocv_depth}};
+  };
+  if (!dangling) {
+    if ((cfg.single_fanin_only && fin.size() > 1) ||
+        fin.size() * fout.size() > cfg.max_fan_product)
+      return false;
+    for (ArcId a : fin)
+      if (g.arc(a).is_launch) return false;
+    for (ArcId a : fout)
+      if (g.arc(a).is_launch) return false;
+    std::size_t before = 24;  // node record itself
+    for (ArcId a : fin)
+      before += size_model::arc_cost(g, a, chains, cfg.index.max_points);
+    for (ArcId a : fout)
+      before += size_model::arc_cost(g, a, chains, cfg.index.max_points);
+    std::size_t after = 0;
+    for (ArcId ia : fin) {
+      for (ArcId oa : fout) {
+        Chain probe = chain_of(ia);
+        const Chain tail = chain_of(oa);
+        probe.insert(probe.end(), tail.begin(), tail.end());
+        after += size_model::chain_cost(probe, cfg.index.max_points);
+      }
+    }
+    if (after > before) return false;
+  }
+  base_arcs_ = g.num_arcs();
+  base_tables_ = g.num_owned_tables();
+  pin_ = pin;
+  if (!dangling) {
+    for (ArcId ia : fin) {
+      for (ArcId oa : fout) {
+        const NodeId from = g.arc(ia).from;
+        const NodeId to = g.arc(oa).to;
+        Chain merged = chain_of(ia);
+        const Chain tail = chain_of(oa);
+        merged.insert(merged.end(), tail.begin(), tail.end());
+        const ArcId na = g.delta_add_cell_arc(from, to, chain_sense(merged),
+                                              nullptr, nullptr,
+                                              /*is_launch=*/false);
+        chains.emplace(na, std::move(merged));
+      }
+    }
+  }
+  for (ArcId a : fin) {
+    g.delta_kill_arc(a);
+    killed_.push_back(a);
+  }
+  for (ArcId a : fout) {
+    g.delta_kill_arc(a);
+    killed_.push_back(a);
+  }
+  g.delta_set_node_dead(pin, true);
+  for (auto& [id, chain] : chains) {
+    if (g.arc(id).dead) continue;
+    materialize_chain(g, id, chain, cfg.index, cfg.aocv, /*delta=*/true);
+  }
+  // Parallel folding restricted to the appended id range: with no
+  // duplicate keys among live pristine arcs, a full merge_parallel_arcs
+  // scan would only register those, so replaying the scan over the new
+  // arcs against the pristine key index reproduces it exactly.
+  std::unordered_map<std::uint64_t, ArcId> local;
+  auto rep_for = [&](std::uint64_t key) -> ArcId {
+    auto it = local.find(key);
+    if (it != local.end()) return it->second;
+    auto pt = pristine_keys_.find(key);
+    if (pt != pristine_keys_.end() && !g.arc(pt->second).dead)
+      return pt->second;
+    return kInvalidId;
+  };
+  for (ArcId a = static_cast<ArcId>(base_arcs_); a < g.num_arcs(); ++a) {
+    const GraphArc arc = g.arc(a);
+    if (arc.dead || arc.is_launch) continue;
+    const std::uint64_t key = parallel_key(arc);
+    const ArcId repid = rep_for(key);
+    if (repid == kInvalidId || repid == a) {
+      local.emplace(key, a);
+      continue;
+    }
+    const GraphArc rep = g.arc(repid);
+    ComposedTables ct = compose_parallel(
+        g, rep, arc, g.node(arc.to).static_load_ff, cfg.index, cfg.aocv,
+        g.node(arc.from).aocv_depth);
+    const ElRf<Lut>* dt = g.own_tables(std::move(ct.delay));
+    const ElRf<Lut>* st = g.own_tables(std::move(ct.out_slew));
+    g.delta_kill_arc(repid);
+    if (repid < base_arcs_) killed_.push_back(repid);
+    g.delta_kill_arc(a);
+    const ArcId na =
+        g.delta_add_cell_arc(arc.from, arc.to, ct.sense, dt, st, false);
+    g.arc(na).baked_derate =
+        cfg.aocv.enabled || rep.baked_derate || arc.baked_derate;
+    local[key] = na;
+  }
+  // Every node whose fanin or fanout arc set changed: the removed pin
+  // and its former neighbors (fold reps/products share those endpoints).
+  touched_.push_back(pin);
+  for (ArcId a : fin) touched_.push_back(g.arc(a).from);
+  for (ArcId a : fout) touched_.push_back(g.arc(a).to);
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                 touched_.end());
+  applied_ = true;
+  return true;
+}
+
+void MergeDelta::undo() {
+  if (!applied_) return;
+  TimingGraph& g = *g_;
+  g.delta_truncate(base_arcs_, base_tables_);
+  for (ArcId a : killed_) g.delta_restore_arc(a);
+  g.delta_set_node_dead(pin_, false);
+  applied_ = false;
+  pin_ = kInvalidId;
+  touched_.clear();
+  killed_.clear();
 }
 
 }  // namespace tmm

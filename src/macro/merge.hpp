@@ -15,6 +15,9 @@
 //     timing-safe (single-fanin pins compose exactly);
 //   - high-fanout pins whose removal would blow up the arc count.
 
+#include <unordered_map>
+#include <vector>
+
 #include "macro/compose.hpp"
 #include "sta/aocv.hpp"
 #include "sta/timing_graph.hpp"
@@ -52,5 +55,59 @@ MergeStats merge_insensitive_pins(TimingGraph& g, const std::vector<bool>& keep,
 
 /// Collapse parallel duplicate delay arcs (same from/to) into envelopes.
 std::size_t merge_parallel_arcs(TimingGraph& g, const MergeConfig& cfg = {});
+
+/// True if the live graph has two non-launch delay arcs with the same
+/// (from, to, sense) key — i.e. merge_parallel_arcs would fold
+/// something even before any pin is removed. MergeDelta requires this
+/// to be false (see below).
+bool has_parallel_duplicate_arcs(const TimingGraph& g);
+
+/// Single-pin merge with undo, for the what-if loop of timing-
+/// sensitivity evaluation: removes one pin in place via the graph's
+/// delta_* mutators — replicating merge_insensitive_pins({pin}) arc for
+/// arc, including refusal rules, splice order, chain materialization
+/// and parallel-duplicate folding — and restores the graph byte-
+/// equivalently afterwards, keeping the cached adjacency and
+/// topological order valid throughout. One MergeDelta per scratch graph
+/// amortizes the pristine duplicate-key index across pins.
+///
+/// Not applicable (applicable() == false, apply() refuses) when the
+/// pristine graph already has parallel duplicate arcs: a full merge
+/// would fold those independently of the removed pin, so the delta
+/// could not match it; callers fall back to the copy + full-merge path.
+class MergeDelta {
+ public:
+  explicit MergeDelta(TimingGraph& g);
+
+  bool applicable() const noexcept { return !graph_has_duplicates_; }
+
+  /// Remove `pin`. Returns false (graph untouched) when the pin is
+  /// refused by the merge legality/size rules or the delta is not
+  /// applicable. Must not be called while a delta is applied.
+  bool apply(NodeId pin, const MergeConfig& cfg);
+
+  /// Restore the graph to its pre-apply state (no-op when nothing is
+  /// applied).
+  void undo();
+
+  bool applied() const noexcept { return applied_; }
+
+  /// Nodes whose fanin or fanout arc set the last apply() changed (the
+  /// removed pin plus its former neighbors); empty when refused. Feed
+  /// this to Sta::run_incremental.
+  const std::vector<NodeId>& touched() const noexcept { return touched_; }
+
+ private:
+  TimingGraph* g_;
+  bool graph_has_duplicates_ = false;
+  /// (from, to, sense) key -> the unique live pristine non-launch arc.
+  std::unordered_map<std::uint64_t, ArcId> pristine_keys_;
+  NodeId pin_ = kInvalidId;
+  bool applied_ = false;
+  std::size_t base_arcs_ = 0;
+  std::size_t base_tables_ = 0;
+  std::vector<ArcId> killed_;  ///< pre-existing arcs killed by the delta
+  std::vector<NodeId> touched_;
+};
 
 }  // namespace tmm

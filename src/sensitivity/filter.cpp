@@ -9,6 +9,14 @@
 
 namespace tmm {
 
+namespace {
+
+// Metric handle resolved at namespace scope (the registry is a leaked
+// function-local static, so this is static-init safe).
+obs::Counter& g_filter_runs = obs::counter("filter.runs");
+
+}  // namespace
+
 bool is_last_stage(const TimingGraph& g, NodeId n) {
   const auto& node = g.node(n);
   if (!node.attached_po_loads.empty()) return true;
@@ -56,8 +64,7 @@ FilterResult filter_insensitive_pins(const TimingGraph& g,
     }
   }
   // §4.2 economics: how many pins the filter spares the TS loop.
-  static obs::Counter& filter_runs = obs::counter("filter.runs");
-  filter_runs.add();
+  g_filter_runs.add();
   obs::gauge("filter.live_pins").set(static_cast<double>(out.live_pins));
   obs::gauge("filter.remained").set(static_cast<double>(out.num_remained));
   obs::gauge("filter.filtered")

@@ -29,6 +29,13 @@ struct TsConfig {
   /// independent; results are deterministic regardless of the count).
   /// 0 = use the hardware concurrency.
   std::size_t threads = 1;
+  /// Incremental per-pin path: one reusable scratch graph per worker
+  /// (MergeDelta apply/undo) and worklist re-propagation over the dirty
+  /// cone (Sta::run_incremental) instead of a graph copy + full merge +
+  /// full propagation per pin. Results are bit-identical to the full
+  /// path; automatically falls back to it (with a warning) when the ILM
+  /// has pre-existing parallel duplicate arcs.
+  bool incremental = true;
 };
 
 struct TsResult {

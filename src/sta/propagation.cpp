@@ -1,7 +1,10 @@
 #include "sta/propagation.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <queue>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "obs/metrics.hpp"
@@ -22,6 +25,16 @@ constexpr std::size_t idx(NodeId n, unsigned el, unsigned rf) {
 constexpr bool dominates(unsigned el, double cand, double cur) {
   return el == kLate ? cand > cur : cand < cur;
 }
+
+// Metric handles resolved once at namespace scope: the TS loop runs the
+// engine once per pin per constraint set, and the registry name lookup
+// plus the guard check of a function-local static are measurable there.
+// The registry itself is a leaked function-local static, so this is
+// safe at static-initialization time.
+obs::Counter& g_runs = obs::counter("sta.runs");
+obs::Counter& g_nodes_propagated = obs::counter("sta.nodes_propagated");
+obs::Counter& g_incremental_runs = obs::counter("sta.incremental_runs");
+obs::Counter& g_slew_only_runs = obs::counter("sta.slew_only_runs");
 
 }  // namespace
 
@@ -63,10 +76,8 @@ Sta::Sta(const TimingGraph& graph, Options opt) : graph_(&graph), opt_(opt) {}
 
 void Sta::run(const BoundaryConstraints& bc) {
   obs::Span span("sta.run");
-  static obs::Counter& runs = obs::counter("sta.runs");
-  static obs::Counter& nodes = obs::counter("sta.nodes_propagated");
-  runs.add();
-  nodes.add(graph_->num_live_nodes());
+  g_runs.add();
+  g_nodes_propagated.add(graph_->num_live_nodes());
   const std::size_t n = graph_->num_nodes();
   values_.assign(n, PinTiming{});
   preds_.assign(n * kNumEl * kNumRf, Pred{});
@@ -88,74 +99,80 @@ void Sta::run(const BoundaryConstraints& bc) {
       values_[u].rat(kEarly, rf) = -kInf;
     }
   }
-  seed_forward(bc);
-  forward();
+  forward(bc);
   seed_backward(bc);
   backward();
 }
 
-void Sta::seed_forward(const BoundaryConstraints& bc) {
-  const auto& pis = graph_->primary_inputs();
-  for (std::uint32_t i = 0; i < pis.size(); ++i) {
-    if (pis[i] == kInvalidId || i >= bc.pi.size()) continue;
-    auto& t = values_[pis[i]];
-    for (unsigned el = 0; el < kNumEl; ++el)
-      for (unsigned rf = 0; rf < kNumRf; ++rf) {
-        t.at(el, rf) = bc.pi[i].at(el, rf);
-        t.slew(el, rf) = bc.pi[i].slew(el, rf);
-      }
+void Sta::forward(const BoundaryConstraints& bc) {
+  for (NodeId v : graph_->topo_order()) {
+    if (graph_->node(v).dead) continue;
+    relax_forward_node(v, bc);
   }
 }
 
-void Sta::forward() {
-  for (NodeId u : graph_->topo_order()) {
-    const PinTiming tu = values_[u];  // copy: u is final here
-    for (ArcId aid : graph_->fanout(u)) {
-      const GraphArc& a = graph_->arc(aid);
-      PinTiming& tv = values_[a.to];
-      if (a.kind == GraphArcKind::kWire) {
-        for (unsigned el = 0; el < kNumEl; ++el) {
-          for (unsigned rf = 0; rf < kNumRf; ++rf) {
-            const double su = tu.slew(el, rf);
-            if (std::isfinite(su)) {
-              const double so = wire_slew(su, a.wire_delay_ps);
-              if (dominates(el, so, tv.slew(el, rf))) tv.slew(el, rf) = so;
-            }
-            const double atu = tu.at(el, rf);
-            if (std::isfinite(atu)) {
-              const double cand = atu + a.wire_delay_ps;
-              if (dominates(el, cand, tv.at(el, rf))) {
-                tv.at(el, rf) = cand;
-                preds_[idx(a.to, el, rf)] = {aid, static_cast<std::uint8_t>(rf)};
-              }
+void Sta::relax_forward_node(NodeId v, const BoundaryConstraints& bc) {
+  PinTiming& tv = values_[v];
+  for (unsigned rf = 0; rf < kNumRf; ++rf) {
+    tv.at(kLate, rf) = -kInf;
+    tv.at(kEarly, rf) = kInf;
+    tv.slew(kLate, rf) = -kInf;
+    tv.slew(kEarly, rf) = kInf;
+  }
+  for (unsigned el = 0; el < kNumEl; ++el)
+    for (unsigned rf = 0; rf < kNumRf; ++rf) preds_[idx(v, el, rf)] = Pred{};
+  const GraphNode& node = graph_->node(v);
+  if (node.role == NodeRole::kPrimaryInput && node.port_ordinal < bc.pi.size()) {
+    const PiConstraint& c = bc.pi[node.port_ordinal];
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        tv.at(el, rf) = c.at(el, rf);
+        tv.slew(el, rf) = c.slew(el, rf);
+      }
+  }
+  for (ArcId aid : graph_->fanin(v)) {
+    const GraphArc& a = graph_->arc(aid);
+    const PinTiming& tu = values_[a.from];
+    if (a.kind == GraphArcKind::kWire) {
+      for (unsigned el = 0; el < kNumEl; ++el) {
+        for (unsigned rf = 0; rf < kNumRf; ++rf) {
+          const double su = tu.slew(el, rf);
+          if (std::isfinite(su)) {
+            const double so = wire_slew(su, a.wire_delay_ps);
+            if (dominates(el, so, tv.slew(el, rf))) tv.slew(el, rf) = so;
+          }
+          const double atu = tu.at(el, rf);
+          if (std::isfinite(atu)) {
+            const double cand = atu + a.wire_delay_ps;
+            if (dominates(el, cand, tv.at(el, rf))) {
+              tv.at(el, rf) = cand;
+              preds_[idx(v, el, rf)] = {aid, static_cast<std::uint8_t>(rf)};
             }
           }
         }
-      } else {
-        const double load = eff_load_[a.to];
-        for (unsigned el = 0; el < kNumEl; ++el) {
-          const double derate =
-              a.baked_derate
-                  ? 1.0
-                  : opt_.aocv.derate(el, graph_->node(a.from).aocv_depth);
-          for (unsigned irf = 0; irf < kNumRf; ++irf) {
-            const double su = tu.slew(el, irf);
-            if (!std::isfinite(su)) continue;
-            const unsigned mask = output_transitions(a.sense, irf);
-            for (unsigned orf = 0; orf < kNumRf; ++orf) {
-              if (!(mask & (1u << orf))) continue;
-              const double d =
-                  (*a.delay)(el, orf).lookup(su, load) * derate;
-              const double so = (*a.out_slew)(el, orf).lookup(su, load);
-              if (dominates(el, so, tv.slew(el, orf))) tv.slew(el, orf) = so;
-              const double atu = tu.at(el, irf);
-              if (std::isfinite(atu)) {
-                const double cand = atu + d;
-                if (dominates(el, cand, tv.at(el, orf))) {
-                  tv.at(el, orf) = cand;
-                  preds_[idx(a.to, el, orf)] = {aid,
-                                                static_cast<std::uint8_t>(irf)};
-                }
+      }
+    } else {
+      const double load = eff_load_[v];
+      for (unsigned el = 0; el < kNumEl; ++el) {
+        const double derate =
+            a.baked_derate
+                ? 1.0
+                : opt_.aocv.derate(el, graph_->node(a.from).aocv_depth);
+        for (unsigned irf = 0; irf < kNumRf; ++irf) {
+          const double su = tu.slew(el, irf);
+          if (!std::isfinite(su)) continue;
+          const unsigned mask = output_transitions(a.sense, irf);
+          for (unsigned orf = 0; orf < kNumRf; ++orf) {
+            if (!(mask & (1u << orf))) continue;
+            const double d = (*a.delay)(el, orf).lookup(su, load) * derate;
+            const double so = (*a.out_slew)(el, orf).lookup(su, load);
+            if (dominates(el, so, tv.slew(el, orf))) tv.slew(el, orf) = so;
+            const double atu = tu.at(el, irf);
+            if (std::isfinite(atu)) {
+              const double cand = atu + d;
+              if (dominates(el, cand, tv.at(el, orf))) {
+                tv.at(el, orf) = cand;
+                preds_[idx(v, el, orf)] = {aid, static_cast<std::uint8_t>(irf)};
               }
             }
           }
@@ -216,6 +233,58 @@ double Sta::cppr_credit(NodeId launch_ck, NodeId capture_ck) const {
   return 0.0;
 }
 
+void Sta::apply_check_seed(const CheckArc& c, const BoundaryConstraints& bc) {
+  PinTiming& td = values_[c.data];
+  PinTiming& tc = values_[c.clock];
+  const double ck_slew = tc.slew(kLate, kRise);
+  const double ck_at_early = tc.at(kEarly, kRise);
+  const double ck_at_late = tc.at(kLate, kRise);
+  if (!std::isfinite(ck_slew)) return;
+  for (unsigned rf = 0; rf < kNumRf; ++rf) {
+    if (c.is_setup) {
+      const double d_slew = td.slew(kLate, rf);
+      if (!std::isfinite(d_slew) || !std::isfinite(ck_at_early)) continue;
+      const double guard = (*c.guard)(kLate, rf).lookup(ck_slew, d_slew);
+      double credit = 0.0;
+      if (opt_.cppr) {
+        const NodeId lck = trace_launch_clock(c.data, kLate, rf);
+        credit = cppr_credit(lck, c.clock);
+      }
+      credits_[idx(c.data, kLate, rf)] = credit;
+      const double cand = bc.clock_period_ps + ck_at_early - guard + credit;
+      if (cand < td.rat(kLate, rf)) td.rat(kLate, rf) = cand;
+      // Capture-side requirement on the clock pin: the capture edge
+      // must not arrive so early that the data misses setup.
+      if (opt_.clock_rat) {
+        const double d_at = td.at(kLate, rf);
+        if (std::isfinite(d_at)) {
+          const double ck_req = d_at + guard - bc.clock_period_ps - credit;
+          if (ck_req > tc.rat(kEarly, kRise)) tc.rat(kEarly, kRise) = ck_req;
+        }
+      }
+    } else {
+      const double d_slew = td.slew(kEarly, rf);
+      if (!std::isfinite(d_slew) || !std::isfinite(ck_at_late)) continue;
+      const double guard = (*c.guard)(kEarly, rf).lookup(ck_slew, d_slew);
+      double credit = 0.0;
+      if (opt_.cppr) {
+        const NodeId lck = trace_launch_clock(c.data, kEarly, rf);
+        credit = cppr_credit(lck, c.clock);
+      }
+      credits_[idx(c.data, kEarly, rf)] = credit;
+      const double cand = ck_at_late + guard - credit;
+      if (cand > td.rat(kEarly, rf)) td.rat(kEarly, rf) = cand;
+      if (opt_.clock_rat) {
+        const double d_at = td.at(kEarly, rf);
+        if (std::isfinite(d_at)) {
+          const double ck_req = d_at - guard + credit;
+          if (ck_req < tc.rat(kLate, kRise)) tc.rat(kLate, kRise) = ck_req;
+        }
+      }
+    }
+  }
+}
+
 void Sta::seed_backward(const BoundaryConstraints& bc) {
   const auto& pos = graph_->primary_outputs();
   for (std::uint32_t i = 0; i < pos.size(); ++i) {
@@ -229,52 +298,46 @@ void Sta::seed_backward(const BoundaryConstraints& bc) {
 
   for (const CheckArc& c : graph_->checks()) {
     if (c.dead) continue;
-    PinTiming& td = values_[c.data];
-    PinTiming& tc = values_[c.clock];
-    const double ck_slew = tc.slew(kLate, kRise);
-    const double ck_at_early = tc.at(kEarly, kRise);
-    const double ck_at_late = tc.at(kLate, kRise);
-    if (!std::isfinite(ck_slew)) continue;
-    for (unsigned rf = 0; rf < kNumRf; ++rf) {
-      if (c.is_setup) {
-        const double d_slew = td.slew(kLate, rf);
-        if (!std::isfinite(d_slew) || !std::isfinite(ck_at_early)) continue;
-        const double guard = (*c.guard)(kLate, rf).lookup(ck_slew, d_slew);
-        double credit = 0.0;
-        if (opt_.cppr) {
-          const NodeId lck = trace_launch_clock(c.data, kLate, rf);
-          credit = cppr_credit(lck, c.clock);
-        }
-        credits_[idx(c.data, kLate, rf)] = credit;
-        const double cand =
-            bc.clock_period_ps + ck_at_early - guard + credit;
-        if (cand < td.rat(kLate, rf)) td.rat(kLate, rf) = cand;
-        // Capture-side requirement on the clock pin: the capture edge
-        // must not arrive so early that the data misses setup.
-        if (opt_.clock_rat) {
-          const double d_at = td.at(kLate, rf);
-          if (std::isfinite(d_at)) {
-            const double ck_req = d_at + guard - bc.clock_period_ps - credit;
-            if (ck_req > tc.rat(kEarly, kRise)) tc.rat(kEarly, kRise) = ck_req;
-          }
-        }
-      } else {
-        const double d_slew = td.slew(kEarly, rf);
-        if (!std::isfinite(d_slew) || !std::isfinite(ck_at_late)) continue;
-        const double guard = (*c.guard)(kEarly, rf).lookup(ck_slew, d_slew);
-        double credit = 0.0;
-        if (opt_.cppr) {
-          const NodeId lck = trace_launch_clock(c.data, kEarly, rf);
-          credit = cppr_credit(lck, c.clock);
-        }
-        credits_[idx(c.data, kEarly, rf)] = credit;
-        const double cand = ck_at_late + guard - credit;
-        if (cand > td.rat(kEarly, rf)) td.rat(kEarly, rf) = cand;
-        if (opt_.clock_rat) {
-          const double d_at = td.at(kEarly, rf);
-          if (std::isfinite(d_at)) {
-            const double ck_req = d_at - guard + credit;
-            if (ck_req < tc.rat(kLate, kRise)) tc.rat(kLate, kRise) = ck_req;
+    apply_check_seed(c, bc);
+  }
+}
+
+void Sta::relax_backward_arcs(NodeId u) {
+  PinTiming& tu = values_[u];
+  for (ArcId aid : graph_->fanout(u)) {
+    const GraphArc& a = graph_->arc(aid);
+    const PinTiming& tv = values_[a.to];
+    if (a.kind == GraphArcKind::kWire) {
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        const double rl = tv.rat(kLate, rf);
+        if (std::isfinite(rl) && rl - a.wire_delay_ps < tu.rat(kLate, rf))
+          tu.rat(kLate, rf) = rl - a.wire_delay_ps;
+        const double re = tv.rat(kEarly, rf);
+        if (std::isfinite(re) && re - a.wire_delay_ps > tu.rat(kEarly, rf))
+          tu.rat(kEarly, rf) = re - a.wire_delay_ps;
+      }
+    } else {
+      const double load = eff_load_[a.to];
+      for (unsigned el = 0; el < kNumEl; ++el) {
+        const double derate =
+            a.baked_derate
+                ? 1.0
+                : opt_.aocv.derate(el, graph_->node(a.from).aocv_depth);
+        for (unsigned irf = 0; irf < kNumRf; ++irf) {
+          const double su = tu.slew(el, irf);
+          if (!std::isfinite(su)) continue;
+          const unsigned mask = output_transitions(a.sense, irf);
+          for (unsigned orf = 0; orf < kNumRf; ++orf) {
+            if (!(mask & (1u << orf))) continue;
+            const double rv = tv.rat(el, orf);
+            if (!std::isfinite(rv)) continue;
+            const double d = (*a.delay)(el, orf).lookup(su, load) * derate;
+            const double cand = rv - d;
+            if (el == kLate) {
+              if (cand < tu.rat(kLate, irf)) tu.rat(kLate, irf) = cand;
+            } else {
+              if (cand > tu.rat(kEarly, irf)) tu.rat(kEarly, irf) = cand;
+            }
           }
         }
       }
@@ -286,49 +349,235 @@ void Sta::backward() {
   const auto& order = graph_->topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId u = *it;
+    if (graph_->node(u).dead) continue;
     if (!opt_.clock_rat && graph_->node(u).in_clock_network) continue;
-    PinTiming& tu = values_[u];
-    for (ArcId aid : graph_->fanout(u)) {
-      const GraphArc& a = graph_->arc(aid);
-      const PinTiming& tv = values_[a.to];
-      if (a.kind == GraphArcKind::kWire) {
-        for (unsigned rf = 0; rf < kNumRf; ++rf) {
-          const double rl = tv.rat(kLate, rf);
-          if (std::isfinite(rl) && rl - a.wire_delay_ps < tu.rat(kLate, rf))
-            tu.rat(kLate, rf) = rl - a.wire_delay_ps;
-          const double re = tv.rat(kEarly, rf);
-          if (std::isfinite(re) && re - a.wire_delay_ps > tu.rat(kEarly, rf))
-            tu.rat(kEarly, rf) = re - a.wire_delay_ps;
-        }
-      } else {
-        const double load = eff_load_[a.to];
-        for (unsigned el = 0; el < kNumEl; ++el) {
-          const double derate =
-              a.baked_derate
-                  ? 1.0
-                  : opt_.aocv.derate(el, graph_->node(a.from).aocv_depth);
-          for (unsigned irf = 0; irf < kNumRf; ++irf) {
-            const double su = tu.slew(el, irf);
-            if (!std::isfinite(su)) continue;
-            const unsigned mask = output_transitions(a.sense, irf);
-            for (unsigned orf = 0; orf < kNumRf; ++orf) {
-              if (!(mask & (1u << orf))) continue;
-              const double rv = tv.rat(el, orf);
-              if (!std::isfinite(rv)) continue;
-              const double d =
-                  (*a.delay)(el, orf).lookup(su, load) * derate;
-              const double cand = rv - d;
-              if (el == kLate) {
-                if (cand < tu.rat(kLate, irf)) tu.rat(kLate, irf) = cand;
-              } else {
-                if (cand > tu.rat(kEarly, irf)) tu.rat(kEarly, irf) = cand;
-              }
-            }
-          }
-        }
+    relax_backward_arcs(u);
+  }
+}
+
+void Sta::relax_backward_node(NodeId u, const BoundaryConstraints& bc) {
+  PinTiming& tu = values_[u];
+  for (unsigned rf = 0; rf < kNumRf; ++rf) {
+    tu.rat(kLate, rf) = kInf;
+    tu.rat(kEarly, rf) = -kInf;
+  }
+  for (unsigned el = 0; el < kNumEl; ++el)
+    for (unsigned rf = 0; rf < kNumRf; ++rf) credits_[idx(u, el, rf)] = 0.0;
+  const GraphNode& node = graph_->node(u);
+  if (node.role == NodeRole::kPrimaryOutput && node.port_ordinal < bc.po.size()) {
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      tu.rat(kLate, rf) = bc.po[node.port_ordinal].rat(kLate, rf);
+      tu.rat(kEarly, rf) = bc.po[node.port_ordinal].rat(kEarly, rf);
+    }
+  }
+  for (std::uint32_t cid : graph_->checks_of(u))
+    apply_check_seed(graph_->check(cid), bc);
+  relax_backward_arcs(u);
+}
+
+void Sta::set_reference() {
+  if (values_.size() != graph_->num_nodes())
+    throw std::logic_error("Sta::set_reference: call run() first");
+  ref_values_ = values_;
+  ref_preds_ = preds_;
+  ref_credits_ = credits_;
+  const std::size_t n = graph_->num_nodes();
+  topo_pos_.assign(n, 0);
+  const auto& order = graph_->topo_order();
+  for (std::size_t i = 0; i < order.size(); ++i)
+    topo_pos_[order[i]] = static_cast<std::uint32_t>(i);
+  is_modified_.assign(n, 0);
+  is_changed_.assign(n, 0);
+  value_changed_.assign(n, 0);
+  fwd_stamp_.assign(n, 0);
+  bwd_stamp_.assign(n, 0);
+  incr_gen_ = 0;
+  modified_.clear();
+  changed_.clear();
+  has_reference_ = true;
+}
+
+void Sta::mark_modified(NodeId v) {
+  if (!is_modified_[v]) {
+    is_modified_[v] = 1;
+    modified_.push_back(v);
+  }
+}
+
+void Sta::mark_changed(NodeId v) {
+  if (!is_changed_[v]) {
+    is_changed_[v] = 1;
+    changed_.push_back(v);
+  }
+}
+
+void Sta::restore_reference() {
+  constexpr std::size_t stride =
+      static_cast<std::size_t>(kNumEl) * kNumRf;
+  for (NodeId v : modified_) {
+    values_[v] = ref_values_[v];
+    const std::size_t base = static_cast<std::size_t>(v) * stride;
+    for (std::size_t k = base; k < base + stride; ++k) {
+      preds_[k] = ref_preds_[k];
+      credits_[k] = ref_credits_[k];
+    }
+    is_modified_[v] = 0;
+  }
+  modified_.clear();
+  for (NodeId v : changed_) {
+    is_changed_[v] = 0;
+    value_changed_[v] = 0;
+  }
+  changed_.clear();
+}
+
+bool Sta::clock_chain_dirty(NodeId ck, unsigned el) const {
+  if (ck == kInvalidId) return false;
+  NodeId u = ck;
+  unsigned rf = kRise;
+  for (std::size_t steps = 0; steps <= graph_->num_nodes(); ++steps) {
+    if (is_changed_[u]) return true;
+    const Pred p = preds_[idx(u, el, rf)];
+    if (p.arc == kInvalidId) break;
+    u = graph_->arc(p.arc).from;
+    rf = p.from_rf;
+  }
+  return false;
+}
+
+bool Sta::check_dirty(const CheckArc& c) const {
+  if (is_changed_[c.data] || is_changed_[c.clock]) return true;
+  if (!opt_.cppr) return false;
+  // The CPPR credit reads the data pin's worst launch chain, the launch
+  // clock's (late, rise) chain and the capture clock's (early, rise)
+  // chain. If chains diverged from the reference, the first divergence
+  // is a pred change on the current chain's common prefix, so walking
+  // the current chains and testing F' membership is exact.
+  const unsigned el = c.is_setup ? kLate : kEarly;
+  for (unsigned rf = 0; rf < kNumRf; ++rf) {
+    NodeId u = c.data;
+    unsigned crf = rf;
+    NodeId launch = kInvalidId;
+    for (std::size_t steps = 0; steps <= graph_->num_nodes(); ++steps) {
+      if (is_changed_[u]) return true;
+      const Pred p = preds_[idx(u, el, crf)];
+      if (p.arc == kInvalidId) break;
+      const GraphArc& a = graph_->arc(p.arc);
+      if (a.is_launch) {
+        launch = a.from;
+        break;
+      }
+      u = a.from;
+      crf = p.from_rf;
+    }
+    if (clock_chain_dirty(launch, kLate)) return true;
+  }
+  return clock_chain_dirty(c.clock, kEarly);
+}
+
+StaIncrementalStats Sta::run_incremental(const BoundaryConstraints& bc,
+                                         std::span<const NodeId> dirty) {
+  if (!has_reference_)
+    throw std::logic_error("Sta::run_incremental: no reference set");
+  if (opt_.clock_rat)
+    throw std::logic_error("Sta::run_incremental: clock_rat not supported");
+  obs::Span span("sta.run_incremental");
+  g_incremental_runs.add();
+  StaIncrementalStats stats;
+  stats.seeds = dirty.size();
+  restore_reference();
+  ++incr_gen_;
+
+  constexpr std::size_t stride = static_cast<std::size_t>(kNumEl) * kNumRf;
+  using Entry = std::pair<std::uint32_t, NodeId>;
+
+  // --- forward: min-heap over cached topo positions. Pops are non-
+  // decreasing (pushes go strictly downstream), so each node is
+  // recomputed at most once, after all its fanins settled.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> fwd;
+  auto fwd_push = [&](NodeId v) {
+    if (graph_->node(v).dead) return;
+    if (fwd_stamp_[v] == incr_gen_) return;
+    fwd_stamp_[v] = incr_gen_;
+    fwd.push({topo_pos_[v], v});
+  };
+  for (NodeId v : dirty) fwd_push(v);
+  while (!fwd.empty()) {
+    const NodeId v = fwd.top().second;
+    fwd.pop();
+    ++stats.fwd_recomputed;
+    mark_modified(v);
+    const ElRf<double> old_at = values_[v].at;
+    const ElRf<double> old_slew = values_[v].slew;
+    std::array<Pred, stride> old_preds;
+    for (std::size_t k = 0; k < stride; ++k)
+      old_preds[k] = preds_[v * stride + k];
+    relax_forward_node(v, bc);
+    bool value_diff = false;
+    bool pred_diff = false;
+    for (unsigned el = 0; el < kNumEl; ++el) {
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        if (values_[v].at(el, rf) != old_at(el, rf) ||
+            values_[v].slew(el, rf) != old_slew(el, rf))
+          value_diff = true;
+        const Pred& np = preds_[idx(v, el, rf)];
+        const Pred& op = old_preds[el * kNumRf + rf];
+        if (np.arc != op.arc || np.from_rf != op.from_rf) pred_diff = true;
+      }
+    }
+    if (value_diff) {
+      value_changed_[v] = 1;
+      ++stats.fwd_changed;
+      for (ArcId aid : graph_->fanout(v)) fwd_push(graph_->arc(aid).to);
+    }
+    if (value_diff || pred_diff) mark_changed(v);
+  }
+
+  // --- backward: seeds are nodes with changed arc sets (the delta),
+  // nodes whose own slew feeds backward delay lookups (value-changed),
+  // and data pins of checks whose seed inputs changed.
+  std::priority_queue<Entry> bwd;  // max-heap: highest topo position first
+  auto bwd_push = [&](NodeId u) {
+    if (graph_->node(u).dead) return;
+    if (!opt_.clock_rat && graph_->node(u).in_clock_network) return;
+    if (bwd_stamp_[u] == incr_gen_) return;
+    bwd_stamp_[u] = incr_gen_;
+    bwd.push({topo_pos_[u], u});
+  };
+  for (NodeId u : dirty) bwd_push(u);
+  for (NodeId u : changed_)
+    if (value_changed_[u]) bwd_push(u);
+  if (!changed_.empty()) {
+    for (const CheckArc& c : graph_->checks()) {
+      if (c.dead) continue;
+      if (check_dirty(c)) {
+        ++stats.checks_dirty;
+        bwd_push(c.data);
       }
     }
   }
+  while (!bwd.empty()) {
+    const NodeId u = bwd.top().second;
+    bwd.pop();
+    ++stats.bwd_recomputed;
+    mark_modified(u);
+    const ElRf<double> old_rat = values_[u].rat;
+    relax_backward_node(u, bc);
+    bool rat_diff = false;
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf)
+        if (values_[u].rat(el, rf) != old_rat(el, rf)) rat_diff = true;
+    if (rat_diff) {
+      ++stats.bwd_changed;
+      for (ArcId aid : graph_->fanin(u)) bwd_push(graph_->arc(aid).from);
+    }
+  }
+
+  g_nodes_propagated.add(stats.fwd_recomputed + stats.bwd_recomputed);
+  span.set_arg("seeds", static_cast<double>(stats.seeds));
+  span.set_arg("frontier",
+               static_cast<double>(stats.fwd_recomputed + stats.bwd_recomputed));
+  return stats;
 }
 
 double Sta::slack(NodeId n, unsigned el, unsigned rf) const {
@@ -396,39 +645,43 @@ NodeId Sta::worst_endpoint(unsigned el, unsigned* rf_out) const {
   return worst;
 }
 
-BoundarySnapshot Sta::boundary_snapshot() const {
-  BoundarySnapshot snap;
-  std::vector<NodeId> ports;
-  for (NodeId p : graph_->primary_inputs()) ports.push_back(p);
-  for (NodeId p : graph_->primary_outputs()) ports.push_back(p);
-  snap.num_ports = ports.size();
+void Sta::snapshot_into(BoundarySnapshot& out) const {
   const std::size_t stride = static_cast<std::size_t>(kNumEl) * kNumRf;
-  snap.slew.assign(snap.num_ports * stride, kInf);
-  snap.at.assign(snap.num_ports * stride, kInf);
-  snap.rat.assign(snap.num_ports * stride, kInf);
-  snap.slack.assign(snap.num_ports * stride, kInf);
-  for (std::size_t i = 0; i < ports.size(); ++i) {
-    const NodeId p = ports[i];
-    if (p == kInvalidId) continue;
+  const auto& pis = graph_->primary_inputs();
+  const auto& pos = graph_->primary_outputs();
+  out.num_ports = pis.size() + pos.size();
+  out.slew.assign(out.num_ports * stride, kInf);
+  out.at.assign(out.num_ports * stride, kInf);
+  out.rat.assign(out.num_ports * stride, kInf);
+  out.slack.assign(out.num_ports * stride, kInf);
+  auto fill = [&](std::size_t i, NodeId p) {
+    if (p == kInvalidId) return;
     const auto& t = values_[p];
     for (unsigned el = 0; el < kNumEl; ++el) {
       for (unsigned rf = 0; rf < kNumRf; ++rf) {
         const std::size_t k = i * stride + el * kNumRf + rf;
-        snap.slew[k] = t.slew(el, rf);
-        snap.at[k] = t.at(el, rf);
-        snap.rat[k] = t.rat(el, rf);
-        snap.slack[k] = slack(p, el, rf);
+        out.slew[k] = t.slew(el, rf);
+        out.at[k] = t.at(el, rf);
+        out.rat[k] = t.rat(el, rf);
+        out.slack[k] = slack(p, el, rf);
       }
     }
-  }
+  };
+  std::size_t i = 0;
+  for (NodeId p : pis) fill(i++, p);
+  for (NodeId p : pos) fill(i++, p);
+}
+
+BoundarySnapshot Sta::boundary_snapshot() const {
+  BoundarySnapshot snap;
+  snapshot_into(snap);
   return snap;
 }
 
 std::vector<double> propagate_slew_only(const TimingGraph& graph,
                                         double pi_slew_ps, double po_load_ff) {
   obs::Span span("sta.slew_only");
-  static obs::Counter& runs = obs::counter("sta.slew_only_runs");
-  runs.add();
+  g_slew_only_runs.add();
   const std::size_t n = graph.num_nodes();
   // Work in the late corner over both transitions; report the max.
   std::vector<double> slew(n * kNumRf, -kInf);

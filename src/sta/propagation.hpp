@@ -12,6 +12,7 @@
 // what makes macro accuracy evaluation (Fig. 2) a pure snapshot diff.
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "sta/aocv.hpp"
@@ -48,6 +49,17 @@ struct SnapshotDiff {
 SnapshotDiff diff_snapshots(const BoundarySnapshot& a,
                             const BoundarySnapshot& b);
 
+/// Work accounting of one Sta::run_incremental call (all counts are
+/// nodes unless noted); exposed for obs counters and tests.
+struct StaIncrementalStats {
+  std::size_t seeds = 0;           ///< dirty nodes handed in
+  std::size_t fwd_recomputed = 0;  ///< nodes re-relaxed forward
+  std::size_t fwd_changed = 0;     ///< ... whose slew/at actually changed
+  std::size_t bwd_recomputed = 0;  ///< nodes re-relaxed backward
+  std::size_t bwd_changed = 0;     ///< ... whose rat actually changed
+  std::size_t checks_dirty = 0;    ///< check seeds re-evaluated
+};
+
 class Sta {
  public:
   struct Options {
@@ -69,6 +81,28 @@ class Sta {
   /// Run a full forward + backward analysis under the constraints.
   void run(const BoundaryConstraints& bc);
 
+  /// Checkpoint the current analysis state (values, predecessors, CPPR
+  /// credits) as the reference that run_incremental restores to and
+  /// converges against. Call after a full run(); the graph's cached
+  /// topological order is captured as the worklist priority, so the
+  /// graph must only be mutated through the delta_* API afterwards.
+  void set_reference();
+  bool has_reference() const noexcept { return has_reference_; }
+
+  /// Incremental re-analysis after a graph delta, under the SAME
+  /// constraints the reference was built with. `dirty` must contain
+  /// every node whose fanin or fanout arc set the delta changed
+  /// (dead nodes are fine and skipped). State is first restored to the
+  /// reference over the previously dirty region only, then a worklist
+  /// re-relaxes forward from the seeds in topological order with early
+  /// termination where slew/at converge back to the reference, then the
+  /// affected checks are re-seeded and the fan-in cone re-relaxed
+  /// backward. Results are bit-identical to a from-scratch run() on the
+  /// mutated graph. Requires Options::clock_rat == false (capture-side
+  /// clock requirements cross-couple endpoints and are not localizable).
+  StaIncrementalStats run_incremental(const BoundaryConstraints& bc,
+                                      std::span<const NodeId> dirty);
+
   const PinTiming& timing(NodeId n) const { return values_.at(n); }
 
   /// slack: late = rat - at, early = at - rat; +inf when unconstrained.
@@ -79,6 +113,10 @@ class Sta {
   double worst_slack(unsigned el, bool include_pos = true) const;
 
   BoundarySnapshot boundary_snapshot() const;
+
+  /// Allocation-free variant: fill `out` in place, reusing its storage.
+  /// Snapshotting is a per-run cost in the incremental TS loop.
+  void snapshot_into(BoundarySnapshot& out) const;
 
   /// CPPR credit applied at a data endpoint during the last run (0 when
   /// CPPR off or no common path); exposed for tests.
@@ -112,10 +150,30 @@ class Sta {
     std::uint8_t from_rf = 0;
   };
 
-  void seed_forward(const BoundaryConstraints& bc);
-  void forward();
+  void forward(const BoundaryConstraints& bc);
   void seed_backward(const BoundaryConstraints& bc);
   void backward();
+  /// Recompute slew/at/preds of `v` from scratch as a pure function of
+  /// its PI seed and fanin arcs (gather form). Fanin arcs are visited in
+  /// ascending arc-id order, so tie-breaks do not depend on which
+  /// topological order drives the sweep — the property that makes
+  /// incremental re-relaxation bit-identical to a full run.
+  void relax_forward_node(NodeId v, const BoundaryConstraints& bc);
+  /// Relax u's rat from its (final) fanout targets.
+  void relax_backward_arcs(NodeId u);
+  /// Recompute u's rat from scratch: init, PO seed, check seeds at u,
+  /// then fanout relaxation (gather form of seed_backward + backward).
+  void relax_backward_node(NodeId u, const BoundaryConstraints& bc);
+  /// Seed the check's rat/credit contribution at its data pin.
+  void apply_check_seed(const CheckArc& c, const BoundaryConstraints& bc);
+  /// True if the check's seed could differ from the reference: its data
+  /// or clock pin, or any node on the CPPR launch/capture pred chains,
+  /// changed value or predecessor this run.
+  bool check_dirty(const CheckArc& c) const;
+  bool clock_chain_dirty(NodeId ck, unsigned el) const;
+  void restore_reference();
+  void mark_modified(NodeId v);
+  void mark_changed(NodeId v);
   double effective_load(NodeId n) const { return eff_load_[n]; }
   NodeId trace_launch_clock(NodeId data, unsigned el, unsigned rf) const;
   double cppr_credit(NodeId launch_ck, NodeId capture_ck) const;
@@ -126,6 +184,20 @@ class Sta {
   std::vector<Pred> preds_;  ///< [node * kNumEl*kNumRf + el*kNumRf + rf]
   std::vector<double> eff_load_;
   std::vector<double> credits_;  ///< endpoint credits, same indexing as preds_
+
+  // --- incremental state (see set_reference / run_incremental) --------
+  bool has_reference_ = false;
+  std::vector<PinTiming> ref_values_;
+  std::vector<Pred> ref_preds_;
+  std::vector<double> ref_credits_;
+  std::vector<std::uint32_t> topo_pos_;  ///< node -> cached topo position
+  std::vector<NodeId> modified_;  ///< entries diverged from the reference
+  std::vector<char> is_modified_;
+  std::vector<NodeId> changed_;  ///< value or pred differs this run (F')
+  std::vector<char> is_changed_;
+  std::vector<char> value_changed_;  ///< subset of F': slew/at differs
+  std::vector<std::uint32_t> fwd_stamp_, bwd_stamp_;  ///< worklist dedup
+  std::uint32_t incr_gen_ = 0;
 };
 
 /// Slew-only forward propagation used by the insensitive-pin filter and

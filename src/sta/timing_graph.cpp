@@ -78,6 +78,78 @@ void TimingGraph::kill_arc(ArcId a) {
   arcs_.at(a).dead = true;
 }
 
+namespace {
+
+/// Remove one id from a sorted adjacency list, preserving order.
+void adj_erase(std::vector<ArcId>& v, ArcId a) {
+  const auto it = std::find(v.begin(), v.end(), a);
+  if (it != v.end()) v.erase(it);
+}
+
+/// Insert one id into a sorted adjacency list at its ascending position.
+void adj_insert(std::vector<ArcId>& v, ArcId a) {
+  v.insert(std::lower_bound(v.begin(), v.end(), a), a);
+}
+
+}  // namespace
+
+void TimingGraph::delta_kill_arc(ArcId a) {
+  GraphArc& arc = arcs_.at(a);
+  arc.dead = true;
+  if (adjacency_valid_) {
+    adj_erase(fanout_[arc.from], a);
+    adj_erase(fanin_[arc.to], a);
+  }
+}
+
+void TimingGraph::delta_restore_arc(ArcId a) {
+  GraphArc& arc = arcs_.at(a);
+  arc.dead = false;
+  if (adjacency_valid_) {
+    adj_insert(fanout_[arc.from], a);
+    adj_insert(fanin_[arc.to], a);
+  }
+}
+
+ArcId TimingGraph::delta_add_cell_arc(NodeId from, NodeId to, ArcSense sense,
+                                      const ElRf<Lut>* delay,
+                                      const ElRf<Lut>* out_slew,
+                                      bool is_launch) {
+  GraphArc a;
+  a.from = from;
+  a.to = to;
+  a.kind = GraphArcKind::kCell;
+  a.sense = sense;
+  a.is_launch = is_launch;
+  a.delay = delay;
+  a.out_slew = out_slew;
+  arcs_.push_back(a);
+  const ArcId id = static_cast<ArcId>(arcs_.size() - 1);
+  if (adjacency_valid_) {
+    // New ids are maximal, so push_back keeps the ascending order.
+    fanout_[from].push_back(id);
+    fanin_[to].push_back(id);
+  }
+  return id;
+}
+
+void TimingGraph::delta_set_node_dead(NodeId n, bool dead) {
+  nodes_.at(n).dead = dead;
+}
+
+void TimingGraph::delta_truncate(std::size_t num_arcs,
+                                 std::size_t num_tables) {
+  while (arcs_.size() > num_arcs) {
+    const GraphArc& a = arcs_.back();
+    if (!a.dead && adjacency_valid_) {
+      adj_erase(fanout_[a.from], static_cast<ArcId>(arcs_.size() - 1));
+      adj_erase(fanin_[a.to], static_cast<ArcId>(arcs_.size() - 1));
+    }
+    arcs_.pop_back();
+  }
+  while (owned_tables_.size() > num_tables) owned_tables_.pop_back();
+}
+
 std::size_t TimingGraph::num_live_nodes() const {
   std::size_t n = 0;
   for (const auto& node : nodes_)

@@ -105,6 +105,41 @@ class TimingGraph {
   void kill_node(NodeId n);
   void kill_arc(ArcId a);
 
+  // --- Delta mutation API (incremental re-analysis) -------------------
+  //
+  // The plain mutators above invalidate the cached adjacency and
+  // topological order, which makes per-pin what-if analysis O(V+E) per
+  // mutation just to rebuild caches. The delta_* mutators below patch
+  // the caches in place instead, under a contract the caller (see
+  // macro/merge.hpp MergeDelta) must uphold:
+  //   - caches must be materialized first (call topo_order() once);
+  //   - an added arc must connect live nodes u -> v with u preceding v
+  //     in the cached topological order (true for merge splices, whose
+  //     endpoints were already ordered through the removed pin), so the
+  //     cached order stays a valid order of the mutated graph;
+  //   - a node marked dead via delta_set_node_dead stays in the cached
+  //     topological order; consumers must skip dead nodes (Sta does).
+  // Adjacency lists keep their ascending-arc-id order across kill /
+  // restore / append, which is what makes re-relaxation order (and thus
+  // floating-point results and tie-breaks) reproducible.
+
+  /// Mark arc `a` dead and unlink it from the cached adjacency.
+  void delta_kill_arc(ArcId a);
+  /// Revive a delta-killed arc, re-linking it in ascending-id position.
+  void delta_restore_arc(ArcId a);
+  /// Append a cell arc without invalidating caches (see contract above).
+  ArcId delta_add_cell_arc(NodeId from, NodeId to, ArcSense sense,
+                           const ElRf<Lut>* delay, const ElRf<Lut>* out_slew,
+                           bool is_launch = false);
+  /// Flip a node's dead flag without touching arcs or caches.
+  void delta_set_node_dead(NodeId n, bool dead);
+  /// Drop every arc with id >= num_arcs and every owned table beyond
+  /// num_tables (both appended during a delta), unlinking the dropped
+  /// arcs from the cached adjacency. Pointers to surviving owned tables
+  /// remain valid.
+  void delta_truncate(std::size_t num_arcs, std::size_t num_tables);
+  std::size_t num_owned_tables() const noexcept { return owned_tables_.size(); }
+
   std::size_t num_nodes() const noexcept { return nodes_.size(); }
   std::size_t num_arcs() const noexcept { return arcs_.size(); }
   std::size_t num_checks() const noexcept { return checks_.size(); }

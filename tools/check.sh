@@ -1,12 +1,15 @@
 #!/bin/sh
 # tools/check.sh — continuous static/dynamic analysis driver.
 #
-#   tools/check.sh [release] [sanitize] [tidy]
+#   tools/check.sh [release] [sanitize] [tsan] [tidy]
 #
-# With no arguments all three stages run:
+# With no arguments all four stages run:
 #   release   Release build with -Werror (TMM_WERROR=ON) + full ctest.
 #   sanitize  ASan+UBSan build (TMM_SANITIZE=address,undefined) + full
 #             ctest; any sanitizer report fails the test.
+#   tsan      TSan build (TMM_SANITIZE=thread) + the multi-threaded
+#             incremental TS equivalence tests (the per-worker scratch
+#             graph / engine reuse is the racy-by-construction surface).
 #   tidy      clang-tidy over src/ using the repo .clang-tidy config
 #             (skipped with a notice when clang-tidy is not installed).
 #             TIDY_BASE=<git-ref> restricts it to files changed since
@@ -42,6 +45,17 @@ run_sanitize() {
   ctest --test-dir "$ROOT/build-check-asan" --output-on-failure -j"$JOBS"
 }
 
+run_tsan() {
+  echo "== check: TSan (incremental TS loop) =="
+  cmake -S "$ROOT" -B "$ROOT/build-check-tsan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTMM_WERROR=ON \
+    -DTMM_SANITIZE=thread >/dev/null
+  cmake --build "$ROOT/build-check-tsan" -j"$JOBS" --target tmm_tests
+  TSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-check-tsan/tests/tmm_tests" \
+    --gtest_filter='StaIncremental.*:MergeDelta.*:TsIncremental.*:TsParallel.*'
+}
+
 run_tidy() {
   echo "== check: clang-tidy =="
   if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -67,13 +81,14 @@ run_tidy() {
     clang-tidy -p "$ROOT/build-check-release" --quiet
 }
 
-stages="${*:-release sanitize tidy}"
+stages="${*:-release sanitize tsan tidy}"
 for stage in $stages; do
   case "$stage" in
     release)  run_release ;;
     sanitize) run_sanitize ;;
+    tsan)     run_tsan ;;
     tidy)     run_tidy ;;
-    *) echo "unknown stage '$stage' (expected release|sanitize|tidy)" >&2
+    *) echo "unknown stage '$stage' (expected release|sanitize|tsan|tidy)" >&2
        exit 64 ;;
   esac
 done
