@@ -1,0 +1,214 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+
+namespace tmm::fault {
+
+namespace {
+
+/// Registered injection sites, sorted. Adding a hook point to the code
+/// without listing it here makes arm()/TMM_FAULT reject it, so the CI
+/// matrix (which iterates `tmm fault-sites`) can never silently miss a
+/// recovery path.
+constexpr std::string_view kSites[] = {
+    "checkpoint.save_model",
+    "checkpoint.save_sens",
+    "flow.design",
+    "flow.train_design",
+    "gnn.load",
+    "gnn.save",
+    "gnn.train_epoch",
+    "macro.read",
+    "macro.write",
+    "netlist.read",
+    "sta.run",
+    "ts.constraint_set",
+    "ts.eval_pin",
+    "util.atomic_rename",
+    "util.atomic_write",
+};
+
+bool is_registered(std::string_view site) {
+  return std::find(std::begin(kSites), std::end(kSites), site) !=
+         std::end(kSites);
+}
+
+/// Armed plan. The mutex only guards arm/disarm; the hot path reads
+/// g_armed and the slow path touches the count atomically, so worker
+/// threads hitting the same site stay race-free and fire exactly once.
+struct Plan {
+  std::mutex mu;
+  std::string site;
+  std::uint64_t nth = 0;
+  FaultAction action = FaultAction::kThrow;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<bool> fired{false};
+};
+
+Plan& plan() {
+  static Plan* p = new Plan;  // leaked: sites fire from any thread, any time
+  return *p;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+void inject_slow(const char* site) {
+  Plan& p = plan();
+  // site strings are compile-time literals at the hook points; the
+  // armed site was validated against kSites, so a simple compare picks
+  // out the one site under test.
+  if (p.site != site) return;
+  const std::uint64_t n = p.count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n != p.nth) return;
+  p.fired.store(true, std::memory_order_relaxed);
+  if (p.action == FaultAction::kKill) {
+    std::raise(SIGKILL);
+    std::abort();  // unreachable; SIGKILL cannot be handled
+  }
+  throw FlowError(ErrorCode::kInjected, site,
+                  "injected fault (TMM_FAULT hit " + std::to_string(n) + ")");
+}
+
+}  // namespace detail
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kConfig: return "config";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kNumeric: return "numeric";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInjected: return "injected";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string render(ErrorCode code, const std::string& stage,
+                   const std::string& design, const std::string& pin,
+                   const std::string& message) {
+  std::string s = "[";
+  s += error_code_name(code);
+  s += "] ";
+  s += stage;
+  if (!design.empty()) {
+    s += " design '";
+    s += design;
+    s += '\'';
+  }
+  if (!pin.empty()) {
+    s += " pin '";
+    s += pin;
+    s += '\'';
+  }
+  s += ": ";
+  s += message;
+  return s;
+}
+
+}  // namespace
+
+FlowError::FlowError(ErrorCode code, std::string stage, std::string message,
+                     std::string design, std::string pin)
+    : std::runtime_error(render(code, stage, design, pin, message)),
+      code_(code),
+      stage_(std::move(stage)),
+      design_(std::move(design)),
+      pin_(std::move(pin)),
+      message_(std::move(message)) {}
+
+FlowError FlowError::with_design(std::string design) const {
+  return FlowError(code_, stage_, message_, std::move(design), pin_);
+}
+
+void Status::or_throw(std::string stage, std::string design) const {
+  if (ok()) return;
+  throw FlowError(code_, std::move(stage), message_, std::move(design));
+}
+
+Status arm(std::string_view site, std::uint64_t nth, FaultAction action) {
+  if (nth == 0)
+    return Status::failure(ErrorCode::kConfig,
+                           "fault injection: nth must be >= 1");
+  if (!is_registered(site))
+    return Status::failure(
+        ErrorCode::kConfig,
+        "fault injection: unregistered site '" + std::string(site) +
+            "' (see `tmm fault-sites`)");
+  Plan& p = plan();
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.site = std::string(site);
+  p.nth = nth;
+  p.action = action;
+  p.count.store(0, std::memory_order_relaxed);
+  p.fired.store(false, std::memory_order_relaxed);
+  detail::g_armed.store(true, std::memory_order_relaxed);
+  return {};
+}
+
+void disarm() noexcept {
+  Plan& p = plan();
+  std::lock_guard<std::mutex> lock(p.mu);
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  p.site.clear();
+  p.nth = 0;
+  p.count.store(0, std::memory_order_relaxed);
+  p.fired.store(false, std::memory_order_relaxed);
+}
+
+Status arm_from_env() {
+  const char* env = std::getenv("TMM_FAULT");
+  if (env == nullptr || *env == '\0') return {};
+  const std::string spec(env);
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0)
+    return Status::failure(ErrorCode::kConfig,
+                           "TMM_FAULT: expected <site>:<nth>[:throw|:kill], "
+                           "got '" + spec + "'");
+  const std::string site = spec.substr(0, c1);
+  const std::size_t c2 = spec.find(':', c1 + 1);
+  const std::string nth_str =
+      spec.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                  : c2 - c1 - 1);
+  FaultAction action = FaultAction::kThrow;
+  if (c2 != std::string::npos) {
+    const std::string action_str = spec.substr(c2 + 1);
+    if (action_str == "kill")
+      action = FaultAction::kKill;
+    else if (action_str != "throw")
+      return Status::failure(ErrorCode::kConfig,
+                             "TMM_FAULT: unknown action '" + action_str +
+                                 "' (expected throw or kill)");
+  }
+  char* end = nullptr;
+  const unsigned long long nth = std::strtoull(nth_str.c_str(), &end, 10);
+  if (nth_str.empty() || end == nullptr || *end != '\0' || nth == 0)
+    return Status::failure(ErrorCode::kConfig,
+                           "TMM_FAULT: bad occurrence count '" + nth_str +
+                               "'");
+  return arm(site, nth, action);
+}
+
+std::uint64_t hits() noexcept {
+  return plan().count.load(std::memory_order_relaxed);
+}
+
+bool fired() noexcept {
+  return plan().fired.load(std::memory_order_relaxed);
+}
+
+std::span<const std::string_view> registered_sites() noexcept {
+  return kSites;
+}
+
+}  // namespace tmm::fault

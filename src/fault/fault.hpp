@@ -1,0 +1,137 @@
+#pragma once
+// Structured error model and deterministic fault injection for the
+// fault-tolerant flow (docs/ROBUSTNESS.md).
+//
+// Error model: every recoverable failure in the pipeline is reported as
+// a FlowError carrying a machine-readable ErrorCode plus the stage,
+// design, and pin context in which it fired — the flow layer catches it
+// at the per-design (and per-constraint-set) boundary, records the
+// design as failed/degraded, and keeps going. Status is the
+// non-throwing variant for leaf utilities (atomic file writes).
+//
+// Fault injection: TMM_FAULT=<site>:<nth>[:throw|:kill] arms exactly
+// one of the registered sites below; the nth time that site executes,
+// the harness either throws FlowError(kInjected) — exercising the same
+// recovery path a real failure would take — or raises SIGKILL, which is
+// how the CI matrix proves that interrupted runs never leave torn
+// output files and always resume bit-identically. Disarmed, inject() is
+// a single relaxed atomic load.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace tmm::fault {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kConfig,       ///< bad invocation or configuration (CLI exit code 2)
+  kIo,           ///< filesystem open/write/rename failure
+  kParse,        ///< malformed input file (message carries source:line)
+  kNumeric,      ///< NaN/Inf detected in STA, LUT, or GNN numerics
+  kUnavailable,  ///< nothing succeeded; no partial result exists
+  kInjected,     ///< raised by the TMM_FAULT harness
+  kInternal,     ///< wrapped foreign exception
+};
+
+/// Stable lower-case name ("parse", "numeric", ...) used in diagnostics
+/// and in the --metrics JSON.
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// The structured exception of the flow: code + stage + design + pin
+/// context, rendered into what() as
+///   [code] stage 'x' design 'y' pin 'z': message
+class FlowError : public std::runtime_error {
+ public:
+  FlowError(ErrorCode code, std::string stage, std::string message,
+            std::string design = {}, std::string pin = {});
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& stage() const noexcept { return stage_; }
+  const std::string& design() const noexcept { return design_; }
+  const std::string& pin() const noexcept { return pin_; }
+  /// The bare message, without the rendered context prefix.
+  const std::string& message() const noexcept { return message_; }
+
+  /// Copy with the design context filled in (the parser rarely knows
+  /// which design it is reading; the flow layer does).
+  FlowError with_design(std::string design) const;
+
+ private:
+  ErrorCode code_;
+  std::string stage_;
+  std::string design_;
+  std::string pin_;
+  std::string message_;
+};
+
+/// Non-throwing result for leaf utilities. Default-constructed == ok.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  static Status failure(ErrorCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Throw the equivalent FlowError when not ok.
+  void or_throw(std::string stage, std::string design = {}) const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// ---------------------------------------------------------------------
+// Deterministic fault injection.
+
+enum class FaultAction : std::uint8_t {
+  kThrow,  ///< throw FlowError(kInjected) at the site
+  kKill,   ///< raise SIGKILL at the site (torn-file / resume testing)
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void inject_slow(const char* site);
+}  // namespace detail
+
+/// Hook point. Disarmed (the default), this is one relaxed atomic load;
+/// armed, it counts invocations of `site` and fires the configured
+/// action exactly once, on the nth hit.
+inline void inject(const char* site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return;
+  detail::inject_slow(site);
+}
+
+/// Arm one site programmatically (tests). `nth` is 1-based. Fails with
+/// kConfig when `site` is not a registered site name or nth == 0.
+Status arm(std::string_view site, std::uint64_t nth,
+           FaultAction action = FaultAction::kThrow);
+
+/// Disarm and clear counters. Safe to call when already disarmed.
+void disarm() noexcept;
+
+/// Parse TMM_FAULT=<site>:<nth>[:throw|:kill] and arm accordingly.
+/// Unset/empty env is ok (stays disarmed); a malformed spec or an
+/// unregistered site is a kConfig failure so CI typos fail loudly.
+Status arm_from_env();
+
+/// Invocation count of the armed site since arm (0 when disarmed).
+std::uint64_t hits() noexcept;
+/// True once the armed fault has fired.
+bool fired() noexcept;
+
+/// Every registered injection site, sorted (the CI matrix iterates
+/// this via `tmm fault-sites`).
+std::span<const std::string_view> registered_sites() noexcept;
+
+}  // namespace tmm::fault

@@ -1,0 +1,97 @@
+#pragma once
+// Flow checkpoint/resume (docs/ROBUSTNESS.md).
+//
+// A checkpoint directory makes the expensive stages of the flow
+// restartable after a crash or kill: per-design sensitivity data (the
+// TS evaluation dominates training time), the trained GNN model, and
+// per-design run results persist incrementally, each written atomically
+// (util::atomic_write_file), so an interrupted run never leaves a torn
+// file — only missing ones, which are recomputed.
+//
+// Resume is bit-identical: sensitivity checkpoints store the *raw*
+// {0,1} labels and TS values in hexfloat, before the regression-mode
+// transform, and everything derived from them (regression targets,
+// ts_scale, GNN initialization) is recomputed deterministically, so a
+// resumed `Framework::train` produces byte-identical model files.
+//
+// Layout:
+//   <dir>/MANIFEST             format version + config fingerprint
+//   <dir>/ts/<design>.sens     per-design sensitivity data
+//   <dir>/model.gnn            trained GNN weights
+//   <dir>/results/<design>.res per-design flow-run result summary
+//
+// Opening a directory whose MANIFEST fingerprint does not match the
+// current FlowConfig raises fault::FlowError(kConfig): silently mixing
+// data generated under different configs would poison the model.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/framework.hpp"
+
+namespace tmm::flow {
+
+/// Per-design stage-1 output persisted by Framework::train. `labels`
+/// and `ts` are the raw per-node values (pre-regression-transform).
+struct SensCheckpoint {
+  std::size_t nodes = 0;  ///< ILM node count (consistency check on load)
+  std::size_t positives = 0;
+  double filtered_fraction = 0.0;
+  /// Degradation accounting carried through resume so a resumed run
+  /// reports the same degraded designs as the original.
+  std::size_t failed_pins = 0;
+  std::size_t skipped_sets = 0;
+  std::vector<float> labels;
+  std::vector<double> ts;
+};
+
+/// Fingerprint of every FlowConfig field that affects generated data or
+/// the trained model (FNV-1a over a canonical serialization).
+std::uint64_t flow_fingerprint(const FlowConfig& cfg);
+
+/// Design name reduced to a safe filename component ([A-Za-z0-9._-],
+/// no leading dot); used for every per-design checkpoint/output file.
+std::string sanitize_design_name(const std::string& name);
+
+class Checkpoint {
+ public:
+  /// Disabled checkpoint: every query misses, every save is a no-op.
+  Checkpoint() = default;
+
+  /// Open (creating directories as needed) and validate the MANIFEST
+  /// against the config fingerprint; stale `*.tmp.*` debris from killed
+  /// runs is removed. Throws fault::FlowError(kConfig) on fingerprint
+  /// mismatch, kIo when the directory cannot be created.
+  static Checkpoint open(const std::string& dir, const FlowConfig& cfg);
+
+  bool enabled() const noexcept { return !dir_.empty(); }
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// Load a design's sensitivity checkpoint. Returns nullopt when
+  /// missing — and also when corrupt (logged + recomputed, never
+  /// trusted), so a torn or truncated file degrades to a cache miss.
+  std::optional<SensCheckpoint> load_sens(const std::string& design) const;
+  void save_sens(const std::string& design, const SensCheckpoint& s) const;
+
+  bool has_model() const;
+  GnnModel load_model() const;
+  void save_model(const GnnModel& model) const;
+
+  /// Per-design flow-run results (opaque text, composed by the flow
+  /// runner): presence marks the design completed for resume.
+  bool has_result(const std::string& design) const;
+  std::optional<std::string> load_result(const std::string& design) const;
+  void save_result(const std::string& design, const std::string& text) const;
+
+  /// Path helpers (exposed for tests and the fault matrix).
+  std::string sens_path(const std::string& design) const;
+  std::string model_path() const;
+  std::string result_path(const std::string& design) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace tmm::flow

@@ -1,0 +1,60 @@
+#pragma once
+// Fault-tolerant end-to-end flow runner (docs/ROBUSTNESS.md).
+//
+// `run_flow` drives the whole Fig. 4 pipeline over a set of design
+// files — load, train (stage 1+2), then model + evaluate each design
+// (stage 3) — with per-design isolation and checkpoint/resume rooted in
+// one run directory:
+//
+//   <dir>/MANIFEST, ts/, model.gnn   training checkpoints (Checkpoint)
+//   <dir>/out/<design>.macro         generated macro models (atomic)
+//   <dir>/results/<design>.res       per-design completion records
+//
+// A design that fails at any stage is skipped with a structured
+// diagnostic and reported in FlowRunReport — it never takes the run
+// down (unless *every* design fails, which raises
+// fault::FlowError(kUnavailable)). Re-running with the same directory
+// resumes: completed designs are skipped, and the final artifacts are
+// bit-identical to an uninterrupted run.
+
+#include <string>
+#include <vector>
+
+#include "flow/framework.hpp"
+#include "netlist/design.hpp"
+
+namespace tmm::flow {
+
+struct DesignOutcome {
+  std::string design;
+  /// Restored from a previous run's result record (resume) instead of
+  /// recomputed.
+  bool from_checkpoint = false;
+  std::string macro_path;
+  /// The persisted result record (key-value lines; see compose_result).
+  std::string record;
+};
+
+struct FlowRunReport {
+  TrainingSummary training;
+  std::vector<DesignOutcome> completed;
+  /// Designs that failed to load or failed during modeling/evaluation.
+  std::vector<DesignFailure> failed;
+
+  /// Partial/degraded success: some output is missing or was produced
+  /// through conservative fallbacks — the CLI maps this to exit code 3.
+  bool degraded() const {
+    return !failed.empty() || !training.failed.empty() ||
+           !training.degraded.empty();
+  }
+};
+
+/// Run the full flow over `design_paths` with checkpoint/resume in
+/// `dir`. `cfg.checkpoint_dir` is overwritten with `dir`. Throws
+/// fault::FlowError when nothing at all could be produced (no loadable
+/// design, all designs failed) and on checkpoint-config mismatch.
+FlowRunReport run_flow(const std::vector<std::string>& design_paths,
+                       const std::string& dir, FlowConfig cfg,
+                       const Library& lib);
+
+}  // namespace tmm::flow

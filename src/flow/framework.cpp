@@ -4,6 +4,8 @@
 
 #include "analysis/graph_lint.hpp"
 #include "analysis/model_lint.hpp"
+#include "fault/fault.hpp"
+#include "flow/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sta/propagation.hpp"
@@ -14,6 +16,12 @@
 namespace tmm {
 
 namespace {
+
+// Degradation counters surfaced in --metrics JSON (docs/ROBUSTNESS.md):
+// failed = design skipped entirely, degraded = ingested with
+// conservative fallbacks (failed pins / skipped constraint sets).
+obs::Counter& g_designs_failed = obs::counter("flow.designs_failed");
+obs::Counter& g_designs_degraded = obs::counter("flow.designs_degraded");
 
 /// Stage-boundary invariant gate (FlowConfig::validate_stages): a
 /// corrupt graph must stop the pipeline where the corruption appeared,
@@ -40,6 +48,9 @@ Framework::Framework(FlowConfig cfg) : cfg_(std::move(cfg)) {
 TrainingSummary Framework::train(std::span<const Design> designs) {
   obs::Span train_span("flow.train");
   obs::trace_rss_sample();
+  flow::Checkpoint ckpt;
+  if (!cfg_.checkpoint_dir.empty())
+    ckpt = flow::Checkpoint::open(cfg_.checkpoint_dir, cfg_);
   TrainingSummary summary;
   Stopwatch data_sw;
   std::vector<GraphSample> samples;
@@ -51,32 +62,80 @@ TrainingSummary Framework::train(std::span<const Design> designs) {
     const std::string design_span_name = "flow.train.design:" + d.name();
     obs::Span design_span(design_span_name.c_str());
     Stopwatch design_sw;
-    const TimingGraph flat = build_timing_graph(d);
-    const IlmResult ilm = extract_ilm(flat);
-    validate_stage(cfg_.validate_stages, "ilm (train)", ilm.graph);
-    const SensitivityData data = generate_training_data(ilm.graph, cfg_.data);
+    // Per-design isolation: one failing training design (corrupt
+    // netlist, numeric corruption, injected fault) is skipped with a
+    // diagnostic instead of aborting training; its data simply does not
+    // contribute. Work already banked for earlier designs is kept.
+    try {
+      fault::inject("flow.train_design");
+      const TimingGraph flat = build_timing_graph(d);
+      const IlmResult ilm = extract_ilm(flat);
+      validate_stage(cfg_.validate_stages, "ilm (train)", ilm.graph);
 
-    GraphSample sample;
-    sample.graph = GnnGraph::from_timing_graph(ilm.graph);
-    sample.features = extract_features(ilm.graph, cfg_.cppr_feature);
-    sample.labels = data.labels;
-    sample.mask.assign(ilm.graph.num_nodes(), 1);
-    for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n)
-      if (ilm.graph.node(n).dead) sample.mask[n] = 0;
+      flow::SensCheckpoint sens;
+      bool from_ckpt = false;
+      if (ckpt.enabled()) {
+        if (auto loaded = ckpt.load_sens(d.name());
+            loaded && loaded->nodes == ilm.graph.num_nodes()) {
+          sens = std::move(*loaded);
+          from_ckpt = true;
+          ++summary.designs_from_checkpoint;
+          log_info("train design %s: sensitivity data restored from %s",
+                   d.name().c_str(), ckpt.sens_path(d.name()).c_str());
+        }
+      }
+      if (!from_ckpt) {
+        const SensitivityData data =
+            generate_training_data(ilm.graph, cfg_.data);
+        sens.nodes = ilm.graph.num_nodes();
+        sens.positives = data.positives;
+        sens.filtered_fraction = data.filter.filtered_fraction();
+        sens.failed_pins = data.ts.failed_pins;
+        sens.skipped_sets = data.ts.skipped_sets;
+        sens.labels = data.labels;
+        sens.ts = data.ts.ts;
+        ckpt.save_sens(d.name(), sens);
+      }
+      if (sens.failed_pins > 0 || sens.skipped_sets > 0) {
+        summary.degraded.push_back(d.name());
+        g_designs_degraded.add();
+        log_warn("train design %s: degraded (%zu failed pins, %zu skipped "
+                 "constraint sets; conservative fallbacks applied)",
+                 d.name().c_str(), sens.failed_pins, sens.skipped_sets);
+      }
 
-    summary.labeled_pins += ilm.graph.num_live_nodes();
-    summary.positives += data.positives;
-    filtered_sum += data.filter.filtered_fraction();
-    ++summary.designs;
-    log_info("train design %s: ilm pins %zu, positives %zu, filtered %.1f%%",
-             d.name().c_str(), ilm.graph.num_live_nodes(), data.positives,
-             data.filter.filtered_fraction() * 100.0);
-    per_design_ts.push_back(data.ts.ts);
-    samples.push_back(std::move(sample));
+      GraphSample sample;
+      sample.graph = GnnGraph::from_timing_graph(ilm.graph);
+      sample.features = extract_features(ilm.graph, cfg_.cppr_feature);
+      sample.labels = sens.labels;
+      sample.mask.assign(ilm.graph.num_nodes(), 1);
+      for (NodeId n = 0; n < ilm.graph.num_nodes(); ++n)
+        if (ilm.graph.node(n).dead) sample.mask[n] = 0;
+
+      summary.labeled_pins += ilm.graph.num_live_nodes();
+      summary.positives += sens.positives;
+      filtered_sum += sens.filtered_fraction;
+      ++summary.designs;
+      log_info("train design %s: ilm pins %zu, positives %zu, filtered %.1f%%",
+               d.name().c_str(), ilm.graph.num_live_nodes(), sens.positives,
+               sens.filtered_fraction * 100.0);
+      per_design_ts.push_back(std::move(sens.ts));
+      samples.push_back(std::move(sample));
+    } catch (const std::exception& e) {
+      summary.failed.push_back({d.name(), e.what()});
+      g_designs_failed.add();
+      log_error("train design %s failed, skipped: %s", d.name().c_str(),
+                e.what());
+    }
     if (cfg_.collect_stage_timings)
       summary.stage_timings.push_back(
           {"data_generation:" + d.name(), design_sw.seconds()});
   }
+  if (summary.designs == 0 && !designs.empty())
+    throw fault::FlowError(
+        fault::ErrorCode::kUnavailable, "flow.train",
+        "every training design failed (first: " + summary.failed.front().design +
+            ": " + summary.failed.front().error + ")");
   summary.data_generation_seconds = data_sw.seconds();
   if (cfg_.collect_stage_timings)
     summary.stage_timings.push_back(
@@ -110,15 +169,25 @@ TrainingSummary Framework::train(std::span<const Design> designs) {
     }
   }
 
-  GnnModelConfig gcfg = cfg_.gnn;
-  gcfg.input_dim =
-      cfg_.cppr_feature ? kNumFeaturesWithCppr : kNumBasicFeatures;
-  gnn_.emplace(gcfg);
-  TrainConfig tcfg = cfg_.train;
-  if (cfg_.regression) tcfg.loss = LossKind::kMeanSquaredError;
-  summary.report = train_model(*gnn_, samples, tcfg);
-  if (cfg_.collect_stage_timings)
-    summary.stage_timings.push_back({"gnn_training", summary.report.seconds});
+  if (ckpt.has_model()) {
+    // Bit-identical resume: ts_scale_ above was recomputed from the
+    // checkpointed raw TS vectors, and the model weights are restored
+    // verbatim, so downstream predictions match the uninterrupted run.
+    gnn_ = ckpt.load_model();
+    summary.model_from_checkpoint = true;
+    log_info("flow: GNN model restored from %s", ckpt.model_path().c_str());
+  } else {
+    GnnModelConfig gcfg = cfg_.gnn;
+    gcfg.input_dim =
+        cfg_.cppr_feature ? kNumFeaturesWithCppr : kNumBasicFeatures;
+    gnn_.emplace(gcfg);
+    TrainConfig tcfg = cfg_.train;
+    if (cfg_.regression) tcfg.loss = LossKind::kMeanSquaredError;
+    summary.report = train_model(*gnn_, samples, tcfg);
+    ckpt.save_model(*gnn_);
+    if (cfg_.collect_stage_timings)
+      summary.stage_timings.push_back({"gnn_training", summary.report.seconds});
+  }
   obs::trace_rss_sample();
   return summary;
 }
@@ -183,6 +252,7 @@ DesignResult Framework::run_design(const Design& design) {
   const std::string span_name = "flow.run_design:" + design.name();
   obs::Span run_span(span_name.c_str());
   obs::trace_rss_sample();
+  fault::inject("flow.design");
   std::vector<StageTiming> stages;
   Stopwatch stage_sw;
   auto mark = [&](const char* stage) {

@@ -56,6 +56,12 @@ struct FlowConfig {
   ConstraintGenConfig eval_constraint_gen;
   std::uint64_t eval_seed = 0xE7A1;
 
+  /// Checkpoint/resume directory (docs/ROBUSTNESS.md): when non-empty,
+  /// per-design sensitivity data and the trained model persist there
+  /// incrementally (atomic writes), and train() resumes from whatever
+  /// is already present — bit-identically. Empty = disabled.
+  std::string checkpoint_dir;
+
   /// Run the static invariant checker (src/analysis) after each macro
   /// generation stage — ILM capture, merging/index selection, final
   /// model — and throw std::runtime_error with the full diagnostic
@@ -95,13 +101,31 @@ struct DesignResult {
   std::vector<StageTiming> stage_timings;
 };
 
+/// One skipped design and why (per-design isolation: a failing design
+/// must not take the rest of the flow down with it).
+struct DesignFailure {
+  std::string design;
+  std::string error;
+};
+
 struct TrainingSummary {
   TrainReport report;
-  std::size_t designs = 0;
+  std::size_t designs = 0;  ///< designs successfully ingested
   std::size_t labeled_pins = 0;
   std::size_t positives = 0;
   double data_generation_seconds = 0.0;
   double mean_filtered_fraction = 0.0;
+  /// Degradation accounting (docs/ROBUSTNESS.md). `failed`: designs
+  /// skipped entirely (their data contributed nothing). `degraded`:
+  /// designs ingested with failed pins / skipped constraint sets
+  /// (conservative fallbacks applied). Training throws
+  /// fault::FlowError(kUnavailable) only when *every* design failed.
+  std::vector<DesignFailure> failed;
+  std::vector<std::string> degraded;
+  /// Resume accounting: stages restored from FlowConfig::checkpoint_dir
+  /// instead of recomputed.
+  std::size_t designs_from_checkpoint = 0;
+  bool model_from_checkpoint = false;
   /// Wall-clock breakdown (data_generation / gnn_training, plus one
   /// data_generation:<design> entry per training design); empty when
   /// FlowConfig::collect_stage_timings is off.

@@ -6,6 +6,7 @@
 
 #include <iosfwd>
 #include <optional>
+#include <string>
 
 #include "gnn/layers.hpp"
 
@@ -42,7 +43,9 @@ class GnnModel {
   std::vector<float> predict(const GnnGraph& g, const Matrix& x);
 
   void save(std::ostream& os) const;
-  static GnnModel load(std::istream& is);
+  /// Malformed or non-finite weight files raise fault::FlowError
+  /// (kParse) with `source`:line context.
+  static GnnModel load(std::istream& is, std::string source = "<gnn>");
 
  private:
   GnnModelConfig cfg_;
@@ -51,5 +54,12 @@ class GnnModel {
   std::vector<SagePoolLayer> pool_;
   std::optional<DenseLayer> head_;
 };
+
+/// GnnModel::load from a file, with the path as error context.
+GnnModel load_gnn_file(const std::string& path);
+
+/// Atomic save to `path` (util::atomic_write_file): interrupted runs
+/// never leave torn weight files.
+void save_gnn_file(const GnnModel& model, const std::string& path);
 
 }  // namespace tmm

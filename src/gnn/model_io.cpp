@@ -1,12 +1,17 @@
 // GnnModel save/load: a small text format holding the config and every
 // parameter matrix in params() order (construction is deterministic, so
-// shapes always line up).
+// shapes always line up). Malformed or non-finite weight files raise
+// fault::FlowError(kParse) with source:line context; file-level helpers
+// write atomically so interrupted runs never leave torn weights.
 
+#include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+#include <sstream>
 
+#include "fault/token_reader.hpp"
 #include "gnn/graphsage.hpp"
+#include "util/atomic_io.hpp"
 
 namespace tmm {
 
@@ -23,25 +28,45 @@ void GnnModel::save(std::ostream& os) const {
   }
 }
 
-GnnModel GnnModel::load(std::istream& is) {
-  std::string tag;
+GnnModel GnnModel::load(std::istream& is, std::string source) {
+  fault::inject("gnn.load");
+  io::TokenReader tr(is, std::move(source));
   GnnModelConfig cfg;
-  int engine = 0;
-  is >> tag >> cfg.input_dim >> cfg.hidden_dim >> cfg.num_layers >> engine >>
-      cfg.seed;
-  if (tag != "gnn") throw std::runtime_error("GnnModel::load: bad header");
-  cfg.engine = static_cast<GnnEngine>(engine);
+  tr.expect("gnn");
+  constexpr std::size_t kMaxDim = 1'000'000;
+  cfg.input_dim = tr.size_at_most("input dim", kMaxDim);
+  cfg.hidden_dim = tr.size_at_most("hidden dim", kMaxDim);
+  cfg.num_layers = tr.size_at_most("layer count", 1'000);
+  cfg.engine = static_cast<GnnEngine>(tr.integer_in(
+      "engine kind", 0, static_cast<int>(GnnEngine::kGraphSagePool)));
+  cfg.seed = tr.size("seed");
   GnnModel model(cfg);
   for (Param* p : model.params()) {
-    std::size_t rows = 0;
-    std::size_t cols = 0;
-    is >> rows >> cols;
+    const std::size_t rows = tr.size("parameter rows");
+    const std::size_t cols = tr.size("parameter cols");
     if (rows != p->value.rows() || cols != p->value.cols())
-      throw std::runtime_error("GnnModel::load: shape mismatch");
-    for (float& v : p->value.data()) is >> v;
+      tr.fail("parameter shape mismatch: file has " + std::to_string(rows) +
+              "x" + std::to_string(cols) + ", model expects " +
+              std::to_string(p->value.rows()) + "x" +
+              std::to_string(p->value.cols()));
+    for (float& v : p->value.data()) v = tr.number_f("parameter value");
   }
-  if (!is) throw std::runtime_error("GnnModel::load: truncated stream");
   return model;
+}
+
+GnnModel load_gnn_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw fault::FlowError(fault::ErrorCode::kIo, "gnn.load",
+                           "cannot open " + path);
+  return GnnModel::load(is, path);
+}
+
+void save_gnn_file(const GnnModel& model, const std::string& path) {
+  fault::inject("gnn.save");
+  std::ostringstream buf;
+  model.save(buf);
+  util::atomic_write_file(path, buf.str()).or_throw("gnn.save");
 }
 
 }  // namespace tmm

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/instrument.hpp"
@@ -113,6 +114,17 @@ TrainReport train_model(GnnModel& model, std::span<const GraphSample> samples,
     }
     opt.step();
     epoch_loss /= static_cast<double>(std::max<std::size_t>(1, samples.size()));
+    fault::inject("gnn.train_epoch");
+    // Numeric guard: a diverged loss (NaN/Inf from an exploded update
+    // or poisoned features) would silently optimize garbage for the
+    // remaining epochs and produce a model that predicts NaN-shaped
+    // keep-sets. Abort the stage with a structured error instead; the
+    // flow layer records the failure and keeps the run alive.
+    if (!std::isfinite(epoch_loss))
+      throw fault::FlowError(
+          fault::ErrorCode::kNumeric, "gnn.train",
+          "non-finite loss at epoch " + std::to_string(epoch + 1) +
+              " (diverged or poisoned inputs)");
     report.final_loss = epoch_loss;
     report.epochs_run = epoch + 1;
     g_epochs_total.add();

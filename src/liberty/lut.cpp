@@ -1,13 +1,32 @@
 #include "liberty/lut.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace tmm {
+
+namespace {
+
+/// Every constructor rejects non-finite surfaces: a NaN delay entry
+/// (corrupt file, poisoned re-characterization) interpolates to NaN
+/// arrivals and corrupts labels and models silently otherwise.
+void check_finite(const std::vector<double>& values, const char* which) {
+  for (double v : values)
+    if (!std::isfinite(v))
+      throw fault::FlowError(fault::ErrorCode::kNumeric, "liberty.lut",
+                             std::string("non-finite ") + which +
+                                 " entry in lookup table");
+}
+
+}  // namespace
 
 Lut Lut::scalar(double value) {
   Lut l;
   l.values_ = {value};
+  check_finite(l.values_, "value");
   return l;
 }
 
@@ -20,6 +39,8 @@ Lut Lut::table1d(std::vector<double> slew_index, std::vector<double> values) {
   Lut l;
   l.slew_index_ = std::move(slew_index);
   l.values_ = std::move(values);
+  check_finite(l.slew_index_, "index");
+  check_finite(l.values_, "value");
   return l;
 }
 
@@ -38,6 +59,9 @@ Lut Lut::table2d(std::vector<double> slew_index, std::vector<double> load_index,
   l.slew_index_ = std::move(slew_index);
   l.load_index_ = std::move(load_index);
   l.values_ = std::move(values);
+  check_finite(l.slew_index_, "index");
+  check_finite(l.load_index_, "index");
+  check_finite(l.values_, "value");
   return l;
 }
 

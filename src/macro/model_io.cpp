@@ -1,14 +1,26 @@
 #include "macro/model_io.hpp"
 
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
+
+#include "fault/token_reader.hpp"
+#include "util/atomic_io.hpp"
 
 namespace tmm {
 
 namespace {
+
+using fault::ErrorCode;
+using fault::FlowError;
+using io::TokenReader;
+
+/// Caps on count fields so a corrupt header cannot become a huge
+/// allocation before the next tag check fires.
+constexpr std::size_t kMaxRecords = 100'000'000;
+constexpr std::size_t kMaxLutAxis = 10'000;
 
 void write_lut(std::ostream& os, const Lut& lut) {
   os << lut.slew_index().size() << ' ' << lut.load_index().size() << '\n';
@@ -20,21 +32,23 @@ void write_lut(std::ostream& os, const Lut& lut) {
   os << '\n';
 }
 
-Lut read_lut(std::istream& is) {
-  std::size_t ni = 0;
-  std::size_t nj = 0;
-  is >> ni >> nj;
+Lut read_lut(TokenReader& tr) {
+  const std::size_t ni = tr.size_at_most("lut slew-axis size", kMaxLutAxis);
+  const std::size_t nj = tr.size_at_most("lut load-axis size", kMaxLutAxis);
   std::vector<double> i1(ni);
   std::vector<double> i2(nj);
-  for (auto& v : i1) is >> v;
-  for (auto& v : i2) is >> v;
+  for (auto& v : i1) v = tr.number("lut slew index");
+  for (auto& v : i2) v = tr.number("lut load index");
   const std::size_t nvals = ni == 0 ? 1 : ni * std::max<std::size_t>(nj, 1);
   std::vector<double> vals(nvals);
-  for (auto& v : vals) is >> v;
-  if (!is) throw std::runtime_error("macro model: truncated lut");
-  if (ni == 0) return Lut::scalar(vals[0]);
-  if (nj == 0) return Lut::table1d(std::move(i1), std::move(vals));
-  return Lut::table2d(std::move(i1), std::move(i2), std::move(vals));
+  for (auto& v : vals) v = tr.number("lut value");
+  try {
+    if (ni == 0) return Lut::scalar(vals[0]);
+    if (nj == 0) return Lut::table1d(std::move(i1), std::move(vals));
+    return Lut::table2d(std::move(i1), std::move(i2), std::move(vals));
+  } catch (const std::invalid_argument& e) {
+    tr.fail(e.what());
+  }
 }
 
 void write_tables(std::ostream& os, const ElRf<Lut>& t) {
@@ -42,10 +56,10 @@ void write_tables(std::ostream& os, const ElRf<Lut>& t) {
     for (unsigned rf = 0; rf < kNumRf; ++rf) write_lut(os, t(el, rf));
 }
 
-ElRf<Lut> read_tables(std::istream& is) {
+ElRf<Lut> read_tables(TokenReader& tr) {
   ElRf<Lut> t;
   for (unsigned el = 0; el < kNumEl; ++el)
-    for (unsigned rf = 0; rf < kNumRf; ++rf) t(el, rf) = read_lut(is);
+    for (unsigned rf = 0; rf < kNumRf; ++rf) t(el, rf) = read_lut(tr);
   return t;
 }
 
@@ -117,31 +131,37 @@ std::size_t macro_model_size_bytes(const MacroModel& model) {
   return write_macro_model(model, os);
 }
 
-MacroModel read_macro_model(std::istream& is) {
-  std::string tag;
+MacroModel read_macro_model(std::istream& is, std::string source) {
+  fault::inject("macro.read");
+  TokenReader tr(is, std::move(source));
   MacroModel model;
-  std::size_t nn = 0;
-  std::size_t na = 0;
-  std::size_t nc = 0;
-  is >> tag >> model.design_name >> nn >> na >> nc;
-  if (tag != "macro") throw std::runtime_error("macro model: bad header");
+  tr.expect("macro");
+  model.design_name = tr.token("design name");
+  const std::size_t nn = tr.size_at_most("node count", kMaxRecords);
+  const std::size_t na = tr.size_at_most("arc count", kMaxRecords);
+  const std::size_t nc = tr.size_at_most("check count", kMaxRecords);
   TimingGraph& g = model.graph;
 
   for (std::size_t i = 0; i < nn; ++i) {
+    tr.expect("node");
     GraphNode node;
-    int role = 0;
-    unsigned flags = 0;
-    std::size_t npo = 0;
-    is >> tag >> node.name >> role >> node.port_ordinal >> flags >>
-        node.static_load_ff >> node.aocv_depth >> npo;
-    if (tag != "node") throw std::runtime_error("macro model: expected node");
+    node.name = tr.token("node name");
+    const int role = tr.integer_in("node role", 0,
+                                   static_cast<int>(NodeRole::kPrimaryOutput));
+    node.port_ordinal = tr.u32("port ordinal");
+    const unsigned flags = static_cast<unsigned>(
+        tr.integer_in("node flags", 0, 15));
+    node.static_load_ff = tr.number("static load");
+    node.aocv_depth = tr.u32("aocv depth");
+    const std::size_t npo =
+        tr.size_at_most("attached PO load count", kMaxRecords);
     node.role = static_cast<NodeRole>(role);
     node.is_clock_root = (flags & 1u) != 0;
     node.in_clock_network = (flags & 2u) != 0;
     node.is_ff_clock = (flags & 4u) != 0;
     node.is_ff_data = (flags & 8u) != 0;
     node.attached_po_loads.resize(npo);
-    for (auto& po : node.attached_po_loads) is >> po;
+    for (auto& po : node.attached_po_loads) po = tr.u32("attached PO ordinal");
     const std::uint32_t ordinal = node.port_ordinal;
     const NodeRole r = node.role;
     const bool clock_root = node.is_clock_root;
@@ -152,21 +172,30 @@ MacroModel read_macro_model(std::istream& is) {
       g.set_primary_output(id, ordinal);
   }
 
+  auto node_ref = [&](const char* what) {
+    const std::size_t id = tr.size(what);
+    if (id >= nn)
+      tr.fail("dangling node reference " + std::to_string(id) + " for " +
+              what + " (model has " + std::to_string(nn) + " nodes)");
+    return static_cast<NodeId>(id);
+  };
+
   for (std::size_t i = 0; i < na; ++i) {
-    NodeId from = 0;
-    NodeId to = 0;
-    int kind = 0;
-    int sense = 0;
-    int launch = 0;
-    int baked = 0;
-    double wire_delay = 0.0;
-    is >> tag >> from >> to >> kind >> sense >> launch >> baked >> wire_delay;
-    if (tag != "arc") throw std::runtime_error("macro model: expected arc");
+    tr.expect("arc");
+    const NodeId from = node_ref("arc source");
+    const NodeId to = node_ref("arc sink");
+    const int kind = tr.integer_in(
+        "arc kind", 0, static_cast<int>(GraphArcKind::kWire));
+    const int sense = tr.integer_in(
+        "arc sense", 0, static_cast<int>(ArcSense::kNonUnate));
+    const int launch = tr.integer_in("launch flag", 0, 1);
+    const int baked = tr.integer_in("baked-derate flag", 0, 1);
+    const double wire_delay = tr.number("wire delay");
     if (static_cast<GraphArcKind>(kind) == GraphArcKind::kWire) {
       g.add_wire_arc(from, to, wire_delay);
     } else {
-      const ElRf<Lut>* dt = g.own_tables(read_tables(is));
-      const ElRf<Lut>* st = g.own_tables(read_tables(is));
+      const ElRf<Lut>* dt = g.own_tables(read_tables(tr));
+      const ElRf<Lut>* st = g.own_tables(read_tables(tr));
       const ArcId id = g.add_cell_arc(from, to, static_cast<ArcSense>(sense),
                                       dt, st, launch != 0);
       g.arc(id).baked_derate = baked != 0;
@@ -174,16 +203,30 @@ MacroModel read_macro_model(std::istream& is) {
   }
 
   for (std::size_t i = 0; i < nc; ++i) {
-    NodeId ck = 0;
-    NodeId d = 0;
-    int setup = 0;
-    is >> tag >> ck >> d >> setup;
-    if (tag != "check") throw std::runtime_error("macro model: expected check");
-    const ElRf<Lut>* guard = g.own_tables(read_tables(is));
+    tr.expect("check");
+    const NodeId ck = node_ref("check clock");
+    const NodeId d = node_ref("check data");
+    const int setup = tr.integer_in("setup flag", 0, 1);
+    const ElRf<Lut>* guard = g.own_tables(read_tables(tr));
     g.add_check(ck, d, setup != 0, guard);
   }
-  if (!is) throw std::runtime_error("macro model: truncated stream");
   return model;
+}
+
+MacroModel read_macro_model_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw FlowError(ErrorCode::kIo, "macro.read", "cannot open " + path);
+  return read_macro_model(is, path);
+}
+
+std::size_t write_macro_model_file(const MacroModel& model,
+                                   const std::string& path) {
+  fault::inject("macro.write");
+  std::ostringstream buf;
+  const std::size_t bytes = write_macro_model(model, buf);
+  util::atomic_write_file(path, buf.str())
+      .or_throw("macro.write", model.design_name);
+  return bytes;
 }
 
 }  // namespace tmm

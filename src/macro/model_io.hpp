@@ -6,6 +6,7 @@
 // count of this form is the model-file-size metric of Tables 3-5.
 
 #include <iosfwd>
+#include <string>
 
 #include "macro/macro_model.hpp"
 
@@ -17,7 +18,18 @@ std::size_t write_macro_model(const MacroModel& model, std::ostream& os);
 /// Measure the serialized size without keeping the bytes.
 std::size_t macro_model_size_bytes(const MacroModel& model);
 
-/// Parse a model previously produced by write_macro_model.
-MacroModel read_macro_model(std::istream& is);
+/// Parse a model previously produced by write_macro_model. Malformed
+/// input raises fault::FlowError(kParse) with `source`:line and the
+/// offending token (dangling node refs, NaN LUT entries, bad counts);
+/// no input crashes the parser.
+MacroModel read_macro_model(std::istream& is, std::string source = "<macro>");
+
+/// read_macro_model from a file, with the path as error context.
+MacroModel read_macro_model_file(const std::string& path);
+
+/// Atomic write to `path` (util::atomic_write_file): interrupted runs
+/// never leave a torn model file. Returns bytes written.
+std::size_t write_macro_model_file(const MacroModel& model,
+                                   const std::string& path);
 
 }  // namespace tmm

@@ -1,13 +1,21 @@
 #include "netlist/netlist_io.hpp"
 
+#include <cmath>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "fault/token_reader.hpp"
+#include "util/atomic_io.hpp"
 
 namespace tmm {
 
 namespace {
+
+using fault::ErrorCode;
+using fault::FlowError;
+using io::TokenReader;
 
 /// Pins are addressed as "p <port-index>" (top-level) or
 /// "g <gate-index> <cell-port-index>".
@@ -19,22 +27,37 @@ void write_pin_ref(std::ostream& os, const Design& d, PinId pin) {
     os << "g " << p.gate << ' ' << p.port;
 }
 
-PinId read_pin_ref(std::istream& is, const Design& d) {
-  std::string kind;
-  is >> kind;
+/// Bounds-checked pin-reference parse: a dangling index reports the
+/// source line and the offending value instead of crashing three
+/// layers down in Design::gate().
+PinId read_pin_ref(TokenReader& tr, const Design& d) {
+  const std::string kind = tr.token("pin reference kind");
   if (kind == "p") {
-    std::uint32_t port = 0;
-    is >> port;
+    const std::uint32_t port = tr.u32("port index");
+    if (port >= d.num_ports())
+      tr.fail("dangling port reference " + std::to_string(port) + " (design has " +
+              std::to_string(d.num_ports()) + " ports)");
     return d.port(port).pin;
   }
   if (kind == "g") {
-    GateId gate = 0;
-    std::uint32_t port = 0;
-    is >> gate >> port;
-    return d.gate(gate).pins.at(port);
+    const std::size_t gate = tr.size("gate index");
+    const std::uint32_t port = tr.u32("gate pin index");
+    if (gate >= d.num_gates())
+      tr.fail("dangling gate reference " + std::to_string(gate) + " (design has " +
+              std::to_string(d.num_gates()) + " gates)");
+    const auto& pins = d.gate(static_cast<GateId>(gate)).pins;
+    if (port >= pins.size())
+      tr.fail("dangling pin index " + std::to_string(port) + " on gate " +
+              std::to_string(gate) + " (" + std::to_string(pins.size()) +
+              " pins)");
+    return pins[port];
   }
-  throw std::runtime_error("design: bad pin reference '" + kind + "'");
+  tr.fail("bad pin reference kind '" + kind + "' (expected 'p' or 'g')");
 }
+
+/// A corrupt count field must not become a multi-gigabyte reserve
+/// before the next per-record tag check would catch it.
+constexpr std::size_t kMaxRecords = 100'000'000;
 
 }  // namespace
 
@@ -71,58 +94,76 @@ std::size_t write_design(const Design& design, std::ostream& os) {
   return s.size();
 }
 
-Design read_design(std::istream& is, const Library& lib) {
-  std::string tag;
-  std::string name;
-  std::string lib_name;
-  std::size_t nports = 0;
-  std::size_t ngates = 0;
-  std::size_t nnets = 0;
-  is >> tag >> name >> lib_name >> nports >> ngates >> nnets;
-  if (tag != "design") throw std::runtime_error("design: bad header");
+Design read_design(std::istream& is, const Library& lib, std::string source) {
+  fault::inject("netlist.read");
+  TokenReader tr(is, std::move(source));
+  tr.expect("design");
+  const std::string name = tr.token("design name");
+  const std::string lib_name = tr.token("library name");
+  const std::size_t nports = tr.size_at_most("port count", kMaxRecords);
+  const std::size_t ngates = tr.size_at_most("gate count", kMaxRecords);
+  const std::size_t nnets = tr.size_at_most("net count", kMaxRecords);
   if (lib_name != lib.name())
-    throw std::runtime_error("design: built against library '" + lib_name +
-                             "', got '" + lib.name() + "'");
+    tr.fail("design built against library '" + lib_name + "', got '" +
+            lib.name() + "'");
   Design d(name, &lib);
   for (std::size_t i = 0; i < nports; ++i) {
-    std::string pname;
-    std::string dir;
-    int clk = 0;
-    is >> tag >> pname >> dir >> clk;
-    if (tag != "port") throw std::runtime_error("design: expected port");
+    tr.expect("port");
+    const std::string pname = tr.token("port name");
+    const std::string dir = tr.token("port direction");
+    if (dir != "in" && dir != "out")
+      tr.fail("bad port direction '" + dir + "' (expected 'in' or 'out')");
+    const int clk = tr.integer_in("clock flag", 0, 1);
     d.add_port(pname, dir == "in" ? TopPortDir::kPrimaryInput
                                   : TopPortDir::kPrimaryOutput,
                clk != 0);
   }
   for (std::size_t i = 0; i < ngates; ++i) {
-    std::string gname;
-    std::string cname;
-    is >> tag >> gname >> cname;
-    if (tag != "gate") throw std::runtime_error("design: expected gate");
-    d.add_gate(gname, lib.cell_id(cname));
+    tr.expect("gate");
+    const std::string gname = tr.token("gate name");
+    const std::string cname = tr.token("cell name");
+    try {
+      d.add_gate(gname, lib.cell_id(cname));
+    } catch (const std::out_of_range&) {
+      tr.fail("unknown cell '" + cname + "' in library '" + lib.name() + "'");
+    }
   }
   for (std::size_t i = 0; i < nnets; ++i) {
-    std::string nname;
-    double wire_cap = 0.0;
-    std::size_t nsinks = 0;
-    is >> tag >> nname;
-    if (tag != "net") throw std::runtime_error("design: expected net");
-    const PinId driver = read_pin_ref(is, d);
-    is >> wire_cap >> nsinks;
+    tr.expect("net");
+    const std::string nname = tr.token("net name");
+    const PinId driver = read_pin_ref(tr, d);
+    const double wire_cap = tr.number("wire capacitance");
+    const std::size_t nsinks = tr.size_at_most("sink count", kMaxRecords);
     const NetId net = d.add_net(nname, driver);
     d.set_wire_cap(net, wire_cap);
     for (std::size_t k = 0; k < nsinks; ++k) {
-      is >> tag;
-      if (tag != "sink") throw std::runtime_error("design: expected sink");
-      const PinId sink = read_pin_ref(is, d);
-      double res = 0.0;
-      is >> res;
+      tr.expect("sink");
+      const PinId sink = read_pin_ref(tr, d);
+      const double res = tr.number("sink resistance");
       d.connect_sink(net, sink, res);
     }
   }
-  if (!is) throw std::runtime_error("design: truncated stream");
-  d.validate();
+  try {
+    d.validate();
+  } catch (const std::exception& e) {
+    throw FlowError(ErrorCode::kParse, tr.source(), e.what(), name);
+  }
   return d;
+}
+
+Design read_design_file(const std::string& path, const Library& lib) {
+  std::ifstream is(path);
+  if (!is)
+    throw FlowError(ErrorCode::kIo, "netlist.read", "cannot open " + path);
+  return read_design(is, lib, path);
+}
+
+std::size_t write_design_file(const Design& design, const std::string& path) {
+  std::ostringstream buf;
+  const std::size_t bytes = write_design(design, buf);
+  util::atomic_write_file(path, buf.str())
+      .or_throw("netlist.write", design.name());
+  return bytes;
 }
 
 }  // namespace tmm

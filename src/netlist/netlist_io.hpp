@@ -5,6 +5,7 @@
 // the CLI tools.
 
 #include <iosfwd>
+#include <string>
 
 #include "netlist/design.hpp"
 
@@ -15,6 +16,17 @@ std::size_t write_design(const Design& design, std::ostream& os);
 
 /// Parse a design previously produced by write_design. The library must
 /// contain every referenced cell and outlive the returned design.
-Design read_design(std::istream& is, const Library& lib);
+/// Malformed input raises fault::FlowError(kParse) with `source`:line
+/// and the offending token; no input crashes the parser.
+Design read_design(std::istream& is, const Library& lib,
+                   std::string source = "<design>");
+
+/// read_design from a file, with the path as error context. Raises
+/// fault::FlowError(kIo) when the file cannot be opened.
+Design read_design_file(const std::string& path, const Library& lib);
+
+/// Atomic write_design to `path` (util::atomic_write_file): interrupted
+/// runs never leave a torn design file. Returns bytes written.
+std::size_t write_design_file(const Design& design, const std::string& path);
 
 }  // namespace tmm

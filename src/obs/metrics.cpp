@@ -5,7 +5,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 
+#include "util/atomic_io.hpp"
 #include "util/instrument.hpp"
 
 namespace tmm::obs {
@@ -141,10 +143,15 @@ void write_metrics_json(std::ostream& os) {
 }
 
 bool write_metrics_json_file(const std::string& path) {
-  std::ofstream os(path);
-  if (!os) return false;
-  write_metrics_json(os);
-  return os.good();
+  // Atomic write; never throws (CLI epilogue contract) — injected
+  // faults degrade to a false return.
+  try {
+    std::ostringstream buf;
+    write_metrics_json(buf);
+    return util::atomic_write_file(path, buf.str()).ok();
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 void reset_metrics() {

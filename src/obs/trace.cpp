@@ -6,8 +6,10 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <vector>
 
+#include "util/atomic_io.hpp"
 #include "util/instrument.hpp"
 
 namespace tmm::obs {
@@ -195,10 +197,17 @@ void write_chrome_trace(std::ostream& os) {
 }
 
 bool write_chrome_trace_file(const std::string& path) {
-  std::ofstream os(path);
-  if (!os) return false;
-  write_chrome_trace(os);
-  return os.good();
+  // Atomic write: a run killed while flushing its trace must not leave
+  // a truncated JSON at the final path. This writer is on the never-
+  // throws contract of the CLI epilogue, so injected faults degrade to
+  // a false return instead of propagating.
+  try {
+    std::ostringstream buf;
+    write_chrome_trace(buf);
+    return util::atomic_write_file(path, buf.str()).ok();
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 }  // namespace tmm::obs

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <thread>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sta/propagation.hpp"
@@ -48,6 +51,13 @@ obs::Counter& g_repropagations = obs::counter("ts.repropagations");
 obs::Counter& g_dirty_nodes = obs::counter("ts.dirty_nodes");
 obs::Counter& g_incremental_frontier =
     obs::counter("ts.incremental_frontier");
+obs::Counter& g_pins_failed = obs::counter("ts.pins_failed");
+obs::Counter& g_sets_skipped = obs::counter("ts.sets_skipped");
+
+/// Conservative TS for a pin whose re-analysis failed: maximal
+/// sensitivity, so the pin is labeled timing-variant and kept in the
+/// model — degrading model size, never accuracy.
+constexpr double kFailedPinTs = 1.0;
 
 double snapshot_ts(const BoundarySnapshot& after,
                    const BoundarySnapshot& before) {
@@ -77,14 +87,32 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
   sta_opt.aocv = cfg.aocv;
   MergeConfig merge_cfg = cfg.merge;
   merge_cfg.aocv = cfg.aocv;
+  // Per-constraint-set isolation: a set whose reference run fails
+  // (numeric corruption, injected fault) is dropped from the |C|
+  // average with a diagnostic instead of killing the design. The RNG
+  // draw happens for every set regardless, so the surviving constraint
+  // sets are bit-identical to the ones an unfailed run would use.
   Sta ref_sta(ilm, sta_opt);
   for (std::size_t c = 0; c < cfg.num_constraint_sets; ++c) {
-    sets.push_back(random_constraints(ilm.primary_inputs().size(),
-                                      ilm.primary_outputs().size(),
-                                      cfg.constraint_gen, rng));
-    ref_sta.run(sets.back());
-    refs.push_back(ref_sta.boundary_snapshot());
+    BoundaryConstraints bc = random_constraints(ilm.primary_inputs().size(),
+                                                ilm.primary_outputs().size(),
+                                                cfg.constraint_gen, rng);
+    try {
+      fault::inject("ts.constraint_set");
+      ref_sta.run(bc);
+      refs.push_back(ref_sta.boundary_snapshot());
+      sets.push_back(std::move(bc));
+    } catch (const std::exception& e) {
+      ++out.skipped_sets;
+      g_sets_skipped.add();
+      if (out.first_failure.empty()) out.first_failure = e.what();
+      log_warn("ts-eval: constraint set %zu skipped: %s", c, e.what());
+    }
   }
+  if (sets.empty())
+    throw fault::FlowError(fault::ErrorCode::kUnavailable, "ts.eval",
+                           "every reference constraint set failed (" +
+                               out.first_failure + ")");
 
   // Collect the evaluable pins, then fan the independent per-pin
   // re-analyses out over worker threads (results are written to
@@ -139,45 +167,89 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
              "full per-pin re-analysis path");
   span.set_arg("incremental", use_incremental ? 1.0 : 0.0);
 
+  // Per-pin isolation: an exception inside one pin's re-analysis
+  // (numeric guard, injected fault) marks that pin failed —
+  // conservatively fully sensitive, so it stays in the model — and the
+  // loop continues. Exceptions must never escape a worker thread.
+  std::atomic<std::size_t> failed{0};
+  std::mutex failure_mu;
+  auto record_failure = [&](NodeId n, const char* what) {
+    failed.fetch_add(1, std::memory_order_relaxed);
+    g_pins_failed.add();
+    out.ts[n] = kFailedPinTs;
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (out.first_failure.empty())
+      out.first_failure =
+          std::string("pin '") + ilm.node(n).name + "': " + what;
+    log_warn("ts-eval: pin %s failed, conservatively kept (%s)",
+             ilm.node(n).name.c_str(), what);
+  };
+
   auto worker = [&]() {
     if (use_incremental) {
       // One reusable scratch graph per worker, mutated in place through
       // MergeDelta apply/undo, and one engine per constraint set whose
       // reference checkpoint the incremental runs restore to — instead
       // of a graph copy, a full merge and full propagations per pin.
-      TimingGraph scratch = ilm;
-      MergeDelta delta(scratch);
-      std::vector<Sta> engines;
-      engines.reserve(sets.size());
-      for (std::size_t c = 0; c < sets.size(); ++c) {
-        engines.emplace_back(scratch, sta_opt);
-        engines.back().run(sets[c]);
-        engines.back().set_reference();
-      }
+      // Bundled so the worker can rebuild from the pristine ILM after a
+      // failure mid-delta leaves the scratch state unknown.
+      struct Scratch {
+        TimingGraph graph;
+        MergeDelta delta;
+        std::vector<Sta> engines;
+        Scratch(const TimingGraph& ilm_graph, const Sta::Options& opt,
+                const std::vector<BoundaryConstraints>& bc_sets)
+            : graph(ilm_graph), delta(graph) {
+          engines.reserve(bc_sets.size());
+          for (const auto& bc : bc_sets) {
+            engines.emplace_back(graph, opt);
+            engines.back().run(bc);
+            engines.back().set_reference();
+          }
+        }
+      };
+      auto scratch = std::make_unique<Scratch>(ilm, sta_opt, sets);
       BoundarySnapshot snap;  // reused: snapshot_into is allocation-free
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= work.size()) return;
         const NodeId n = work[i];
-        if (delta.apply(n, merge_cfg)) {
-          g_dirty_nodes.add(delta.touched().size());
-          double ts_sum = 0.0;
-          for (std::size_t c = 0; c < sets.size(); ++c) {
-            const StaIncrementalStats st =
-                engines[c].run_incremental(sets[c], delta.touched());
-            g_incremental_frontier.add(st.fwd_recomputed +
-                                       st.bwd_recomputed);
-            engines[c].snapshot_into(snap);
-            ts_sum += snapshot_ts(snap, refs[c]);
+        try {
+          if (scratch == nullptr)
+            throw fault::FlowError(fault::ErrorCode::kUnavailable, "ts.eval",
+                                   "worker scratch state unrecoverable");
+          fault::inject("ts.eval_pin");
+          if (scratch->delta.apply(n, merge_cfg)) {
+            g_dirty_nodes.add(scratch->delta.touched().size());
+            double ts_sum = 0.0;
+            for (std::size_t c = 0; c < sets.size(); ++c) {
+              const StaIncrementalStats st = scratch->engines[c].run_incremental(
+                  sets[c], scratch->delta.touched());
+              g_incremental_frontier.add(st.fwd_recomputed +
+                                         st.bwd_recomputed);
+              scratch->engines[c].snapshot_into(snap);
+              ts_sum += snapshot_ts(snap, refs[c]);
+            }
+            scratch->delta.undo();
+            out.ts[n] = ts_sum / static_cast<double>(sets.size());
+            g_repropagations.add(sets.size());
+          } else {
+            // Refused by the merge legality/size rules: the full path
+            // would re-run timing on an unchanged graph and diff two
+            // identical snapshots — TS is exactly 0.
+            out.ts[n] = 0.0;
           }
-          delta.undo();
-          out.ts[n] = ts_sum / static_cast<double>(sets.size());
-          g_repropagations.add(sets.size());
-        } else {
-          // Refused by the merge legality/size rules: the full path
-          // would re-run timing on an unchanged graph and diff two
-          // identical snapshots — TS is exactly 0.
-          out.ts[n] = 0.0;
+        } catch (const std::exception& e) {
+          record_failure(n, e.what());
+          try {
+            scratch = std::make_unique<Scratch>(ilm, sta_opt, sets);
+          } catch (const std::exception& rebuild_err) {
+            // Rebuild itself failed: drain the remaining work as failed
+            // rather than crash the pool.
+            scratch = nullptr;
+            log_error("ts-eval: scratch rebuild failed: %s",
+                      rebuild_err.what());
+          }
         }
         g_pins_evaluated.add();
         heartbeat(done.fetch_add(1, std::memory_order_relaxed) + 1);
@@ -188,21 +260,28 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= work.size()) return;
       const NodeId n = work[i];
-      // Remove pin n exactly as macro generation would, on a scratch copy.
-      TimingGraph scratch = ilm;
-      keep[n] = false;
-      merge_insensitive_pins(scratch, keep, merge_cfg);
-      keep[n] = true;
+      try {
+        fault::inject("ts.eval_pin");
+        // Remove pin n exactly as macro generation would, on a scratch
+        // copy.
+        TimingGraph scratch = ilm;
+        keep[n] = false;
+        merge_insensitive_pins(scratch, keep, merge_cfg);
+        keep[n] = true;
 
-      Sta sta(scratch, sta_opt);
-      double ts_sum = 0.0;
-      for (std::size_t c = 0; c < sets.size(); ++c) {
-        sta.run(sets[c]);
-        ts_sum += snapshot_ts(sta.boundary_snapshot(), refs[c]);
+        Sta sta(scratch, sta_opt);
+        double ts_sum = 0.0;
+        for (std::size_t c = 0; c < sets.size(); ++c) {
+          sta.run(sets[c]);
+          ts_sum += snapshot_ts(sta.boundary_snapshot(), refs[c]);
+        }
+        out.ts[n] = ts_sum / static_cast<double>(sets.size());
+        g_repropagations.add(sets.size());
+      } catch (const std::exception& e) {
+        keep[n] = true;  // restore for the next iteration
+        record_failure(n, e.what());
       }
-      out.ts[n] = ts_sum / static_cast<double>(sets.size());
       g_pins_evaluated.add();
-      g_repropagations.add(sets.size());
       heartbeat(done.fetch_add(1, std::memory_order_relaxed) + 1);
     }
   };
@@ -215,6 +294,7 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
     for (auto& t : pool) t.join();
   }
   out.evaluated_pins = work.size();
+  out.failed_pins = failed.load(std::memory_order_relaxed);
   out.eval_seconds = sw.seconds();
   span.set_arg("pins", static_cast<double>(out.evaluated_pins));
   obs::trace_rss_sample();

@@ -43,6 +43,15 @@ struct TsResult {
   std::vector<double> ts;
   std::size_t evaluated_pins = 0;
   std::size_t skipped_unmergeable = 0;
+  /// Degradation accounting (docs/ROBUSTNESS.md): pins whose per-pin
+  /// re-analysis failed are conservatively scored fully sensitive
+  /// (TS = 1, i.e. kept in the model) instead of aborting the design;
+  /// constraint sets whose reference run failed are dropped from the
+  /// |C| average. Either being nonzero marks the design `degraded`.
+  std::size_t failed_pins = 0;
+  std::size_t skipped_sets = 0;
+  /// First failure diagnostic (empty when failed_pins + skipped_sets == 0).
+  std::string first_failure;
   double eval_seconds = 0.0;
 };
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -33,6 +34,7 @@ constexpr bool dominates(unsigned el, double cand, double cur) {
 // safe at static-initialization time.
 obs::Counter& g_runs = obs::counter("sta.runs");
 obs::Counter& g_nodes_propagated = obs::counter("sta.nodes_propagated");
+obs::Counter& g_nan_detected = obs::counter("sta.nan_detected");
 obs::Counter& g_incremental_runs = obs::counter("sta.incremental_runs");
 obs::Counter& g_slew_only_runs = obs::counter("sta.slew_only_runs");
 
@@ -102,6 +104,30 @@ void Sta::run(const BoundaryConstraints& bc) {
   forward(bc);
   seed_backward(bc);
   backward();
+  check_numeric();
+}
+
+void Sta::check_numeric() const {
+  if (!opt_.check_numeric) return;
+  fault::inject("sta.run");
+  // ±Inf is a legitimate "unconstrained" value; NaN is always
+  // corruption (a poisoned LUT, a bad derate) and would otherwise leak
+  // into labels and macro models silently. Scanning the boundary only
+  // keeps this O(ports), negligible next to the propagation itself.
+  auto scan = [&](NodeId u) {
+    const PinTiming& t = values_[u];
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf)
+        if (std::isnan(t.at(el, rf)) || std::isnan(t.slew(el, rf)) ||
+            std::isnan(t.rat(el, rf))) {
+          g_nan_detected.add();
+          throw fault::FlowError(fault::ErrorCode::kNumeric, "sta.run",
+                                 "NaN timing value after propagation", {},
+                                 graph_->node(u).name);
+        }
+  };
+  for (NodeId u : graph_->primary_inputs()) scan(u);
+  for (NodeId u : graph_->primary_outputs()) scan(u);
 }
 
 void Sta::forward(const BoundaryConstraints& bc) {
@@ -577,6 +603,7 @@ StaIncrementalStats Sta::run_incremental(const BoundaryConstraints& bc,
   span.set_arg("seeds", static_cast<double>(stats.seeds));
   span.set_arg("frontier",
                static_cast<double>(stats.fwd_recomputed + stats.bwd_recomputed));
+  check_numeric();
   return stats;
 }
 

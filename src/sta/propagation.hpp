@@ -73,6 +73,11 @@ class Sta {
     /// Advanced on-chip-variation mode: depth-based derating of cell
     /// arc delays (see sta/aocv.hpp).
     AocvConfig aocv;
+    /// Scan the boundary for NaN after each analysis and raise
+    /// fault::FlowError(kNumeric) with the offending pin instead of
+    /// letting corruption (a poisoned LUT, a bad derate) leak into
+    /// labels or macro models silently. O(ports) per run.
+    bool check_numeric = true;
   };
 
   explicit Sta(const TimingGraph& graph, Options opt);
@@ -151,6 +156,8 @@ class Sta {
   };
 
   void forward(const BoundaryConstraints& bc);
+  /// Boundary NaN scan (Options::check_numeric); throws FlowError.
+  void check_numeric() const;
   void seed_backward(const BoundaryConstraints& bc);
   void backward();
   /// Recompute slew/at/preds of `v` from scratch as a pure function of

@@ -1,0 +1,73 @@
+#include "util/atomic_io.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace tmm::util {
+
+namespace {
+
+fault::Status io_failure(const std::string& what, const std::string& path) {
+  return fault::Status::failure(
+      fault::ErrorCode::kIo,
+      what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+fault::Status atomic_write_file(const std::string& path,
+                                std::string_view data) {
+  fault::inject("util.atomic_write");
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_failure("cannot create", tmp);
+
+  const char* p = data.data();
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const fault::Status s = io_failure("cannot write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // fsync before rename: without it a crash shortly after the rename
+  // can expose an empty file at the final path on some filesystems.
+  if (::fsync(fd) != 0) {
+    const fault::Status s = io_failure("cannot fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    const fault::Status s = io_failure("cannot close", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  try {
+    fault::inject("util.atomic_rename");
+  } catch (...) {
+    // An injected throw models a failure between write and rename: the
+    // contract (no partial file, no debris) must hold on that path too.
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const fault::Status s = io_failure("cannot rename into", path);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  return {};
+}
+
+}  // namespace tmm::util

@@ -1,0 +1,23 @@
+#pragma once
+// Atomic file writes: every durable output of the flow — macro models,
+// GNN weights, metrics/trace JSON, checkpoints — goes through
+// atomic_write_file (write to <path>.tmp.<pid>, fsync, rename), so a
+// run killed at *any* instruction never leaves a torn or half-written
+// file at the final path: the file is either absent or complete. The
+// CI fault matrix SIGKILLs the flow at the util.atomic_write /
+// util.atomic_rename injection sites to prove it.
+
+#include <string>
+#include <string_view>
+
+#include "fault/fault.hpp"
+
+namespace tmm::util {
+
+/// Atomically replace `path` with `data`. Returns a kIo failure (and
+/// removes the temp file) when any step fails; never leaves a partial
+/// file at `path`.
+fault::Status atomic_write_file(const std::string& path,
+                                std::string_view data);
+
+}  // namespace tmm::util

@@ -57,4 +57,41 @@ grep -q "unknown option" "$DIR/err2.txt"
 # "[tmm INFO" prefix.
 TMM_LOG=info "$TMM" sta "$DIR/block.dsn" 2> "$DIR/log.txt"
 grep -q "\[tmm INFO" "$DIR/log.txt"
+
+# --- Robustness: fault injection, checkpoint/resume, exit codes -------------
+
+# The fault-site registry must be non-empty and include the flow hooks.
+"$TMM" fault-sites > "$DIR/sites.txt"
+grep -q "flow.train_design" "$DIR/sites.txt"
+grep -q "util.atomic_write" "$DIR/sites.txt"
+
+# A malformed TMM_FAULT spec is a configuration error: exit code 2.
+set +e
+TMM_FAULT="no.such.site:1" "$TMM" stats "$DIR/block.dsn" 2> "$DIR/err3.txt"
+rc3=$?
+set -e
+[ "$rc3" -eq 2 ]
+grep -q "unregistered site" "$DIR/err3.txt"
+
+# End-to-end checkpointed flow; rerunning against the same directory
+# must resume from the per-design results rather than recompute.
+"$TMM" flow "$DIR/run" "$DIR/t1.dsn" "$DIR/t2.dsn" > "$DIR/flow1.txt"
+test -s "$DIR/run/model.gnn"
+test -s "$DIR/run/out/t1.macro"
+test -s "$DIR/run/results/t2.res"
+"$TMM" --resume "$DIR/run" flow "$DIR/t1.dsn" "$DIR/t2.dsn" > "$DIR/flow2.txt"
+grep -q "(resumed)" "$DIR/flow2.txt"
+# No torn temp files may survive a completed run.
+[ "$(find "$DIR/run" -name '*.tmp.*' | wc -l)" -eq 0 ]
+
+# A design failure mid-flow degrades the run: exit code 3, with the
+# failed design named in the summary and counted in the metrics JSON.
+set +e
+TMM_FAULT="flow.train_design:1" "$TMM" --metrics "$DIR/m3.json" \
+  flow "$DIR/run3" "$DIR/t1.dsn" "$DIR/t2.dsn" > "$DIR/flow3.txt"
+rc4=$?
+set -e
+[ "$rc4" -eq 3 ]
+grep -q "FAILED" "$DIR/flow3.txt"
+grep -q '"flow.designs_failed": 1' "$DIR/m3.json"
 echo "CLI_OK"

@@ -1,9 +1,9 @@
 #!/bin/sh
 # tools/check.sh — continuous static/dynamic analysis driver.
 #
-#   tools/check.sh [release] [sanitize] [tsan] [tidy]
+#   tools/check.sh [release] [sanitize] [tsan] [tidy] [fault]
 #
-# With no arguments all four stages run:
+# With no arguments all five stages run:
 #   release   Release build with -Werror (TMM_WERROR=ON) + full ctest.
 #   sanitize  ASan+UBSan build (TMM_SANITIZE=address,undefined) + full
 #             ctest; any sanitizer report fails the test.
@@ -14,6 +14,11 @@
 #             (skipped with a notice when clang-tidy is not installed).
 #             TIDY_BASE=<git-ref> restricts it to files changed since
 #             that ref (used by CI on pull requests).
+#   fault     Deterministic fault-injection matrix (tools/fault_matrix.sh):
+#             every registered TMM_FAULT site is armed in throw mode
+#             (clean skip-with-diagnostic, no torn files) and the
+#             persistence sites in kill mode (SIGKILL + bit-identical
+#             resume).
 #
 # Build trees live in build-check-* so the developer build/ is never
 # clobbered. Exit code is non-zero as soon as any stage fails.
@@ -81,14 +86,25 @@ run_tidy() {
     clang-tidy -p "$ROOT/build-check-release" --quiet
 }
 
-stages="${*:-release sanitize tsan tidy}"
+run_fault() {
+  echo "== check: fault-injection matrix =="
+  # Reuse (or create) the release tree; only the tmm binary is needed.
+  cmake -S "$ROOT" -B "$ROOT/build-check-release" \
+    -DCMAKE_BUILD_TYPE=Release -DTMM_WERROR=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  cmake --build "$ROOT/build-check-release" -j"$JOBS" --target tmm
+  sh "$ROOT/tools/fault_matrix.sh" "$ROOT/build-check-release/tools/tmm"
+}
+
+stages="${*:-release sanitize tsan tidy fault}"
 for stage in $stages; do
   case "$stage" in
     release)  run_release ;;
     sanitize) run_sanitize ;;
     tsan)     run_tsan ;;
     tidy)     run_tidy ;;
-    *) echo "unknown stage '$stage' (expected release|sanitize|tsan|tidy)" >&2
+    fault)    run_fault ;;
+    *) echo "unknown stage '$stage' (expected release|sanitize|tsan|tidy|fault)" >&2
        exit 64 ;;
   esac
 done

@@ -4,6 +4,9 @@
 //   --trace <out.json>    write a Chrome trace of the run (load in
 //                         chrome://tracing or https://ui.perfetto.dev)
 //   --metrics <out.json>  dump the metrics-registry snapshot on exit
+//   --resume <dir>        checkpoint/resume directory for `flow` and
+//                         `train` (docs/ROBUSTNESS.md); re-running with
+//                         the same directory resumes bit-identically
 //
 // Subcommands (everything uses the built-in generated NLDM library):
 //   tmm gen-design <out.dsn> [--pins N] [--seed S] [--name X]
@@ -13,14 +16,20 @@
 //                  [--regression]
 //   tmm generate   <in.gnn> <in.dsn> <out.macro> [--no-cppr]
 //   tmm evaluate   <in.dsn> <in.macro> [--no-cppr] [--sets K]
+//   tmm flow       <run-dir> <design.dsn...> [--no-cppr] [--regression]
+//                  (full pipeline with per-design isolation + resume;
+//                  with --resume <dir>, the run-dir positional is
+//                  omitted)
 //   tmm export-lib <out.lib> [--early]
 //   tmm lint       <file...>  (.macro files are linted as macro models,
 //                  anything else as designs + their flat timing graphs)
+//   tmm fault-sites           (list fault-injection sites; see
+//                  docs/ROBUSTNESS.md and the TMM_FAULT env variable)
 //
-// Exit code 0 on success; errors are printed to stderr. Unrecognized
-// options — including options that exist but do not apply to the
-// chosen subcommand — exit 2. `lint` exits 3 when any error-severity
-// diagnostic fired.
+// Exit codes: 0 success; 1 runtime failure; 2 configuration error
+// (unrecognized/misplaced options, malformed TMM_FAULT, checkpoint
+// fingerprint mismatch); 3 partial/degraded success (`flow`/`train`
+// skipped or degraded some designs — and `lint` findings).
 
 #include <cstdio>
 #include <algorithm>
@@ -34,7 +43,10 @@
 #include "analysis/design_lint.hpp"
 #include "analysis/graph_lint.hpp"
 #include "analysis/model_lint.hpp"
+#include "fault/fault.hpp"
+#include "flow/flow_runner.hpp"
 #include "flow/framework.hpp"
+#include "gnn/graphsage.hpp"
 #include "liberty/liberty_writer.hpp"
 #include "liberty/library_gen.hpp"
 #include "netlist/design_gen.hpp"
@@ -68,12 +80,15 @@ struct Args {
   double period = 1000.0;
   std::size_t sets = 4;
   bool early = false;
+  /// Copied from GlobalOpts: checkpoint/resume directory.
+  std::string resume_dir;
 };
 
-/// Observability outputs, valid with every subcommand.
+/// Options valid with every subcommand.
 struct GlobalOpts {
   std::string trace_path;
   std::string metrics_path;
+  std::string resume_dir;
 };
 
 /// Parse the arguments after the subcommand. Every option must be in
@@ -108,6 +123,10 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       g.metrics_path = next();
       continue;
     }
+    if (a == "--resume") {
+      g.resume_dir = next();
+      continue;
+    }
     if (a.rfind("--", 0) == 0) check_allowed(a);
     if (a == "--no-cppr")
       args.cppr = false;
@@ -130,13 +149,12 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
     else
       args.positional.push_back(a);
   }
+  args.resume_dir = g.resume_dir;
   return args;
 }
 
 Design load_design(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open " + path);
-  return read_design(is, default_library());
+  return read_design_file(path, default_library());
 }
 
 int cmd_gen_design(const Args& args) {
@@ -154,8 +172,7 @@ int cmd_gen_design(const Args& args) {
       std::clamp<std::size_t>(static_cast<std::size_t>(budget / 60.0), 8, 256);
   cfg.num_outputs = cfg.num_data_inputs;
   const Design d = generate_design(default_library(), cfg);
-  std::ofstream os(args.positional[0]);
-  const std::size_t bytes = write_design(d, os);
+  const std::size_t bytes = write_design_file(d, args.positional[0]);
   std::printf("wrote %s: %zu pins, %zu cells, %zu nets (%zu bytes)\n",
               args.positional[0].c_str(), d.num_pins(), d.num_gates(),
               d.num_nets(), bytes);
@@ -207,6 +224,17 @@ int cmd_sta(const Args& args) {
   return 0;
 }
 
+/// End-of-run degradation summary shared by `train` and `flow`
+/// (docs/ROBUSTNESS.md): every skipped/degraded design with its
+/// diagnostic, so partial results are never silently partial.
+void print_degradation(const std::vector<DesignFailure>& failed,
+                       const std::vector<std::string>& degraded) {
+  for (const auto& f : failed)
+    std::printf("  FAILED   %s: %s\n", f.design.c_str(), f.error.c_str());
+  for (const auto& d : degraded)
+    std::printf("  DEGRADED %s: conservative fallbacks applied\n", d.c_str());
+}
+
 int cmd_train(const Args& args) {
   if (args.positional.size() < 2)
     throw std::runtime_error("train: <out.gnn> <train.dsn...> required");
@@ -214,6 +242,7 @@ int cmd_train(const Args& args) {
   cfg.cppr = args.cppr;
   cfg.cppr_feature = args.cppr;
   cfg.regression = args.regression;
+  cfg.checkpoint_dir = args.resume_dir;
   Framework fw(cfg);
   std::vector<Design> designs;
   for (std::size_t i = 1; i < args.positional.size(); ++i)
@@ -224,9 +253,56 @@ int cmd_train(const Args& args) {
               sum.designs, sum.labeled_pins, sum.positives,
               sum.mean_filtered_fraction * 100.0, sum.report.epochs_run,
               sum.report.final_loss);
-  std::ofstream os(args.positional[0]);
-  fw.model().save(os);
+  if (sum.designs_from_checkpoint > 0 || sum.model_from_checkpoint)
+    std::printf("resumed from %s: %zu design(s)%s restored\n",
+                args.resume_dir.c_str(), sum.designs_from_checkpoint,
+                sum.model_from_checkpoint ? " + model" : "");
+  save_gnn_file(fw.model(), args.positional[0]);
   std::printf("model written to %s\n", args.positional[0].c_str());
+  print_degradation(sum.failed, sum.degraded);
+  return sum.failed.empty() && sum.degraded.empty() ? 0 : 3;
+}
+
+int cmd_flow(const Args& args) {
+  std::string dir = args.resume_dir;
+  std::size_t first_design = 0;
+  if (dir.empty()) {
+    if (args.positional.size() < 2)
+      throw UsageError("flow: <run-dir> <design.dsn...> required "
+                       "(or --resume <dir> plus designs)");
+    dir = args.positional[0];
+    first_design = 1;
+  } else if (args.positional.empty()) {
+    throw UsageError("flow: at least one design required");
+  }
+  FlowConfig cfg;
+  cfg.cppr = args.cppr;
+  cfg.cppr_feature = args.cppr;
+  cfg.regression = args.regression;
+  std::vector<std::string> paths(args.positional.begin() +
+                                     static_cast<std::ptrdiff_t>(first_design),
+                                 args.positional.end());
+  const flow::FlowRunReport report =
+      flow::run_flow(paths, dir, cfg, default_library());
+  std::printf("flow: trained on %zu design(s)%s, %zu modeled, %zu failed\n",
+              report.training.designs,
+              report.training.designs_from_checkpoint > 0 ||
+                      report.training.model_from_checkpoint
+                  ? " (resumed)"
+                  : "",
+              report.completed.size(),
+              report.failed.size() + report.training.failed.size());
+  for (const auto& o : report.completed)
+    std::printf("  OK       %s -> %s%s\n", o.design.c_str(),
+                o.macro_path.c_str(), o.from_checkpoint ? " (resumed)" : "");
+  print_degradation(report.training.failed, report.training.degraded);
+  print_degradation(report.failed, {});
+  return report.degraded() ? 3 : 0;
+}
+
+int cmd_fault_sites(const Args&) {
+  for (const std::string_view site : fault::registered_sites())
+    std::printf("%.*s\n", static_cast<int>(site.size()), site.data());
   return 0;
 }
 
@@ -238,15 +314,10 @@ int cmd_generate(const Args& args) {
   cfg.cppr_feature = args.cppr;
   cfg.regression = args.regression;
   Framework fw(cfg);
-  {
-    std::ifstream is(args.positional[0]);
-    if (!is) throw std::runtime_error("cannot open " + args.positional[0]);
-    fw.set_model(GnnModel::load(is));
-  }
+  fw.set_model(load_gnn_file(args.positional[0]));
   const Design d = load_design(args.positional[1]);
   DesignResult r = fw.run_design(d);
-  std::ofstream os(args.positional[2]);
-  write_macro_model(r.model, os);
+  write_macro_model_file(r.model, args.positional[2]);
   std::printf("macro for %s: %zu -> %zu pins, %zu bytes, max boundary "
               "error %.4f ps (gen %.3f s)\n",
               d.name().c_str(), r.gen.ilm_pins, r.gen.model_pins,
@@ -326,8 +397,9 @@ int cmd_export_lib(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: tmm [--trace out.json] [--metrics out.json] "
-               "<gen-design|stats|sta|train|generate|evaluate|"
-               "export-lib|lint> "
+               "[--resume dir] "
+               "<gen-design|stats|sta|train|generate|evaluate|flow|"
+               "export-lib|lint|fault-sites> "
                "[args...]  (see tools/tmm_cli.cpp header)\n");
   return 64;
 }
@@ -345,8 +417,10 @@ const Command kCommands[] = {
     {"train", cmd_train, {"--no-cppr", "--regression"}},
     {"generate", cmd_generate, {"--no-cppr", "--regression"}},
     {"evaluate", cmd_evaluate, {"--no-cppr", "--sets"}},
+    {"flow", cmd_flow, {"--no-cppr", "--regression"}},
     {"export-lib", cmd_export_lib, {"--early"}},
     {"lint", cmd_lint, {}},
+    {"fault-sites", cmd_fault_sites, {}},
 };
 
 /// Flush the requested observability outputs; never throws (a failed
@@ -368,13 +442,19 @@ int main(int argc, char** argv) {
   int first = 1;
   std::string cmd;
   try {
+    // Arm the deterministic fault-injection harness before anything
+    // else runs (docs/ROBUSTNESS.md); a malformed TMM_FAULT spec is a
+    // configuration error (exit 2), never a silent no-op.
+    if (const fault::Status s = fault::arm_from_env(); !s.ok())
+      throw UsageError(s.message());
     // Global options may precede the subcommand.
     while (first < argc && std::strncmp(argv[first], "--", 2) == 0) {
       const std::string a = argv[first];
-      if (a == "--trace" || a == "--metrics") {
+      if (a == "--trace" || a == "--metrics" || a == "--resume") {
         if (first + 1 >= argc) throw UsageError("missing value for " + a);
-        (a == "--trace" ? global.trace_path : global.metrics_path) =
-            argv[first + 1];
+        (a == "--trace"     ? global.trace_path
+         : a == "--metrics" ? global.metrics_path
+                            : global.resume_dir) = argv[first + 1];
         first += 2;
       } else {
         throw UsageError("unknown global option " + a);
@@ -416,6 +496,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tmm%s%s: %s\n", cmd.empty() ? "" : " ",
                  cmd.c_str(), e.what());
     return 2;
+  } catch (const fault::FlowError& e) {
+    std::fprintf(stderr, "tmm %s: %s\n", cmd.c_str(), e.what());
+    // A config-class flow error (checkpoint fingerprint mismatch, bad
+    // flow configuration) is the caller's mistake: exit 2, like usage
+    // errors, so scripts can tell it from a runtime failure.
+    return e.code() == fault::ErrorCode::kConfig ? 2 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tmm %s: %s\n", cmd.c_str(), e.what());
     return 1;
