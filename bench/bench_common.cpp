@@ -2,7 +2,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
+#include <thread>
+
+// Short git SHA of the checkout, stamped at configure time by
+// bench/CMakeLists.txt; "unknown" outside a git checkout.
+#ifndef TMM_GIT_SHA
+#define TMM_GIT_SHA "unknown"
+#endif
 
 namespace tmm::bench {
 
@@ -152,7 +160,18 @@ bool JsonReport::write() const {
     std::fprintf(stderr, "# bench: cannot write %s\n", path.c_str());
     return false;
   }
-  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"meta\": ";
+  // Reproducibility metadata: which build produced this file, when, and
+  // on how many cores — so archived BENCH_*.json files stay comparable.
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr)
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  os << "{\n  \"bench\": \"" << json_escape(name_)
+     << "\",\n  \"environment\": {\n    \"git_sha\": \""
+     << json_escape(TMM_GIT_SHA) << "\",\n    \"utc_timestamp\": \"" << stamp
+     << "\",\n    \"host_cores\": " << std::thread::hardware_concurrency()
+     << "\n  },\n  \"meta\": ";
   write_kv_object(os, meta_, "  ");
   os << ",\n  \"training\": [";
   for (std::size_t i = 0; i < trainings_.size(); ++i) {

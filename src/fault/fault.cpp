@@ -24,6 +24,10 @@ constexpr std::string_view kSites[] = {
     "macro.read",
     "macro.write",
     "netlist.read",
+    "serve.load_model",
+    "serve.pack",
+    "serve.parse_request",
+    "serve.write_response",
     "sta.run",
     "ts.constraint_set",
     "ts.eval_pin",

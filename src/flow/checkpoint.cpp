@@ -60,13 +60,22 @@ std::string sanitize_design_name(const std::string& name) {
   return out;
 }
 
+std::uint64_t library_fingerprint(const Library& lib) {
+  std::ostringstream os;
+  lib.write(os);
+  return fnv1a(os.str());
+}
+
 std::uint64_t flow_fingerprint(const FlowConfig& cfg) {
   // Canonical serialization of every field that changes the generated
   // sensitivity data or the trained model. Fields that only change
   // performance (threads, incremental, collect_stage_timings) or the
-  // evaluation stage (eval_*) are deliberately excluded.
+  // evaluation stage (eval_*) are deliberately excluded. v2 added the
+  // liberty-library hash: TS labels depend on cell timing, so a
+  // swapped library must invalidate --resume.
   std::ostringstream os;
-  os << "v1|" << cfg.cppr << '|' << cfg.cppr_feature << '|'
+  os << "v2|" << cfg.library_fingerprint << '|' << cfg.cppr << '|'
+     << cfg.cppr_feature << '|'
      << cfg.label_all_remained << '|' << cfg.regression << '|';
   os << cfg.aocv.enabled << '|';
   put_hex(os, cfg.aocv.late_derate);

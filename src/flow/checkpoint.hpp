@@ -48,8 +48,14 @@ struct SensCheckpoint {
 };
 
 /// Fingerprint of every FlowConfig field that affects generated data or
-/// the trained model (FNV-1a over a canonical serialization).
+/// the trained model (FNV-1a over a canonical serialization), including
+/// FlowConfig::library_fingerprint.
 std::uint64_t flow_fingerprint(const FlowConfig& cfg);
+
+/// FNV-1a hash of the library's canonical serialization (Library::
+/// write); the value Framework::train stores in
+/// FlowConfig::library_fingerprint.
+std::uint64_t library_fingerprint(const Library& lib);
 
 /// Design name reduced to a safe filename component ([A-Za-z0-9._-],
 /// no leading dot); used for every per-design checkpoint/output file.

@@ -48,6 +48,13 @@ Framework::Framework(FlowConfig cfg) : cfg_(std::move(cfg)) {
 TrainingSummary Framework::train(std::span<const Design> designs) {
   obs::Span train_span("flow.train");
   obs::trace_rss_sample();
+  // Stamp the library hash into the config before the checkpoint
+  // fingerprint is computed: TS labels depend on cell timing, so a
+  // resume against a different library must be rejected, not silently
+  // reused.
+  if (!designs.empty())
+    cfg_.library_fingerprint =
+        flow::library_fingerprint(designs.front().library());
   flow::Checkpoint ckpt;
   if (!cfg_.checkpoint_dir.empty())
     ckpt = flow::Checkpoint::open(cfg_.checkpoint_dir, cfg_);

@@ -56,6 +56,14 @@ struct FlowConfig {
   ConstraintGenConfig eval_constraint_gen;
   std::uint64_t eval_seed = 0xE7A1;
 
+  /// FNV-1a hash of the liberty library's canonical serialization,
+  /// folded into the checkpoint fingerprint so resuming against a
+  /// swapped library invalidates the checkpoint instead of silently
+  /// reusing TS labels computed under different cell timing.
+  /// Framework::train fills it from the training designs' library;
+  /// 0 = not yet known.
+  std::uint64_t library_fingerprint = 0;
+
   /// Checkpoint/resume directory (docs/ROBUSTNESS.md): when non-empty,
   /// per-design sensitivity data and the trained model persist there
   /// incrementally (atomic writes), and train() resumes from whatever

@@ -40,6 +40,32 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; walk buckets until the
+  // cumulative count reaches it.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i >= bounds_.size())  // overflow bucket: no upper edge to lerp to
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -135,7 +161,10 @@ void write_metrics_json(std::ostream& os) {
     const auto counts = h->bucket_counts();
     for (std::size_t i = 0; i < counts.size(); ++i)
       os << (i ? "," : "") << counts[i];
-    os << "], \"count\": " << h->count() << ", \"sum\": " << h->sum() << "}";
+    os << "], \"count\": " << h->count() << ", \"sum\": " << h->sum()
+       << ", \"p50\": " << h->quantile(0.50)
+       << ", \"p95\": " << h->quantile(0.95)
+       << ", \"p99\": " << h->quantile(0.99) << "}";
   }
   os << "\n  },\n  \"process\": {\n    \"current_rss_bytes\": "
      << current_rss_bytes()

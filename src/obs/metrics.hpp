@@ -67,6 +67,13 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside
+  /// the bucket the rank falls into; observations in the overflow
+  /// bucket report the last bound (a lower bound on the true value).
+  /// 0 when empty. The JSON snapshot emits p50/p95/p99 from this.
+  double quantile(double q) const;
+
   void reset() noexcept;
 
  private:

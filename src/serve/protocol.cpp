@@ -1,0 +1,267 @@
+#include "serve/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "fault/fault.hpp"
+
+namespace tmm::serve {
+
+using fault::ErrorCode;
+using fault::FlowError;
+
+const char* response_status_name(ResponseStatus s) noexcept {
+  switch (s) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kUnknownModel: return "unknown_model";
+    case ResponseStatus::kBadRequest: return "bad_request";
+    case ResponseStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case ResponseStatus::kShuttingDown: return "shutting_down";
+    case ResponseStatus::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class Writer {
+ public:
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void bytes(const void* p, std::size_t n) { raw(p, n); }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& payload) : s_(payload) {}
+
+  std::uint16_t u16(const char* what) { return get<std::uint16_t>(what); }
+  std::uint32_t u32(const char* what) { return get<std::uint32_t>(what); }
+  std::uint64_t u64(const char* what) { return get<std::uint64_t>(what); }
+  double f64(const char* what) { return get<double>(what); }
+  std::string str(std::size_t n, const char* what) {
+    if (n > s_.size() - pos_) fail(std::string("truncated ") + what);
+    std::string out = s_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::size_t remaining() const noexcept { return s_.size() - pos_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw FlowError(ErrorCode::kParse, "serve.protocol",
+                    msg + " (offset " + std::to_string(pos_) + " of " +
+                        std::to_string(s_.size()) + ")");
+  }
+
+ private:
+  template <typename T>
+  T get(const char* what) {
+    if (sizeof(T) > s_.size() - pos_)
+      fail(std::string("truncated frame reading ") + what);
+    T v;
+    std::memcpy(&v, s_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void put_elrf(Writer& w, const ElRf<double>& x) {
+  for (unsigned el = 0; el < kNumEl; ++el)
+    for (unsigned rf = 0; rf < kNumRf; ++rf) w.f64(x(el, rf));
+}
+
+ElRf<double> get_elrf(Reader& r, const char* what) {
+  ElRf<double> x;
+  for (unsigned el = 0; el < kNumEl; ++el)
+    for (unsigned rf = 0; rf < kNumRf; ++rf) x(el, rf) = r.f64(what);
+  return x;
+}
+
+void check_magic(Reader& r, const char (&magic)[4], const char* kind) {
+  const std::string got = r.str(4, "magic");
+  if (std::memcmp(got.data(), magic, 4) != 0)
+    r.fail(std::string("not a ") + kind + " frame (bad magic)");
+  const std::uint16_t version = r.u16("protocol version");
+  if (version != kProtocolVersion)
+    r.fail("unsupported protocol version " + std::to_string(version));
+}
+
+/// Bounds ports per request; far above any real macro boundary.
+constexpr std::uint32_t kMaxPorts = 10'000'000;
+
+}  // namespace
+
+std::string encode_request(const Request& req) {
+  Writer w;
+  w.bytes(kRequestMagic, sizeof kRequestMagic);
+  w.u16(kProtocolVersion);
+  w.u16(req.no_cache ? kReqNoCache : 0);
+  w.u64(req.request_id);
+  w.u32(req.deadline_ms);
+  w.u16(static_cast<std::uint16_t>(req.model.size()));
+  w.bytes(req.model.data(), req.model.size());
+  w.f64(req.bc.clock_period_ps);
+  w.u32(static_cast<std::uint32_t>(req.bc.pi.size()));
+  w.u32(static_cast<std::uint32_t>(req.bc.po.size()));
+  for (const PiConstraint& pi : req.bc.pi) {
+    put_elrf(w, pi.at);
+    put_elrf(w, pi.slew);
+  }
+  for (const PoConstraint& po : req.bc.po) {
+    w.f64(po.load_ff);
+    put_elrf(w, po.rat);
+  }
+  return w.take();
+}
+
+Request decode_request(const std::string& payload) {
+  fault::inject("serve.parse_request");
+  Reader r(payload);
+  check_magic(r, kRequestMagic, "request");
+  Request req;
+  const std::uint16_t flags = r.u16("flags");
+  req.no_cache = (flags & kReqNoCache) != 0;
+  req.request_id = r.u64("request id");
+  req.deadline_ms = r.u32("deadline");
+  const std::uint16_t model_len = r.u16("model-name length");
+  req.model = r.str(model_len, "model name");
+  req.bc.clock_period_ps = r.f64("clock period");
+  const std::uint32_t num_pi = r.u32("PI count");
+  const std::uint32_t num_po = r.u32("PO count");
+  if (num_pi > kMaxPorts || num_po > kMaxPorts)
+    r.fail("implausible port count");
+  req.bc.pi.resize(num_pi);
+  req.bc.po.resize(num_po);
+  for (PiConstraint& pi : req.bc.pi) {
+    pi.at = get_elrf(r, "PI arrival");
+    pi.slew = get_elrf(r, "PI slew");
+  }
+  for (PoConstraint& po : req.bc.po) {
+    po.load_ff = r.f64("PO load");
+    po.rat = get_elrf(r, "PO rat");
+  }
+  if (r.remaining() != 0) r.fail("trailing bytes after request");
+  return req;
+}
+
+std::string encode_response(const Response& resp) {
+  Writer w;
+  w.bytes(kResponseMagic, sizeof kResponseMagic);
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(resp.status));
+  w.u16(resp.cache_hit ? kRespCacheHit : 0);
+  w.u64(resp.request_id);
+  if (resp.status == ResponseStatus::kOk) {
+    w.u32(static_cast<std::uint32_t>(resp.snap.num_ports));
+    for (const double v : resp.snap.slew) w.f64(v);
+    for (const double v : resp.snap.at) w.f64(v);
+    for (const double v : resp.snap.rat) w.f64(v);
+    for (const double v : resp.snap.slack) w.f64(v);
+  } else {
+    w.u16(static_cast<std::uint16_t>(resp.error.size()));
+    w.bytes(resp.error.data(), resp.error.size());
+  }
+  return w.take();
+}
+
+Response decode_response(const std::string& payload) {
+  Reader r(payload);
+  check_magic(r, kResponseMagic, "response");
+  Response resp;
+  const std::uint16_t status = r.u16("status");
+  if (status > static_cast<std::uint16_t>(ResponseStatus::kInternalError))
+    r.fail("bad response status " + std::to_string(status));
+  resp.status = static_cast<ResponseStatus>(status);
+  const std::uint16_t flags = r.u16("flags");
+  resp.cache_hit = (flags & kRespCacheHit) != 0;
+  resp.request_id = r.u64("request id");
+  if (resp.status == ResponseStatus::kOk) {
+    const std::uint32_t num_ports = r.u32("port count");
+    if (num_ports > kMaxPorts) r.fail("implausible port count");
+    resp.snap.num_ports = num_ports;
+    const std::size_t n = std::size_t{num_ports} * kNumEl * kNumRf;
+    auto read_vec = [&](std::vector<double>& v, const char* what) {
+      v.resize(n);
+      for (double& x : v) x = r.f64(what);
+    };
+    read_vec(resp.snap.slew, "slew");
+    read_vec(resp.snap.at, "arrival");
+    read_vec(resp.snap.rat, "required");
+    read_vec(resp.snap.slack, "slack");
+  } else {
+    const std::uint16_t err_len = r.u16("error length");
+    resp.error = r.str(err_len, "error message");
+  }
+  if (r.remaining() != 0) r.fail("trailing bytes after response");
+  return resp;
+}
+
+bool read_frame(int fd, std::string& out) {
+  auto read_exact = [&](char* buf, std::size_t n, bool allow_eof) -> bool {
+    std::size_t done = 0;
+    while (done < n) {
+      const ssize_t got = ::read(fd, buf + done, n - done);
+      if (got > 0) {
+        done += static_cast<std::size_t>(got);
+        continue;
+      }
+      if (got == 0) {
+        if (allow_eof && done == 0) return false;
+        throw FlowError(ErrorCode::kIo, "serve.protocol",
+                        "connection closed mid-frame");
+      }
+      if (errno == EINTR) continue;
+      throw FlowError(ErrorCode::kIo, "serve.protocol",
+                      std::string("socket read failed: ") +
+                          std::strerror(errno));
+    }
+    return true;
+  };
+
+  std::uint32_t len = 0;
+  if (!read_exact(reinterpret_cast<char*>(&len), sizeof len, true))
+    return false;
+  if (len > kMaxFrameBytes)
+    throw FlowError(ErrorCode::kParse, "serve.protocol",
+                    "frame length " + std::to_string(len) +
+                        " exceeds limit " + std::to_string(kMaxFrameBytes));
+  out.resize(len);
+  if (len > 0) read_exact(out.data(), len, false);
+  return true;
+}
+
+void write_frame(int fd, const std::string& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  auto write_all = [&](const char* buf, std::size_t n) {
+    std::size_t done = 0;
+    while (done < n) {
+      const ssize_t put = ::write(fd, buf + done, n - done);
+      if (put >= 0) {
+        done += static_cast<std::size_t>(put);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      throw FlowError(ErrorCode::kIo, "serve.protocol",
+                      std::string("socket write failed: ") +
+                          std::strerror(errno));
+    }
+  };
+  write_all(reinterpret_cast<const char*>(&len), sizeof len);
+  if (!payload.empty()) write_all(payload.data(), payload.size());
+}
+
+}  // namespace tmm::serve

@@ -1,0 +1,83 @@
+#pragma once
+// Length-prefixed wire protocol of `tmm serve` (docs/SERVING.md).
+//
+// Every frame on the socket is a little-endian u32 payload length
+// followed by the payload. Request payloads start with the magic
+// "TMRQ", responses with "TMRS"; both carry a protocol version so
+// clients and servers can reject mismatches instead of misparsing.
+// Doubles travel as raw IEEE-754 bit patterns — the same convention as
+// the `.tmb` model format — which is what lets the load generator
+// assert bit-identical round trips against the offline evaluate path.
+//
+// Malformed frames decode to fault::FlowError(kParse); socket-level
+// failures surface as kIo. Fault sites: serve.parse_request (decode),
+// serve.write_response (server-side frame write).
+
+#include <cstdint>
+#include <string>
+
+#include "sta/constraints.hpp"
+#include "sta/propagation.hpp"
+
+namespace tmm::serve {
+
+inline constexpr char kRequestMagic[4] = {'T', 'M', 'R', 'Q'};
+inline constexpr char kResponseMagic[4] = {'T', 'M', 'R', 'S'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Largest accepted frame payload; a corrupt length prefix must not
+/// turn into a multi-GiB allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Request flag bits.
+inline constexpr std::uint16_t kReqNoCache = 1u;
+/// Response flag bits.
+inline constexpr std::uint16_t kRespCacheHit = 1u;
+
+enum class ResponseStatus : std::uint16_t {
+  kOk = 0,
+  kUnknownModel,      ///< no such model in the registry
+  kBadRequest,        ///< malformed frame or boundary-arity mismatch
+  kDeadlineExceeded,  ///< deadline_ms elapsed before evaluation started
+  kShuttingDown,      ///< server is draining; retry elsewhere
+  kInternalError,     ///< evaluation failed (numeric error, injected fault)
+};
+
+const char* response_status_name(ResponseStatus s) noexcept;
+
+struct Request {
+  std::uint64_t request_id = 0;
+  /// Milliseconds from frame receipt until the response is useless;
+  /// 0 = no deadline.
+  std::uint32_t deadline_ms = 0;
+  bool no_cache = false;
+  std::string model;
+  BoundaryConstraints bc;
+};
+
+struct Response {
+  std::uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  bool cache_hit = false;
+  BoundarySnapshot snap;  ///< filled when status == kOk
+  std::string error;      ///< diagnostic otherwise
+};
+
+std::string encode_request(const Request& req);
+/// Throws FlowError(kParse) on any malformation. Fault site:
+/// serve.parse_request.
+Request decode_request(const std::string& payload);
+
+std::string encode_response(const Response& resp);
+Response decode_response(const std::string& payload);
+
+/// Read one length-prefixed frame payload into `out` (storage reused).
+/// Returns false on clean EOF before the first byte; throws
+/// FlowError(kIo) on a mid-frame EOF or socket error, kParse on an
+/// oversized length prefix.
+bool read_frame(int fd, std::string& out);
+
+/// Write `payload` as one length-prefixed frame. Throws FlowError(kIo)
+/// on socket failure (e.g. the peer vanished mid-response).
+void write_frame(int fd, const std::string& payload);
+
+}  // namespace tmm::serve

@@ -1,0 +1,87 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "fault/fault.hpp"
+#include "util/log.hpp"
+
+namespace tmm::serve {
+
+namespace fs = std::filesystem;
+using fault::ErrorCode;
+using fault::FlowError;
+
+void ModelRegistry::load_file(const std::string& path) {
+  MacroModel model = read_tmb_file(path);
+  const std::string name = model.design_name;
+  if (models_.count(name) != 0)
+    throw FlowError(ErrorCode::kConfig, "serve.registry",
+                    path + ": duplicate design name '" + name +
+                        "' (already loaded from " + models_.at(name).path +
+                        ")");
+
+  RegistryEntry entry;
+  entry.path = path;
+  entry.num_pis =
+      static_cast<std::uint32_t>(model.graph.primary_inputs().size());
+  entry.num_pos =
+      static_cast<std::uint32_t>(model.graph.primary_outputs().size());
+  entry.model = std::move(model);
+  RegistryEntry& placed =
+      models_.emplace(name, std::move(entry)).first->second;
+
+  // Materialize the graph's lazy caches now, single-threaded, so every
+  // later access from concurrent workers is a pure const read. A cyclic
+  // graph surfaces here as a parse-class failure rather than deep
+  // inside a worker.
+  try {
+    placed.model.graph.topo_order();
+    if (placed.model.graph.num_nodes() > 0) placed.model.graph.fanin(0);
+  } catch (const std::exception& e) {
+    models_.erase(name);
+    throw FlowError(ErrorCode::kParse, "serve.registry",
+                    path + ": model graph unusable: " + e.what());
+  }
+}
+
+std::size_t ModelRegistry::load_directory(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec)
+    throw FlowError(ErrorCode::kIo, "serve.registry",
+                    "cannot read model directory " + dir + ": " +
+                        ec.message());
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& e : it)
+    if (e.path().extension() == ".tmb") paths.push_back(e.path().string());
+  // Sorted load order makes duplicate-name resolution (and therefore
+  // startup diagnostics) deterministic across filesystems.
+  std::sort(paths.begin(), paths.end());
+
+  std::size_t loaded = 0;
+  for (const std::string& path : paths) {
+    try {
+      load_file(path);
+      ++loaded;
+    } catch (const std::exception& e) {
+      failures_.push_back({path, e.what()});
+      log_error("serve: cannot load %s, skipped: %s", path.c_str(),
+                e.what());
+    }
+  }
+  if (loaded == 0 && !paths.empty())
+    throw FlowError(ErrorCode::kUnavailable, "serve.registry",
+                    "no loadable model in " + dir + " (first: " +
+                        failures_.front().path + ": " +
+                        failures_.front().error + ")");
+  return loaded;
+}
+
+const RegistryEntry* ModelRegistry::find(
+    const std::string& name) const noexcept {
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tmm::serve

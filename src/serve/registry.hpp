@@ -1,0 +1,64 @@
+#pragma once
+// Model registry for the serving engine: loads a directory of packed
+// `.tmb` models once at startup and hands out shared read-only views.
+//
+// Loading materializes the graph's lazy caches (topological order,
+// adjacency) so that worker threads can analyze the same const graph
+// concurrently without racing on cache construction — the property the
+// TSan build of tests/test_serve.cpp checks.
+//
+// Per-file failures are isolated: one corrupt model never prevents the
+// others from serving (the server reports degraded startup, exit 3).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/tmb.hpp"
+
+namespace tmm::serve {
+
+struct RegistryEntry {
+  MacroModel model;
+  std::string path;            ///< file the model was loaded from
+  std::uint32_t num_pis = 0;   ///< boundary arity, cached for validation
+  std::uint32_t num_pos = 0;
+};
+
+class ModelRegistry {
+ public:
+  struct LoadFailure {
+    std::string path;
+    std::string error;
+  };
+
+  /// Load one `.tmb` file and key it by its design name. Throws
+  /// FlowError: kIo/kParse from the loader, kConfig on a duplicate
+  /// design name (two files would silently shadow each other).
+  void load_file(const std::string& path);
+
+  /// Load every `*.tmb` directly under `dir` in sorted-name order.
+  /// Per-file failures land in failures() instead of aborting the scan.
+  /// Throws kIo when the directory is unreadable and kUnavailable when
+  /// it contains .tmb files but none loads.
+  /// Returns the number of models loaded by this call.
+  std::size_t load_directory(const std::string& dir);
+
+  /// nullptr when no model with this design name is loaded.
+  const RegistryEntry* find(const std::string& name) const noexcept;
+
+  std::size_t size() const noexcept { return models_.size(); }
+  const std::map<std::string, RegistryEntry>& entries() const noexcept {
+    return models_;
+  }
+  const std::vector<LoadFailure>& failures() const noexcept {
+    return failures_;
+  }
+
+ private:
+  std::map<std::string, RegistryEntry> models_;
+  std::vector<LoadFailure> failures_;
+};
+
+}  // namespace tmm::serve

@@ -1,0 +1,349 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "util/log.hpp"
+
+namespace tmm::serve {
+
+using fault::ErrorCode;
+using fault::FlowError;
+
+namespace {
+
+constexpr double kLatencyBoundsUs[] = {50,    100,    200,    500,    1000,
+                                       2000,  5000,   10000,  20000,  50000,
+                                       100000, 500000, 1000000};
+constexpr double kBatchBounds[] = {1, 2, 4, 8, 16, 32, 64};
+
+obs::Histogram& latency_hist() {
+  static obs::Histogram& h = obs::histogram("serve.latency_us", kLatencyBoundsUs);
+  return h;
+}
+obs::Histogram& batch_hist() {
+  static obs::Histogram& h = obs::histogram("serve.batch_size", kBatchBounds);
+  return h;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw FlowError(ErrorCode::kIo, "serve.server",
+                  what + ": " + std::strerror(errno));
+}
+
+/// One decoded (or undecodable) request of a batch, stamped on receipt
+/// so deadlines measure queueing + evaluation, not just evaluation.
+struct Pending {
+  Request req;
+  std::chrono::steady_clock::time_point arrival;
+  bool parse_failed = false;
+  bool parse_injected = false;
+  std::string parse_error;
+};
+
+}  // namespace
+
+Server::Server(Evaluator& evaluator, ServerOptions opt)
+    : eval_(evaluator), opt_(std::move(opt)) {}
+
+Server::~Server() {
+  stop();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+  if (unlink_on_close_) ::unlink(opt_.unix_path.c_str());
+  for (const int fd : pending_) ::close(fd);
+}
+
+void Server::start() {
+  if (opt_.num_threads < 1)
+    throw FlowError(ErrorCode::kConfig, "serve.server",
+                    "--threads must be >= 1");
+  if (opt_.batch_max < 1)
+    throw FlowError(ErrorCode::kConfig, "serve.server",
+                    "--batch must be >= 1");
+  if (opt_.unix_path.empty() && opt_.tcp_port < 0)
+    throw FlowError(ErrorCode::kConfig, "serve.server",
+                    "either a unix socket path or a TCP port is required");
+
+  if (::pipe(stop_pipe_) != 0) throw_errno("cannot create stop pipe");
+  // A response written into a connection the client already closed
+  // must surface as EPIPE (handled per connection), not kill the
+  // process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (!opt_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.unix_path.size() >= sizeof(addr.sun_path))
+      throw FlowError(ErrorCode::kConfig, "serve.server",
+                      "unix socket path too long: " + opt_.unix_path);
+    std::strncpy(addr.sun_path, opt_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("cannot create unix socket");
+    ::unlink(opt_.unix_path.c_str());  // stale socket from a dead server
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0)
+      throw_errno("cannot bind " + opt_.unix_path);
+    unlink_on_close_ = true;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("cannot create TCP socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0)
+      throw_errno("cannot bind 127.0.0.1:" + std::to_string(opt_.tcp_port));
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0)
+      bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) throw_errno("cannot listen");
+}
+
+void Server::stop() noexcept {
+  // Only async-signal-safe operations here: stop() is called from the
+  // CLI's SIGTERM handler. The acceptor wakes on the pipe and does the
+  // non-AS-safe part (cv notify, joins) in serve()'s epilogue.
+  if (stopping_.exchange(true)) return;
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+int Server::pop_connection() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return !pending_.empty() || stopping_.load(std::memory_order_relaxed);
+  });
+  if (pending_.empty()) return -1;
+  const int fd = pending_.front();
+  pending_.pop_front();
+  return fd;
+}
+
+void Server::serve() {
+  static obs::Counter& g_conns = obs::counter("serve.connections");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  workers_.reserve(static_cast<std::size_t>(opt_.num_threads));
+  for (int i = 0; i < opt_.num_threads; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+
+  pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    g_conns.add();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(conn);
+    }
+    cv_.notify_one();
+  }
+
+  stop();
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  // Connections the workers never picked up: close without answering
+  // (the client observes EOF, the protocol's retry signal).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  static obs::Gauge& g_qps = obs::gauge("serve.qps");
+  if (secs > 0)
+    g_qps.set(static_cast<double>(
+                  requests_.load(std::memory_order_relaxed)) /
+              secs);
+  static obs::Gauge& g_hit_rate = obs::gauge("serve.cache_hit_rate");
+  g_hit_rate.set(eval_.cache_stats().hit_rate());
+}
+
+void Server::worker_main() {
+  Evaluator::Scratch scratch;
+  while (true) {
+    const int fd = pop_connection();
+    if (fd < 0) return;
+    handle_connection(fd, scratch);
+    ::close(fd);
+  }
+}
+
+void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
+  static obs::Counter& g_requests = obs::counter("serve.requests");
+  static obs::Counter& g_ok = obs::counter("serve.responses_ok");
+  static obs::Counter& g_errors = obs::counter("serve.request_errors");
+  static obs::Counter& g_hits = obs::counter("serve.cache_hits");
+  static obs::Counter& g_misses = obs::counter("serve.cache_misses");
+  static obs::Counter& g_aborts = obs::counter("serve.conn_aborts");
+  static obs::Counter& g_batches = obs::counter("serve.batches");
+  static obs::Counter& g_deadline = obs::counter("serve.deadline_exceeded");
+
+  std::string frame;
+  std::vector<Pending> batch;
+  bool eof = false;
+
+  auto receive = [&]() -> bool {  // false on EOF
+    if (!read_frame(fd, frame)) return false;
+    Pending p;
+    p.arrival = std::chrono::steady_clock::now();
+    try {
+      p.req = decode_request(frame);
+    } catch (const FlowError& e) {
+      // A malformed payload is frame-local — framing stays in sync, so
+      // answer kBadRequest and keep the connection.
+      p.parse_failed = true;
+      p.parse_injected = e.code() == ErrorCode::kInjected;
+      p.parse_error = e.what();
+    }
+    batch.push_back(std::move(p));
+    return true;
+  };
+
+  try {
+    while (!eof) {
+      // Blocking wait for the first frame, in 100 ms slices so a drain
+      // request is observed even on an idle connection.
+      pollfd pfd{fd, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, 100);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll failed");
+      }
+      if (stopping_.load(std::memory_order_relaxed) && rc == 0) return;
+      if (rc == 0) continue;
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return;
+
+      batch.clear();
+      if (!receive()) return;
+      // Adaptive drain: answer every frame already queued on the
+      // socket (up to batch_max) in one wakeup, amortizing the
+      // response writes.
+      while (batch.size() < static_cast<std::size_t>(opt_.batch_max)) {
+        pollfd more{fd, POLLIN, 0};
+        if (::poll(&more, 1, 0) <= 0 || (more.revents & POLLIN) == 0) break;
+        if (!receive()) {
+          eof = true;
+          break;
+        }
+      }
+
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      g_batches.add();
+      batch_hist().observe(static_cast<double>(batch.size()));
+
+      for (const Pending& p : batch) {
+        Response resp;
+        resp.request_id = p.req.request_id;
+        if (p.parse_failed) {
+          resp.status = p.parse_injected ? ResponseStatus::kInternalError
+                                         : ResponseStatus::kBadRequest;
+          resp.error = p.parse_error;
+        } else if (stopping_.load(std::memory_order_relaxed)) {
+          resp.status = ResponseStatus::kShuttingDown;
+          resp.error = "server is draining";
+        } else if (p.req.deadline_ms > 0 &&
+                   std::chrono::steady_clock::now() - p.arrival >=
+                       std::chrono::milliseconds(p.req.deadline_ms)) {
+          resp.status = ResponseStatus::kDeadlineExceeded;
+          resp.error = "deadline of " + std::to_string(p.req.deadline_ms) +
+                       " ms elapsed before evaluation";
+          g_deadline.add();
+        } else {
+          try {
+            const Evaluator::Result r = eval_.evaluate(
+                p.req.model, p.req.bc, resp.snap, scratch, p.req.no_cache);
+            resp.cache_hit = r.cache_hit;
+            (r.cache_hit ? g_hits : g_misses).add();
+          } catch (const FlowError& e) {
+            resp.status = e.code() == ErrorCode::kUnavailable
+                              ? ResponseStatus::kUnknownModel
+                          : e.code() == ErrorCode::kConfig
+                              ? ResponseStatus::kBadRequest
+                              : ResponseStatus::kInternalError;
+            resp.error = e.what();
+          } catch (const std::exception& e) {
+            resp.status = ResponseStatus::kInternalError;
+            resp.error = e.what();
+          }
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        g_requests.add();
+        if (resp.status == ResponseStatus::kOk) {
+          responses_ok_.fetch_add(1, std::memory_order_relaxed);
+          g_ok.add();
+        } else {
+          request_errors_.fetch_add(1, std::memory_order_relaxed);
+          g_errors.add();
+        }
+        fault::inject("serve.write_response");
+        write_frame(fd, encode_response(resp));
+        latency_hist().observe(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - p.arrival)
+                .count());
+      }
+      if (stopping_.load(std::memory_order_relaxed)) return;
+    }
+  } catch (const std::exception& e) {
+    // Socket-level failure (peer vanished mid-response, injected
+    // serve.write_response fault): drop this connection, keep serving.
+    conn_aborts_.fetch_add(1, std::memory_order_relaxed);
+    g_aborts.add();
+    log_error("serve: connection aborted: %s", e.what());
+  }
+}
+
+Server::Stats Server::stats() const noexcept {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+  s.request_errors = request_errors_.load(std::memory_order_relaxed);
+  s.conn_aborts = conn_aborts_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace tmm::serve

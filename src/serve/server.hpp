@@ -1,0 +1,106 @@
+#pragma once
+// `tmm serve`: thread-pool socket server answering boundary-timing
+// queries over the length-prefixed protocol (serve/protocol.hpp).
+//
+// Architecture: one acceptor (the thread calling serve()) feeds
+// accepted connections to N worker threads through a queue; a worker
+// owns a connection until EOF. Per wakeup a worker drains up to
+// batch_max already-queued frames from its connection (adaptive
+// batching: one blocking read, then non-blocking drains), answers the
+// whole batch, then writes all responses back in order.
+//
+// Shutdown: stop() is async-signal-safe (one write to a self-pipe);
+// the acceptor stops accepting, workers finish and answer their
+// current batch, connections are closed (clients observe EOF), and
+// serve() returns — the graceful SIGTERM drain the CI smoke job
+// asserts on.
+//
+// Failure policy: a malformed frame gets a kBadRequest response on the
+// same connection; a socket-level failure (or an injected
+// serve.write_response fault) aborts only that connection and is
+// counted in serve.conn_aborts — the server keeps serving.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/evaluator.hpp"
+
+namespace tmm::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; preferred when non-empty.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1 when unix_path is empty; 0 = ephemeral
+  /// (query the bound port with bound_port()).
+  int tcp_port = 0;
+  int num_threads = 4;
+  /// Max requests answered per worker wakeup (adaptive batching).
+  int batch_max = 16;
+};
+
+class Server {
+ public:
+  Server(Evaluator& evaluator, ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind and listen. Throws FlowError(kIo) when the address is
+  /// unavailable, kConfig on nonsense options.
+  void start();
+
+  /// Accept and serve until stop(); returns after the graceful drain.
+  void serve();
+
+  /// Request shutdown. Async-signal-safe; callable from any thread or
+  /// a signal handler, repeatedly.
+  void stop() noexcept;
+
+  /// Port actually bound (TCP mode), valid after start().
+  int bound_port() const noexcept { return bound_port_; }
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t responses_ok = 0;
+    std::uint64_t request_errors = 0;  ///< non-ok responses sent
+    std::uint64_t conn_aborts = 0;     ///< connections dropped on error
+    std::uint64_t batches = 0;
+  };
+  Stats stats() const noexcept;
+
+ private:
+  void worker_main();
+  void handle_connection(int fd, Evaluator::Scratch& scratch);
+  /// -1 when stopping and the queue is empty.
+  int pop_connection();
+
+  Evaluator& eval_;
+  ServerOptions opt_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  int bound_port_ = -1;
+  std::atomic<bool> stopping_{false};
+  bool unlink_on_close_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_ok_{0};
+  std::atomic<std::uint64_t> request_errors_{0};
+  std::atomic<std::uint64_t> conn_aborts_{0};
+  std::atomic<std::uint64_t> batches_{0};
+};
+
+}  // namespace tmm::serve

@@ -1,8 +1,10 @@
 #!/bin/sh
 # End-to-end CLI smoke test: generate designs, train, build a macro,
-# evaluate it. Run by ctest with the tmm binary path as $1.
+# evaluate it. Run by ctest with the tmm binary path as $1 and the
+# serve_loadgen binary path as $2.
 set -e
 TMM="$1"
+LOADGEN="$2"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
 
@@ -94,4 +96,100 @@ set -e
 [ "$rc4" -eq 3 ]
 grep -q "FAILED" "$DIR/flow3.txt"
 grep -q '"flow.designs_failed": 1' "$DIR/m3.json"
+
+# --- Serving: pack, serve, loadgen (docs/SERVING.md) ------------------------
+
+# pack: .macro -> .tmb (explicit --out and default extension swap).
+mkdir -p "$DIR/models"
+"$TMM" pack "$DIR/run/out/t1.macro" --out "$DIR/models/t1.tmb"
+"$TMM" pack "$DIR/run/out/t2.macro" --out "$DIR/models/t2.tmb"
+test -s "$DIR/models/t1.tmb"
+"$TMM" pack "$DIR/block.macro"
+test -s "$DIR/block.tmb"
+
+# An injected pack fault is a runtime failure: exit code 1.
+set +e
+TMM_FAULT="serve.pack:1" "$TMM" pack "$DIR/block.macro" 2> "$DIR/err4.txt"
+rc5=$?
+set -e
+[ "$rc5" -eq 1 ]
+grep -q "serve.pack" "$DIR/err4.txt"
+
+# A corrupt .tmb fails to load: serving a directory holding only that
+# file is a runtime failure (exit 1), and a missing directory is too.
+mkdir -p "$DIR/badmodels"
+printf 'not a tmb image' > "$DIR/badmodels/bad.tmb"
+set +e
+"$TMM" serve "$DIR/badmodels" --socket "$DIR/bad.sock" 2> /dev/null
+rc6=$?
+"$TMM" serve "$DIR/no_such_dir" --socket "$DIR/bad.sock" 2> /dev/null
+rc7=$?
+set -e
+[ "$rc6" -eq 1 ]
+[ "$rc7" -eq 1 ]
+
+# Full serving loop: server on a unix socket, loadgen verifying every
+# response bit-identical against the offline evaluator, SIGTERM drain.
+"$TMM" serve "$DIR/models" --socket "$DIR/tmm.sock" --threads 2 \
+  > "$DIR/serve.txt" 2>&1 &
+SRV=$!
+i=0
+while [ ! -S "$DIR/tmm.sock" ] && [ "$i" -lt 100 ]; do i=$((i+1)); sleep 0.1; done
+[ -S "$DIR/tmm.sock" ]
+TMM_BENCH_JSON_DIR="$DIR" "$LOADGEN" --socket "$DIR/tmm.sock" \
+  --model-dir "$DIR/models" --threads 4 --seconds 1 --warm-keys 4 \
+  > "$DIR/loadgen.txt"
+kill -TERM "$SRV"
+set +e
+wait "$SRV"
+rc8=$?
+set -e
+[ "$rc8" -eq 0 ]                      # clean drain
+grep -q "drained" "$DIR/serve.txt"
+[ ! -S "$DIR/tmm.sock" ]              # socket unlinked on shutdown
+test -s "$DIR/BENCH_serve.json"
+grep -q '"total_bit_mismatches": 0' "$DIR/BENCH_serve.json"
+grep -q '"total_errors": 0' "$DIR/BENCH_serve.json"
+grep -q '"git_sha"' "$DIR/BENCH_serve.json"
+
+# In-server fault sites need a live client: an injected request-parse
+# fault becomes an error response (the server keeps serving and drains
+# cleanly); an injected response-write fault aborts one connection.
+# Either way the loadgen reports the error (exit 1) and the server
+# survives to a clean exit-0 drain.
+for SITE in serve.parse_request serve.write_response; do
+  SOCK="$DIR/$SITE.sock"
+  TMM_FAULT="$SITE:1" "$TMM" serve "$DIR/models" --socket "$SOCK" \
+    --threads 1 > "$DIR/$SITE.txt" 2>&1 &
+  SRVF=$!
+  i=0
+  while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do i=$((i+1)); sleep 0.1; done
+  set +e
+  TMM_BENCH_JSON_DIR="$DIR" "$LOADGEN" --socket "$SOCK" \
+    --model-dir "$DIR/models" --threads 2 --seconds 1 --warm-keys 2 \
+    > "$DIR/$SITE.loadgen.txt"
+  rcf=$?
+  kill -TERM "$SRVF"
+  wait "$SRVF"
+  rcs=$?
+  set -e
+  [ "$rcf" -eq 1 ]   # loadgen saw the injected failure
+  [ "$rcs" -eq 0 ]   # server survived it and drained cleanly
+done
+
+# Degraded startup: one corrupt model among good ones still serves, but
+# the drain exits 3 so orchestrators notice.
+cp "$DIR/badmodels/bad.tmb" "$DIR/models/bad.tmb"
+"$TMM" serve "$DIR/models" --socket "$DIR/tmm2.sock" --threads 1 \
+  > "$DIR/serve2.txt" 2>&1 &
+SRV2=$!
+i=0
+while [ ! -S "$DIR/tmm2.sock" ] && [ "$i" -lt 100 ]; do i=$((i+1)); sleep 0.1; done
+kill -TERM "$SRV2"
+set +e
+wait "$SRV2"
+rc9=$?
+set -e
+[ "$rc9" -eq 3 ]
+
 echo "CLI_OK"

@@ -377,6 +377,30 @@ TEST(Checkpoint, FingerprintMismatchIsAConfigError) {
   }
 }
 
+TEST(Checkpoint, SwappedLibraryInvalidatesFingerprint) {
+  // A checkpoint written against one liberty library must not resume
+  // against another: TS labels depend on cell timing.
+  const std::uint64_t base =
+      flow::library_fingerprint(test::shared_library());
+  // Stable for the same library.
+  EXPECT_EQ(base, flow::library_fingerprint(test::shared_library()));
+  LibraryGenConfig gen;
+  gen.seed += 1;
+  EXPECT_NE(base, flow::library_fingerprint(generate_library(gen)));
+
+  const TempDir dir;
+  FlowConfig cfg;
+  cfg.library_fingerprint = base;
+  static_cast<void>(flow::Checkpoint::open(dir.str(), cfg));
+  cfg.library_fingerprint = base + 1;  // different library hash
+  try {
+    static_cast<void>(flow::Checkpoint::open(dir.str(), cfg));
+    FAIL() << "expected FlowError";
+  } catch (const fault::FlowError& e) {
+    EXPECT_EQ(e.code(), fault::ErrorCode::kConfig);
+  }
+}
+
 TEST(Checkpoint, OpenCleansStaleTmpDebris) {
   const TempDir dir;
   const FlowConfig cfg;

@@ -53,6 +53,74 @@ TEST(Lut, Table2dCornerExtrapolation) {
   EXPECT_DOUBLE_EQ(l.lookup(-1, 0), -1.0);
 }
 
+// --- corner interpolation ---------------------------------------------
+//
+// Pins down the exact behavior at and beyond grid corners: bilinear in
+// the interior, and *linear* extrapolation outside the grid using the
+// clamped end segment's slope (Liberty lu_table semantics). These are
+// the cases the serving engine's quantized cache keys exercise hardest,
+// since quantization can push constraints right onto grid edges.
+
+TEST(Lut, Table1dEndSegmentSlopeGovernsExtrapolation) {
+  // Slopes differ per segment: [0,10]→10/unit, [10,30]→5/unit.
+  const Lut l = Lut::table1d({0, 10, 30}, {0, 100, 200});
+  // Below range: first segment's slope extends leftward.
+  EXPECT_DOUBLE_EQ(l.lookup(-2, 0), -20.0);
+  // Above range: last segment's slope extends rightward.
+  EXPECT_DOUBLE_EQ(l.lookup(40, 0), 250.0);
+  // Exactly at the corners: grid values, no interpolation error.
+  EXPECT_DOUBLE_EQ(l.lookup(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(l.lookup(30, 0), 200.0);
+}
+
+TEST(Lut, Table2dExactAtAllFourCorners) {
+  const Lut l = Lut::table2d({1, 2, 4}, {10, 20, 40},
+                             {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_DOUBLE_EQ(l.lookup(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(l.lookup(1, 40), 3.0);
+  EXPECT_DOUBLE_EQ(l.lookup(4, 10), 7.0);
+  EXPECT_DOUBLE_EQ(l.lookup(4, 40), 9.0);
+}
+
+TEST(Lut, Table2dEdgeExtrapolationOneAxisOutside) {
+  // f = x + y on a 2x2 grid; one coordinate inside, the other outside.
+  const Lut l = Lut::table2d({0, 1}, {0, 1}, {0, 1, 1, 2});
+  EXPECT_DOUBLE_EQ(l.lookup(0.5, 3), 3.5);   // load beyond range
+  EXPECT_DOUBLE_EQ(l.lookup(3, 0.5), 3.5);   // slew beyond range
+  EXPECT_DOUBLE_EQ(l.lookup(0.5, -2), -1.5); // load below range
+  EXPECT_DOUBLE_EQ(l.lookup(-2, 0.5), -1.5); // slew below range
+}
+
+TEST(Lut, Table2dCornerExtrapolationUsesEndSegmentPlane) {
+  // 3x3 grid whose end segments have different slopes than the interior:
+  // f(x,y) selected so the last x-segment [2,4] and last y-segment
+  // [20,40] define the plane used past the (4,40) corner.
+  const Lut l = Lut::table2d({0, 2, 4}, {0, 20, 40},
+                             {0, 0, 0, 0, 0, 0, 0, 0, 8});
+  // Inside the last cell: bilinear toward the lone nonzero corner.
+  EXPECT_DOUBLE_EQ(l.lookup(3, 30), 2.0);  // (0.5)*(0.5)*8
+  // Past the corner on both axes: same bilinear form extended,
+  // frac_x = (6-2)/(4-2) = 2, frac_y = (60-20)/(40-20) = 2 → 2*2*8.
+  EXPECT_DOUBLE_EQ(l.lookup(6, 60), 32.0);
+}
+
+TEST(Lut, Table2dOnGridLineInterpolatesAlongOtherAxis) {
+  const Lut l = Lut::table2d({1, 3}, {10, 30}, {0, 20, 40, 60});
+  // Exactly on slew grid line x=3: pure 1-D interpolation in load.
+  EXPECT_DOUBLE_EQ(l.lookup(3, 20), 50.0);
+  // Exactly on load grid line y=10: pure 1-D interpolation in slew.
+  EXPECT_DOUBLE_EQ(l.lookup(2, 10), 20.0);
+}
+
+TEST(InterpLinear, MatchesSegmentEndpointsAndExtends) {
+  const std::vector<double> axis{0, 10, 30};
+  const std::vector<double> y{0, 100, 200};
+  EXPECT_DOUBLE_EQ(interp::linear(axis, y, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(interp::linear(axis, y, 20.0), 150.0);
+  EXPECT_DOUBLE_EQ(interp::linear(axis, y, 50.0), 300.0);
+  EXPECT_DOUBLE_EQ(interp::linear(axis, y, -1.0), -10.0);
+}
+
 TEST(Lut, RejectsMalformedInputs) {
   EXPECT_THROW(Lut::table1d({1}, {2}), std::invalid_argument);
   EXPECT_THROW(Lut::table1d({2, 1}, {1, 2}), std::invalid_argument);

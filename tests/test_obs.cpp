@@ -327,6 +327,48 @@ TEST(ObsMetricsTest, HistogramBuckets) {
   EXPECT_NEAR(h.sum(), 0.5 + 5.0 + 10.0 + 50.0 + 1e6, 1e-9);
 }
 
+TEST(ObsMetricsTest, HistogramQuantiles) {
+  static const double kBounds[] = {10.0, 20.0, 40.0};
+  obs::Histogram& h = obs::histogram("test.hist_quantiles", kBounds);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+
+  // 10 observations per bucket, none in overflow: quantiles lerp within
+  // the bucket covering the requested rank.
+  for (int i = 0; i < 10; ++i) {
+    h.observe(5.0);
+    h.observe(15.0);
+    h.observe(30.0);
+  }
+  // Rank 15 of 30 lands mid-way through the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  // Rank 3 of 30: 3/10 through the [0, 10] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+
+  // Overflow observations report the last bound — the histogram cannot
+  // resolve beyond its range.
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.observe(1e9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 40.0);
+}
+
+TEST(ObsMetricsTest, JsonSnapshotReportsQuantiles) {
+  static const double kBounds[] = {10.0, 20.0};
+  obs::Histogram& h = obs::histogram("test.hist_json_quantiles", kBounds);
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os);
+  const JsonValue root = JsonParser(os.str()).parse();
+  const JsonValue& hist =
+      root.at("histograms").at("test.hist_json_quantiles");
+  EXPECT_DOUBLE_EQ(hist.at("p50").number, 15.0);
+  EXPECT_DOUBLE_EQ(hist.at("p95").number, 19.5);
+  EXPECT_DOUBLE_EQ(hist.at("p99").number, 19.9);
+}
+
 TEST(ObsMetricsTest, ConcurrentIncrementsAreLossless) {
   obs::Counter& c = obs::counter("test.concurrent_counter");
   static const double kBounds[] = {100.0, 1000.0};

@@ -1,0 +1,604 @@
+// Serving engine (src/serve): .tmb binary format round-trip and
+// corruption rejection, registry isolation, result-cache LRU semantics,
+// evaluator caching/quantization, wire-protocol round-trip, and a
+// concurrent end-to-end server test (the TSan target) asserting served
+// responses are bit-identical to the offline evaluation path.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "macro/baselines.hpp"
+#include "macro/model_io.hpp"
+#include "serve/evaluator.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/tmb.hpp"
+#include "sta/timing_graph.hpp"
+#include "test_helpers.hpp"
+
+namespace tmm {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed on scope exit.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "tmm_serve_XXXXXX").string();
+    char* p = ::mkdtemp(tmpl.data());
+    EXPECT_NE(p, nullptr);
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str(const char* leaf = nullptr) const {
+    return leaf ? (path / leaf).string() : path.string();
+  }
+};
+
+MacroModel make_model(const char* name, std::uint64_t seed = 21) {
+  const Design d = test::make_tiny_design(name, seed);
+  const TimingGraph flat = build_timing_graph(d);
+  MacroModel m = generate_itimerm_model(flat);
+  m.design_name = name;
+  return m;
+}
+
+BoundarySnapshot snapshot_of(const TimingGraph& g,
+                             const BoundaryConstraints& bc) {
+  Sta sta(g);
+  sta.run(bc);
+  BoundarySnapshot snap;
+  sta.snapshot_into(snap);
+  return snap;
+}
+
+bool bit_identical(const BoundarySnapshot& a, const BoundarySnapshot& b) {
+  const auto eq = [](const std::vector<double>& x,
+                     const std::vector<double>& y) {
+    return x.size() == y.size() &&
+           (x.empty() ||
+            std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0);
+  };
+  return a.num_ports == b.num_ports && eq(a.slew, b.slew) &&
+         eq(a.at, b.at) && eq(a.rat, b.rat) && eq(a.slack, b.slack);
+}
+
+BoundaryConstraints constraints_for(const MacroModel& m, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_constraints(m.graph.primary_inputs().size(),
+                            m.graph.primary_outputs().size(), {}, rng);
+}
+
+fault::ErrorCode code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const fault::FlowError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected FlowError";
+  return fault::ErrorCode::kOk;
+}
+
+// ------------------------------------------------------------------ tmb
+
+TEST(Tmb, RoundTripPreservesEvaluationBitExactly) {
+  const MacroModel m = make_model("rt");
+  const std::string image = serve::pack_model(m);
+  const MacroModel back = serve::unpack_model(image, "rt.tmb");
+  EXPECT_EQ(back.design_name, m.design_name);
+  EXPECT_EQ(back.graph.num_live_nodes(), m.graph.num_live_nodes());
+  EXPECT_EQ(back.graph.num_live_arcs(), m.graph.num_live_arcs());
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const BoundaryConstraints bc = constraints_for(m, seed);
+    EXPECT_TRUE(bit_identical(snapshot_of(m.graph, bc),
+                              snapshot_of(back.graph, bc)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Tmb, PackUnpackPackIsByteIdentical) {
+  // The binary format is idempotent: unpacking and re-packing
+  // reproduces the image byte for byte (record order, flags, and every
+  // double's bit pattern survive).
+  const MacroModel m = make_model("idem");
+  const std::string image = serve::pack_model(m);
+  EXPECT_EQ(serve::pack_model(serve::unpack_model(image, "idem.tmb")), image);
+}
+
+TEST(Tmb, PackOfTextRereadPreservesStructure) {
+  // The text format rounds doubles to 9 significant digits, so a .macro
+  // round trip is not bit-exact — but the record structure the binary
+  // writer compacts must match, and timing must agree to text precision.
+  const MacroModel m = make_model("txt");
+  std::stringstream text;
+  write_macro_model(m, text);
+  const MacroModel reread = read_macro_model(text, "txt.macro");
+  const MacroModel packed =
+      serve::unpack_model(serve::pack_model(reread), "txt.tmb");
+  EXPECT_EQ(packed.graph.num_live_nodes(), m.graph.num_live_nodes());
+  EXPECT_EQ(packed.graph.num_live_arcs(), m.graph.num_live_arcs());
+  const BoundaryConstraints bc = constraints_for(m, 4);
+  // Bit-identical to the *reread* model (same doubles), close to the
+  // original (9-digit rounding).
+  EXPECT_TRUE(bit_identical(snapshot_of(packed.graph, bc),
+                            snapshot_of(reread.graph, bc)));
+}
+
+TEST(Tmb, RejectsCorruptImages) {
+  using fault::ErrorCode;
+  const std::string good = serve::pack_model(make_model("corrupt"));
+  ASSERT_GT(good.size(), serve::kTmbHeaderBytes);
+
+  const auto parse_code = [](std::string image) {
+    return code_of([&] {
+      static_cast<void>(serve::unpack_model(image, "<corrupt>"));
+    });
+  };
+
+  EXPECT_EQ(parse_code(""), ErrorCode::kParse);
+  EXPECT_EQ(parse_code(good.substr(0, 10)), ErrorCode::kParse);  // short header
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(parse_code(bad_magic), ErrorCode::kParse);
+
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(0x7f);
+  EXPECT_EQ(parse_code(bad_version), ErrorCode::kParse);
+
+  std::string truncated = good;
+  truncated.resize(truncated.size() - 1);  // payload shorter than header says
+  EXPECT_EQ(parse_code(truncated), ErrorCode::kParse);
+
+  std::string extended = good + "x";  // payload longer than header says
+  EXPECT_EQ(parse_code(extended), ErrorCode::kParse);
+
+  std::string flipped = good;
+  flipped[good.size() / 2] ^= 0x40;  // CRC catches a payload bit flip
+  EXPECT_EQ(parse_code(flipped), ErrorCode::kParse);
+}
+
+TEST(Tmb, FileRoundTripAndIoError) {
+  const TempDir dir;
+  const MacroModel m = make_model("file");
+  const std::size_t bytes = serve::write_tmb_file(m, dir.str("file.tmb"));
+  EXPECT_GT(bytes, serve::kTmbHeaderBytes);
+  const MacroModel back = serve::read_tmb_file(dir.str("file.tmb"));
+  EXPECT_EQ(back.design_name, "file");
+  EXPECT_EQ(code_of([&] {
+              static_cast<void>(serve::read_tmb_file(dir.str("missing.tmb")));
+            }),
+            fault::ErrorCode::kIo);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(Registry, LoadsDirectoryAndIsolatesCorruptFiles) {
+  const TempDir dir;
+  serve::write_tmb_file(make_model("alpha", 21), dir.str("alpha.tmb"));
+  serve::write_tmb_file(make_model("beta", 22), dir.str("beta.tmb"));
+  std::ofstream(dir.str("broken.tmb")) << "not a tmb image";
+
+  serve::ModelRegistry reg;
+  EXPECT_EQ(reg.load_directory(dir.str()), 2u);
+  EXPECT_EQ(reg.size(), 2u);
+  ASSERT_EQ(reg.failures().size(), 1u);
+  EXPECT_NE(reg.failures()[0].path.find("broken.tmb"), std::string::npos);
+  ASSERT_NE(reg.find("alpha"), nullptr);
+  EXPECT_EQ(reg.find("alpha")->num_pis,
+            reg.find("alpha")->model.graph.primary_inputs().size());
+  EXPECT_EQ(reg.find("nope"), nullptr);
+}
+
+TEST(Registry, DuplicateDesignNameIsConfigError) {
+  const TempDir dir;
+  const MacroModel m = make_model("dup");
+  serve::write_tmb_file(m, dir.str("a.tmb"));
+  serve::write_tmb_file(m, dir.str("b.tmb"));
+  serve::ModelRegistry reg;
+  reg.load_file(dir.str("a.tmb"));
+  EXPECT_EQ(code_of([&] { reg.load_file(dir.str("b.tmb")); }),
+            fault::ErrorCode::kConfig);
+}
+
+TEST(Registry, AllCorruptIsUnavailableEmptyDirIsNot) {
+  const TempDir dir;
+  std::ofstream(dir.str("junk.tmb")) << "junk";
+  serve::ModelRegistry reg;
+  EXPECT_EQ(code_of([&] { reg.load_directory(dir.str()); }),
+            fault::ErrorCode::kUnavailable);
+
+  const TempDir empty;
+  serve::ModelRegistry reg2;
+  EXPECT_EQ(reg2.load_directory(empty.str()), 0u);
+  EXPECT_EQ(code_of([] {
+              serve::ModelRegistry r;
+              static_cast<void>(r.load_directory("/nonexistent/dir"));
+            }),
+            fault::ErrorCode::kIo);
+}
+
+// ---------------------------------------------------------- result cache
+
+BoundarySnapshot tagged_snapshot(double tag) {
+  BoundarySnapshot s;
+  s.num_ports = 1;
+  s.slew = {tag, tag, tag, tag};
+  s.at = s.rat = s.slack = s.slew;
+  return s;
+}
+
+TEST(ResultCache, LruEvictsLeastRecentAndPromotesOnHit) {
+  serve::ResultCache cache(2, /*num_shards=*/1);
+  cache.insert("a", tagged_snapshot(1));
+  cache.insert("b", tagged_snapshot(2));
+  BoundarySnapshot out;
+  EXPECT_TRUE(cache.lookup("a", out));  // promotes "a" over "b"
+  EXPECT_DOUBLE_EQ(out.slew[0], 1.0);
+  cache.insert("c", tagged_snapshot(3));  // evicts "b", the LRU entry
+  EXPECT_FALSE(cache.lookup("b", out));
+  EXPECT_TRUE(cache.lookup("a", out));
+  EXPECT_TRUE(cache.lookup("c", out));
+  const serve::CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_NEAR(st.hit_rate(), 0.75, 1e-12);
+}
+
+TEST(ResultCache, RefreshingAKeyDoesNotGrowTheShard) {
+  serve::ResultCache cache(2, 1);
+  cache.insert("a", tagged_snapshot(1));
+  cache.insert("a", tagged_snapshot(9));
+  BoundarySnapshot out;
+  EXPECT_TRUE(cache.lookup("a", out));
+  EXPECT_DOUBLE_EQ(out.slew[0], 9.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  serve::ResultCache cache(0);
+  cache.insert("a", tagged_snapshot(1));
+  BoundarySnapshot out;
+  EXPECT_FALSE(cache.lookup("a", out));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ------------------------------------------------------------ evaluator
+
+struct ServeFixture {
+  TempDir dir;
+  serve::ModelRegistry reg;
+  ServeFixture() {
+    serve::write_tmb_file(make_model("blk", 31), dir.str("blk.tmb"));
+    reg.load_directory(dir.str());
+  }
+  const MacroModel& model() const { return reg.find("blk")->model; }
+};
+
+TEST(Evaluator, UnknownModelAndArityMismatchAreTypedErrors) {
+  const ServeFixture fx;
+  serve::Evaluator eval(fx.reg, {});
+  serve::Evaluator::Scratch scratch;
+  BoundarySnapshot out;
+  const BoundaryConstraints bc = constraints_for(fx.model(), 1);
+  EXPECT_EQ(code_of([&] { eval.evaluate("ghost", bc, out, scratch); }),
+            fault::ErrorCode::kUnavailable);
+  BoundaryConstraints wrong = bc;
+  wrong.pi.pop_back();
+  EXPECT_EQ(code_of([&] { eval.evaluate("blk", wrong, out, scratch); }),
+            fault::ErrorCode::kConfig);
+}
+
+TEST(Evaluator, CacheHitReturnsBitIdenticalSnapshot) {
+  const ServeFixture fx;
+  serve::Evaluator eval(fx.reg, {});
+  serve::Evaluator::Scratch scratch;
+  const BoundaryConstraints bc = constraints_for(fx.model(), 2);
+  const BoundarySnapshot expected = snapshot_of(fx.model().graph, bc);
+
+  BoundarySnapshot out;
+  EXPECT_FALSE(eval.evaluate("blk", bc, out, scratch).cache_hit);
+  EXPECT_TRUE(bit_identical(out, expected));
+  BoundarySnapshot again;
+  EXPECT_TRUE(eval.evaluate("blk", bc, again, scratch).cache_hit);
+  EXPECT_TRUE(bit_identical(again, expected));
+  // Bypass recomputes (still identical) without touching hit counts.
+  const std::uint64_t hits_before = eval.cache_stats().hits;
+  BoundarySnapshot fresh;
+  EXPECT_FALSE(eval.evaluate("blk", bc, fresh, scratch, true).cache_hit);
+  EXPECT_TRUE(bit_identical(fresh, expected));
+  EXPECT_EQ(eval.cache_stats().hits, hits_before);
+}
+
+TEST(Evaluator, QuantizationSnapsNearbyQueriesToOneKey) {
+  const ServeFixture fx;
+  serve::Evaluator::Options opt;
+  opt.quantum_ps = 1.0;
+  serve::Evaluator eval(fx.reg, opt);
+  serve::Evaluator::Scratch scratch;
+
+  BoundaryConstraints bc = constraints_for(fx.model(), 3);
+  BoundaryConstraints nearby = bc;
+  nearby.pi[0].slew(kLate, kRise) += 0.2;  // same 1.0ps grid point
+  nearby.clock_period_ps += 0.3;
+
+  BoundarySnapshot a, b;
+  EXPECT_FALSE(eval.evaluate("blk", bc, a, scratch).cache_hit);
+  EXPECT_TRUE(eval.evaluate("blk", nearby, b, scratch).cache_hit);
+  EXPECT_TRUE(bit_identical(a, b));
+
+  // The response is the exact STA answer for the *quantized* constraints.
+  BoundaryConstraints q = bc;
+  q.clock_period_ps = std::round(q.clock_period_ps);
+  for (auto& pi : q.pi)
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        pi.at(el, rf) = std::round(pi.at(el, rf));
+        pi.slew(el, rf) = std::round(pi.slew(el, rf));
+      }
+  for (auto& po : q.po) {
+    po.load_ff = std::round(po.load_ff);
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf)
+        po.rat(el, rf) = std::round(po.rat(el, rf));
+  }
+  EXPECT_TRUE(bit_identical(a, snapshot_of(fx.model().graph, q)));
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(Protocol, RequestRoundTrip) {
+  serve::Request req;
+  req.request_id = 0xDEADBEEFu;
+  req.deadline_ms = 250;
+  req.no_cache = true;
+  req.model = "blk";
+  Rng rng(4);
+  req.bc = random_constraints(3, 2, {}, rng);
+  const serve::Request back = serve::decode_request(serve::encode_request(req));
+  EXPECT_EQ(back.request_id, req.request_id);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_TRUE(back.no_cache);
+  EXPECT_EQ(back.model, "blk");
+  ASSERT_EQ(back.bc.pi.size(), 3u);
+  ASSERT_EQ(back.bc.po.size(), 2u);
+  EXPECT_EQ(back.bc.clock_period_ps, req.bc.clock_period_ps);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        EXPECT_EQ(back.bc.pi[i].at(el, rf), req.bc.pi[i].at(el, rf));
+        EXPECT_EQ(back.bc.pi[i].slew(el, rf), req.bc.pi[i].slew(el, rf));
+      }
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back.bc.po[i].load_ff, req.bc.po[i].load_ff);
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf)
+        EXPECT_EQ(back.bc.po[i].rat(el, rf), req.bc.po[i].rat(el, rf));
+  }
+}
+
+TEST(Protocol, ResponseRoundTripOkAndError) {
+  serve::Response ok;
+  ok.request_id = 7;
+  ok.cache_hit = true;
+  ok.snap = tagged_snapshot(42.5);
+  const serve::Response ok_back =
+      serve::decode_response(serve::encode_response(ok));
+  EXPECT_EQ(ok_back.request_id, 7u);
+  EXPECT_EQ(ok_back.status, serve::ResponseStatus::kOk);
+  EXPECT_TRUE(ok_back.cache_hit);
+  EXPECT_TRUE(bit_identical(ok_back.snap, ok.snap));
+
+  serve::Response err;
+  err.request_id = 8;
+  err.status = serve::ResponseStatus::kUnknownModel;
+  err.error = "no such model 'ghost'";
+  const serve::Response err_back =
+      serve::decode_response(serve::encode_response(err));
+  EXPECT_EQ(err_back.status, serve::ResponseStatus::kUnknownModel);
+  EXPECT_EQ(err_back.error, err.error);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  serve::Request req;
+  req.model = "m";
+  Rng rng(5);
+  req.bc = random_constraints(1, 1, {}, rng);
+  const std::string good = serve::encode_request(req);
+
+  const auto parse_code = [](std::string payload) {
+    return code_of(
+        [&] { static_cast<void>(serve::decode_request(payload)); });
+  };
+  EXPECT_EQ(parse_code(""), fault::ErrorCode::kParse);
+  std::string bad_magic = good;
+  bad_magic[0] = 'Z';
+  EXPECT_EQ(parse_code(bad_magic), fault::ErrorCode::kParse);
+  EXPECT_EQ(parse_code(good.substr(0, good.size() / 2)),
+            fault::ErrorCode::kParse);
+  EXPECT_EQ(parse_code(good + "trailing"), fault::ErrorCode::kParse);
+}
+
+// --------------------------------------------------------------- server
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+// The TSan target: 8 client threads against a 4-worker server sharing
+// one Evaluator/cache/registry; every response must be bit-identical to
+// the offline Sta answer computed up front.
+TEST(Server, ConcurrentClientsGetBitIdenticalResponses) {
+  const ServeFixture fx;
+  serve::Evaluator eval(fx.reg, {});
+  serve::Server server(eval, {.tcp_port = 0, .num_threads = 4,
+                              .batch_max = 8});
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 24;
+  constexpr int kKeys = 4;  // shared keys -> guaranteed cache hits
+  std::vector<BoundaryConstraints> key_bc(kKeys);
+  std::vector<BoundarySnapshot> expected(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    key_bc[k] = constraints_for(fx.model(), 100 + k);
+    expected[k] = snapshot_of(fx.model().graph, key_bc[k]);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_loopback(server.bound_port());
+      std::string frame;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        serve::Request req;
+        req.request_id =
+            static_cast<std::uint64_t>(c) * kRequestsPerClient + i;
+        const int key = (c + i) % kKeys;
+        req.model = "blk";
+        req.bc = key_bc[key];
+        serve::write_frame(fd, serve::encode_request(req));
+        ASSERT_TRUE(serve::read_frame(fd, frame));
+        const serve::Response resp = serve::decode_response(frame);
+        EXPECT_EQ(resp.request_id, req.request_id);
+        if (resp.status != serve::ResponseStatus::kOk)
+          errors.fetch_add(1);
+        else if (!bit_identical(resp.snap, expected[key]))
+          mismatches.fetch_add(1);
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+  serving.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const serve::Server::Stats st = server.stats();
+  EXPECT_EQ(st.requests, static_cast<std::uint64_t>(kClients) *
+                             kRequestsPerClient);
+  EXPECT_EQ(st.responses_ok, st.requests);
+  EXPECT_EQ(st.conn_aborts, 0u);
+  EXPECT_EQ(st.connections, static_cast<std::uint64_t>(kClients));
+  EXPECT_GT(eval.cache_stats().hits, 0u);
+}
+
+TEST(Server, BadFramesGetErrorResponsesOnALiveConnection) {
+  const ServeFixture fx;
+  serve::Evaluator eval(fx.reg, {});
+  serve::Server server(eval, {.tcp_port = 0, .num_threads = 1});
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  const int fd = connect_loopback(server.bound_port());
+  std::string frame;
+
+  // Unknown model: typed error, connection stays up.
+  serve::Request req;
+  req.request_id = 1;
+  req.model = "ghost";
+  Rng rng(6);
+  req.bc = random_constraints(1, 1, {}, rng);
+  serve::write_frame(fd, serve::encode_request(req));
+  ASSERT_TRUE(serve::read_frame(fd, frame));
+  EXPECT_EQ(serve::decode_response(frame).status,
+            serve::ResponseStatus::kUnknownModel);
+
+  // Garbage frame: kBadRequest, connection still stays up.
+  serve::write_frame(fd, "this is not a TMRQ frame");
+  ASSERT_TRUE(serve::read_frame(fd, frame));
+  EXPECT_EQ(serve::decode_response(frame).status,
+            serve::ResponseStatus::kBadRequest);
+
+  // And a valid request after both errors still succeeds.
+  const MacroModel& m = fx.model();
+  serve::Request good;
+  good.request_id = 2;
+  good.model = "blk";
+  good.bc = constraints_for(m, 9);
+  serve::write_frame(fd, serve::encode_request(good));
+  ASSERT_TRUE(serve::read_frame(fd, frame));
+  const serve::Response resp = serve::decode_response(frame);
+  EXPECT_EQ(resp.status, serve::ResponseStatus::kOk);
+  EXPECT_TRUE(bit_identical(resp.snap, snapshot_of(m.graph, good.bc)));
+
+  ::close(fd);
+  server.stop();
+  serving.join();
+  EXPECT_EQ(server.stats().request_errors, 2u);
+}
+
+TEST(Server, UnixSocketServesAndUnlinksOnShutdown) {
+  const ServeFixture fx;
+  serve::Evaluator eval(fx.reg, {});
+  const std::string sock = fx.dir.str("srv.sock");
+  {
+    serve::ServerOptions opt;
+    opt.unix_path = sock;
+    opt.num_threads = 2;
+    serve::Server server(eval, opt);
+    server.start();
+    std::thread serving([&] { server.serve(); });
+    ASSERT_TRUE(fs::exists(sock));
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    serve::Request req;
+    req.model = "blk";
+    req.bc = constraints_for(fx.model(), 11);
+    serve::write_frame(fd, serve::encode_request(req));
+    std::string frame;
+    ASSERT_TRUE(serve::read_frame(fd, frame));
+    EXPECT_EQ(serve::decode_response(frame).status,
+              serve::ResponseStatus::kOk);
+    ::close(fd);
+
+    server.stop();
+    serving.join();
+  }
+  // Destroying the server removes the socket file: stale socket files
+  // would break the next server's bind.
+  EXPECT_FALSE(fs::exists(sock));
+}
+
+}  // namespace
+}  // namespace tmm

@@ -9,7 +9,9 @@
 #             ctest; any sanitizer report fails the test.
 #   tsan      TSan build (TMM_SANITIZE=thread) + the multi-threaded
 #             incremental TS equivalence tests (the per-worker scratch
-#             graph / engine reuse is the racy-by-construction surface).
+#             graph / engine reuse is the racy-by-construction surface)
+#             and the serving-engine concurrency tests (shared registry
+#             + sharded cache + socket server, tests/test_serve.cpp).
 #   tidy      clang-tidy over src/ using the repo .clang-tidy config
 #             (skipped with a notice when clang-tidy is not installed).
 #             TIDY_BASE=<git-ref> restricts it to files changed since
@@ -51,14 +53,14 @@ run_sanitize() {
 }
 
 run_tsan() {
-  echo "== check: TSan (incremental TS loop) =="
+  echo "== check: TSan (incremental TS loop + serving engine) =="
   cmake -S "$ROOT" -B "$ROOT/build-check-tsan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTMM_WERROR=ON \
     -DTMM_SANITIZE=thread >/dev/null
   cmake --build "$ROOT/build-check-tsan" -j"$JOBS" --target tmm_tests
   TSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-check-tsan/tests/tmm_tests" \
-    --gtest_filter='StaIncremental.*:MergeDelta.*:TsIncremental.*:TsParallel.*'
+    --gtest_filter='StaIncremental.*:MergeDelta.*:TsIncremental.*:TsParallel.*:Server.*:ResultCache.*:Evaluator.*'
 }
 
 run_tidy() {

@@ -1,0 +1,381 @@
+// serve_loadgen — open-loop load generator and correctness checker for
+// `tmm serve` (docs/SERVING.md).
+//
+// Drives two sweeps against a running server and emits BENCH_serve.json:
+//   cold: every request carries a unique constraint set (all cache
+//         misses) — measures raw evaluation throughput;
+//   warm: requests cycle through --warm-keys shared constraint sets
+//         (cache hits after the first lap) — measures cached throughput.
+//
+// Every response is verified bit-identical against a local evaluation
+// of the same packed model (the offline `tmm evaluate` path uses the
+// same Sta engine), so the bench doubles as the end-to-end correctness
+// gate the CI smoke job runs.
+//
+// Usage:
+//   serve_loadgen (--socket path | --port N) --model-dir dir
+//                 [--threads N] [--seconds S] [--qps Q] [--warm-keys K]
+//                 [--seed S] [--no-verify]
+//
+// Exit codes: 0 all responses ok and bit-identical; 1 any error or
+// mismatch; 2 bad usage.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/evaluator.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "sta/constraints.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tmm;
+
+struct Options {
+  std::string socket_path;
+  int port = -1;
+  std::string model_dir;
+  std::size_t threads = 8;
+  double seconds = 3.0;
+  double qps = 0.0;  ///< 0 = closed loop
+  std::size_t warm_keys = 16;
+  std::uint64_t seed = 0x10ad;
+  bool verify = true;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr,
+               "serve_loadgen: %s\nusage: serve_loadgen (--socket path | "
+               "--port N) --model-dir dir [--threads N] [--seconds S] "
+               "[--qps Q] [--warm-keys K] [--seed S] [--no-verify]\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--socket")
+      opt.socket_path = next();
+    else if (a == "--port")
+      opt.port = std::stoi(next());
+    else if (a == "--model-dir")
+      opt.model_dir = next();
+    else if (a == "--threads")
+      opt.threads = std::stoul(next());
+    else if (a == "--seconds")
+      opt.seconds = std::stod(next());
+    else if (a == "--qps")
+      opt.qps = std::stod(next());
+    else if (a == "--warm-keys")
+      opt.warm_keys = std::stoul(next());
+    else if (a == "--seed")
+      opt.seed = std::stoull(next());
+    else if (a == "--no-verify")
+      opt.verify = false;
+    else
+      usage_error("unknown option " + a);
+  }
+  if (opt.socket_path.empty() && opt.port < 0)
+    usage_error("--socket or --port is required");
+  if (opt.model_dir.empty()) usage_error("--model-dir is required");
+  if (opt.threads == 0) usage_error("--threads must be >= 1");
+  if (opt.warm_keys == 0) usage_error("--warm-keys must be >= 1");
+  return opt;
+}
+
+int connect_server(const Options& opt) {
+  int fd = -1;
+  if (!opt.socket_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt.port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  return fd;
+}
+
+/// The constraint set of logical key `key` for `entry`, derived purely
+/// from (seed, key) so client threads and the verifier agree.
+BoundaryConstraints make_constraints(const serve::RegistryEntry& entry,
+                                     std::uint64_t seed, std::uint64_t key) {
+  Rng rng(seed ^ (key * 0x9e3779b97f4a7c15ull) ^ 0x5eed);
+  return random_constraints(entry.num_pis, entry.num_pos, {}, rng);
+}
+
+bool bit_identical(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+struct PhaseResult {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;      ///< non-ok responses + socket failures
+  std::uint64_t mismatches = 0;  ///< responses not bit-identical
+  std::uint64_t cache_hits = 0;  ///< server-reported
+  double elapsed_s = 0.0;
+  std::vector<double> latencies_us;  ///< one entry per request
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Run one sweep. `unique_keys` = 0 means every request gets a fresh
+/// key (cold); otherwise keys cycle modulo unique_keys (warm).
+PhaseResult run_phase(const Options& opt, const serve::ModelRegistry& registry,
+                      serve::Evaluator* verifier, std::uint64_t key_base,
+                      std::uint64_t unique_keys) {
+  std::vector<const serve::RegistryEntry*> models;
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : registry.entries()) {
+    models.push_back(&entry);
+    names.push_back(name);
+  }
+
+  std::atomic<std::uint64_t> next_index{0};
+  std::atomic<std::uint64_t> errors{0}, mismatches{0}, hits{0}, done{0};
+  std::vector<std::vector<double>> per_thread_lat(opt.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(opt.seconds));
+
+  auto client = [&](std::size_t tid) {
+    const int fd = connect_server(opt);
+    if (fd < 0) {
+      errors.fetch_add(1);
+      return;
+    }
+    serve::Evaluator::Scratch scratch;
+    BoundarySnapshot expected;
+    std::string frame;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const std::uint64_t index = next_index.fetch_add(1);
+      if (opt.qps > 0) {
+        // Open-loop pacing: request i fires at t0 + i/qps, regardless
+        // of how long earlier requests took.
+        const auto fire =
+            t0 + std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(
+                         static_cast<double>(index) / opt.qps));
+        if (fire >= deadline) break;
+        std::this_thread::sleep_until(fire);
+      }
+      const std::uint64_t key =
+          unique_keys == 0 ? key_base + index
+                           : key_base + (index % unique_keys);
+      const std::size_t mi = static_cast<std::size_t>(
+          (unique_keys == 0 ? index : key) % models.size());
+      serve::Request req;
+      req.request_id = index;
+      req.model = names[mi];
+      req.bc = make_constraints(*models[mi], opt.seed, key);
+
+      const auto sent = std::chrono::steady_clock::now();
+      try {
+        serve::write_frame(fd, serve::encode_request(req));
+        if (!serve::read_frame(fd, frame)) {
+          errors.fetch_add(1);
+          break;  // server drained under us
+        }
+      } catch (const std::exception&) {
+        errors.fetch_add(1);
+        break;
+      }
+      per_thread_lat[tid].push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - sent)
+              .count());
+      done.fetch_add(1);
+
+      try {
+        const serve::Response resp = serve::decode_response(frame);
+        if (resp.status != serve::ResponseStatus::kOk ||
+            resp.request_id != req.request_id) {
+          errors.fetch_add(1);
+          continue;
+        }
+        if (resp.cache_hit) hits.fetch_add(1);
+        if (verifier != nullptr) {
+          verifier->evaluate(req.model, req.bc, expected, scratch);
+          if (!bit_identical(resp.snap.slew, expected.slew) ||
+              !bit_identical(resp.snap.at, expected.at) ||
+              !bit_identical(resp.snap.rat, expected.rat) ||
+              !bit_identical(resp.snap.slack, expected.slack))
+            mismatches.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        errors.fetch_add(1);
+      }
+    }
+    ::close(fd);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(opt.threads);
+  for (std::size_t t = 0; t < opt.threads; ++t)
+    threads.emplace_back(client, t);
+  for (std::thread& t : threads) t.join();
+
+  PhaseResult res;
+  res.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  res.requests = done.load();
+  res.errors = errors.load();
+  res.mismatches = mismatches.load();
+  res.cache_hits = hits.load();
+  for (const auto& lat : per_thread_lat)
+    res.latencies_us.insert(res.latencies_us.end(), lat.begin(), lat.end());
+  std::sort(res.latencies_us.begin(), res.latencies_us.end());
+  return res;
+}
+
+void report_phase(bench::JsonReport& report, const char* impl,
+                  PhaseResult& r) {
+  const double qps =
+      r.elapsed_s > 0 ? static_cast<double>(r.requests) / r.elapsed_s : 0.0;
+  const double p50 = percentile(r.latencies_us, 0.50);
+  const double p95 = percentile(r.latencies_us, 0.95);
+  const double p99 = percentile(r.latencies_us, 0.99);
+  std::printf("%-5s %8llu req in %6.2f s  (%8.1f qps)  p50 %8.1f us  p95 "
+              "%8.1f us  p99 %8.1f us  %llu hit(s), %llu error(s), %llu "
+              "mismatch(es)\n",
+              impl, static_cast<unsigned long long>(r.requests),
+              r.elapsed_s, qps, p50, p95, p99,
+              static_cast<unsigned long long>(r.cache_hits),
+              static_cast<unsigned long long>(r.errors),
+              static_cast<unsigned long long>(r.mismatches));
+  report.add_row("all", impl,
+                 {{"requests", static_cast<double>(r.requests)},
+                  {"errors", static_cast<double>(r.errors)},
+                  {"bit_mismatches", static_cast<double>(r.mismatches)},
+                  {"cache_hits", static_cast<double>(r.cache_hits)},
+                  {"elapsed_s", r.elapsed_s},
+                  {"qps", qps},
+                  {"latency_p50_us", p50},
+                  {"latency_p95_us", p95},
+                  {"latency_p99_us", p99}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  try {
+    serve::ModelRegistry registry;
+    registry.load_directory(opt.model_dir);
+    if (registry.size() == 0) {
+      std::fprintf(stderr, "serve_loadgen: no .tmb models in %s\n",
+                   opt.model_dir.c_str());
+      return 2;
+    }
+
+    // Local reference evaluator: same packed models, same engine, same
+    // default options as the server — the offline evaluate path.
+    serve::Evaluator::Options eopt;
+    eopt.cache_capacity = opt.warm_keys * 4 * registry.size();
+    serve::Evaluator verifier(registry, eopt);
+
+    {
+      const int probe = connect_server(opt);
+      if (probe < 0) {
+        std::fprintf(stderr, "serve_loadgen: cannot connect to server\n");
+        return 1;
+      }
+      ::close(probe);
+    }
+
+    bench::JsonReport report("serve");
+    report.set_meta("threads", static_cast<double>(opt.threads));
+    report.set_meta("seconds_per_phase", opt.seconds);
+    report.set_meta("target_qps", opt.qps);
+    report.set_meta("warm_keys", static_cast<double>(opt.warm_keys));
+    report.set_meta("models", static_cast<double>(registry.size()));
+    report.set_meta("verify", opt.verify ? 1.0 : 0.0);
+
+    // Cold sweep: unique constraints per request, key space disjoint
+    // from the warm phase so nothing is pre-cached.
+    PhaseResult cold = run_phase(opt, registry,
+                                 opt.verify ? &verifier : nullptr,
+                                 /*key_base=*/1u << 20, /*unique_keys=*/0);
+    report_phase(report, "cold", cold);
+
+    // Warm sweep: cycle a small key set; after the first lap every
+    // request should hit the server's result cache.
+    PhaseResult warm = run_phase(opt, registry,
+                                 opt.verify ? &verifier : nullptr,
+                                 /*key_base=*/0, opt.warm_keys);
+    report_phase(report, "warm", warm);
+
+    const std::uint64_t errors = cold.errors + warm.errors;
+    const std::uint64_t mismatches = cold.mismatches + warm.mismatches;
+    report.set_summary("total_errors", static_cast<double>(errors));
+    report.set_summary("total_bit_mismatches",
+                       static_cast<double>(mismatches));
+    report.set_summary("warm_cache_hits",
+                       static_cast<double>(warm.cache_hits));
+    report.write();
+
+    if (errors != 0 || mismatches != 0) {
+      std::fprintf(stderr,
+                   "serve_loadgen: FAILED: %llu error(s), %llu bit "
+                   "mismatch(es)\n",
+                   static_cast<unsigned long long>(errors),
+                   static_cast<unsigned long long>(mismatches));
+      return 1;
+    }
+    std::printf("serve_loadgen: all responses ok%s\n",
+                opt.verify ? " and bit-identical to local evaluation" : "");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_loadgen: %s\n", e.what());
+    return 1;
+  }
+}

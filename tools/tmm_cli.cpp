@@ -20,6 +20,11 @@
 //                  (full pipeline with per-design isolation + resume;
 //                  with --resume <dir>, the run-dir positional is
 //                  omitted)
+//   tmm pack       <in.macro...> [--out file.tmb]  (convert macro models
+//                  to the binary serving format; docs/SERVING.md)
+//   tmm serve      <model-dir> [--socket path | --port N] [--threads N]
+//                  [--batch N] [--cache N] [--quantize Q] [--no-cppr]
+//                  (serve every .tmb in model-dir; SIGTERM drains)
 //   tmm export-lib <out.lib> [--early]
 //   tmm lint       <file...>  (.macro files are linted as macro models,
 //                  anything else as designs + their flat timing graphs)
@@ -53,7 +58,12 @@
 #include "netlist/netlist_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/tmb.hpp"
 #include "util/log.hpp"
+
+#include <csignal>
 
 namespace {
 
@@ -82,6 +92,14 @@ struct Args {
   bool early = false;
   /// Copied from GlobalOpts: checkpoint/resume directory.
   std::string resume_dir;
+  // Serving options (`tmm pack` / `tmm serve`, docs/SERVING.md).
+  std::string out;       ///< pack: output .tmb path
+  std::string socket;    ///< serve: unix socket path
+  int port = -1;         ///< serve: TCP port (0 = ephemeral)
+  std::size_t threads = 4;
+  std::size_t batch = 16;
+  std::size_t cache = 4096;
+  double quantize = 0.0;
 };
 
 /// Options valid with every subcommand.
@@ -98,8 +116,10 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
            const std::vector<std::string_view>& allowed, GlobalOpts& g) {
   Args args;
   static constexpr std::string_view kKnownFlags[] = {
-      "--no-cppr", "--regression", "--pins", "--seed",
-      "--name",    "--period",     "--sets", "--early"};
+      "--no-cppr", "--regression", "--pins",    "--seed",
+      "--name",    "--period",     "--sets",    "--early",
+      "--out",     "--socket",     "--port",    "--threads",
+      "--batch",   "--cache",      "--quantize"};
   auto check_allowed = [&](std::string_view a) {
     if (std::find(allowed.begin(), allowed.end(), a) != allowed.end()) return;
     const bool known = std::find(std::begin(kKnownFlags), std::end(kKnownFlags),
@@ -144,6 +164,20 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       args.sets = std::stoul(next());
     else if (a == "--early")
       args.early = true;
+    else if (a == "--out")
+      args.out = next();
+    else if (a == "--socket")
+      args.socket = next();
+    else if (a == "--port")
+      args.port = std::stoi(next());
+    else if (a == "--threads")
+      args.threads = std::stoul(next());
+    else if (a == "--batch")
+      args.batch = std::stoul(next());
+    else if (a == "--cache")
+      args.cache = std::stoul(next());
+    else if (a == "--quantize")
+      args.quantize = std::stod(next());
     else if (a.rfind("--", 0) == 0)
       throw UsageError("unknown option " + a);
     else
@@ -381,6 +415,109 @@ int cmd_lint(const Args& args) {
   return total_errors == 0 ? 0 : 3;
 }
 
+int cmd_pack(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("pack: at least one .macro file required");
+  if (!args.out.empty() && args.positional.size() > 1)
+    throw UsageError("pack: --out is only valid with a single input");
+  for (const std::string& path : args.positional) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    const MacroModel model = read_macro_model(is);
+    std::string out = args.out;
+    if (out.empty()) {
+      out = path;
+      const std::size_t dot = out.rfind('.');
+      if (dot != std::string::npos && out.find('/', dot) == std::string::npos)
+        out.resize(dot);
+      out += ".tmb";
+    }
+    const std::size_t bytes = serve::write_tmb_file(model, out);
+    std::printf("packed %s -> %s: %zu pins, %zu arcs, %zu bytes\n",
+                path.c_str(), out.c_str(), model.num_pins(),
+                model.num_arcs(), bytes);
+  }
+  return 0;
+}
+
+serve::Server* g_server = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+int cmd_serve(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("serve: model directory required");
+  const std::string& dir = args.positional[0];
+
+  serve::ModelRegistry registry;
+  const std::size_t loaded = registry.load_directory(dir);
+  for (const auto& [name, entry] : registry.entries())
+    std::printf("  model %-24s %u PIs, %u POs (%s)\n", name.c_str(),
+                entry.num_pis, entry.num_pos, entry.path.c_str());
+  for (const auto& f : registry.failures())
+    std::printf("  FAILED   %s: %s\n", f.path.c_str(), f.error.c_str());
+
+  serve::Evaluator::Options eopt;
+  eopt.quantum_ps = args.quantize;
+  eopt.cache_capacity = args.cache;
+  eopt.sta.cppr = args.cppr;
+  serve::Evaluator evaluator(registry, eopt);
+
+  serve::ServerOptions sopt;
+  if (!args.socket.empty())
+    sopt.unix_path = args.socket;
+  else if (args.port >= 0)
+    sopt.tcp_port = args.port;
+  else
+    sopt.unix_path = dir + "/tmm.sock";  // default endpoint
+  sopt.num_threads = static_cast<int>(args.threads);
+  sopt.batch_max = static_cast<int>(args.batch);
+  serve::Server server(evaluator, sopt);
+  server.start();
+
+  g_server = &server;
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
+
+  if (!sopt.unix_path.empty())
+    std::printf("serving %zu model(s) on unix:%s (%zu threads, batch %zu, "
+                "cache %zu)\n",
+                loaded, sopt.unix_path.c_str(), args.threads, args.batch,
+                args.cache);
+  else
+    std::printf("serving %zu model(s) on 127.0.0.1:%d (%zu threads, batch "
+                "%zu, cache %zu)\n",
+                loaded, server.bound_port(), args.threads, args.batch,
+                args.cache);
+  std::fflush(stdout);
+
+  server.serve();
+  g_server = nullptr;
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  const serve::Server::Stats st = server.stats();
+  const serve::CacheStats cs = evaluator.cache_stats();
+  std::printf("drained: %llu connection(s), %llu request(s) (%llu ok, %llu "
+              "error), %llu batch(es), %llu abort(s); cache %llu hit / %llu "
+              "miss / %llu evicted (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(st.connections),
+              static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.responses_ok),
+              static_cast<unsigned long long>(st.request_errors),
+              static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.conn_aborts),
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.evictions),
+              cs.hit_rate() * 100.0);
+  // Some models failed to load but the survivors served: degraded (3),
+  // matching flow/train semantics.
+  return registry.failures().empty() ? 0 : 3;
+}
+
 int cmd_export_lib(const Args& args) {
   if (args.positional.empty())
     throw std::runtime_error("export-lib: output path required");
@@ -398,8 +535,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: tmm [--trace out.json] [--metrics out.json] "
                "[--resume dir] "
-               "<gen-design|stats|sta|train|generate|evaluate|flow|"
-               "export-lib|lint|fault-sites> "
+               "<gen-design|stats|sta|train|generate|evaluate|flow|pack|"
+               "serve|export-lib|lint|fault-sites> "
                "[args...]  (see tools/tmm_cli.cpp header)\n");
   return 64;
 }
@@ -418,6 +555,10 @@ const Command kCommands[] = {
     {"generate", cmd_generate, {"--no-cppr", "--regression"}},
     {"evaluate", cmd_evaluate, {"--no-cppr", "--sets"}},
     {"flow", cmd_flow, {"--no-cppr", "--regression"}},
+    {"pack", cmd_pack, {"--out"}},
+    {"serve", cmd_serve,
+     {"--socket", "--port", "--threads", "--batch", "--cache", "--quantize",
+      "--no-cppr"}},
     {"export-lib", cmd_export_lib, {"--early"}},
     {"lint", cmd_lint, {}},
     {"fault-sites", cmd_fault_sites, {}},
