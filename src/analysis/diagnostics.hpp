@@ -19,7 +19,8 @@ enum class Severity : std::uint8_t { kInfo, kWarning, kError };
 std::string_view severity_name(Severity s) noexcept;
 
 /// Stable rule identifiers. Prefixes: G = graph structure, B = boundary,
-/// L = lookup tables, D = design/netlist, M = macro model.
+/// L = lookup tables, D = design/netlist, M = macro model, S = serving
+/// artifacts (.tmb images, registry directories).
 namespace rule {
 inline constexpr const char* kCycle = "G001";
 inline constexpr const char* kDanglingArc = "G002";
@@ -38,6 +39,9 @@ inline constexpr const char* kUndrivenNet = "D003";
 inline constexpr const char* kParasiticsArity = "D004";
 inline constexpr const char* kBoundaryLost = "M001";
 inline constexpr const char* kBakedDerate = "M002";
+inline constexpr const char* kTmbImage = "S001";
+inline constexpr const char* kTmbArena = "S002";
+inline constexpr const char* kRegistryDupName = "S003";
 }  // namespace rule
 
 struct Diagnostic {

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <csignal>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace tmm::fault {
 
@@ -40,14 +41,21 @@ bool is_registered(std::string_view site) {
          std::end(kSites);
 }
 
-/// Armed plan. The mutex only guards arm/disarm; the hot path reads
-/// g_armed and the slow path touches the count atomically, so worker
-/// threads hitting the same site stay race-free and fire exactly once.
+const util::lockorder::LockClass kPlanLockClass("fault.plan");
+
+/// Armed plan. The mutex guards the armed spec (site/nth/action) for
+/// both writers (arm/disarm) and the slow-path reader (inject_slow);
+/// the hot path reads only g_armed, and count/fired stay atomic so a
+/// site hit by many workers still fires exactly once.
 struct Plan {
-  std::mutex mu;
-  std::string site;
-  std::uint64_t nth = 0;
-  FaultAction action = FaultAction::kThrow;
+  util::Mutex mu{kPlanLockClass};
+  std::string site TMM_GUARDED_BY(mu);
+  std::uint64_t nth TMM_GUARDED_BY(mu) = 0;
+  FaultAction action TMM_GUARDED_BY(mu) = FaultAction::kThrow;
+  // Invariant: count/fired are event tallies with no data published
+  // through them (readers are test assertions and the fired() probe
+  // after the throw already unwound), so relaxed suffices; exactly-once
+  // firing comes from fetch_add returning a unique n per hit.
   std::atomic<std::uint64_t> count{0};
   std::atomic<bool> fired{false};
 };
@@ -61,10 +69,17 @@ Plan& plan() {
 
 namespace detail {
 
+// Invariant: g_armed is the disarmed-fast-path gate; a hook racing
+// arm()/disarm() may take or skip the slow path one call late, which
+// the deterministic-nth contract tolerates (arming happens before the
+// workload starts). Relaxed; the plan mutex orders the spec itself.
 std::atomic<bool> g_armed{false};
 
 void inject_slow(const char* site) {
   Plan& p = plan();
+  // Lock: the armed spec may be re-armed by a test thread while hook
+  // sites run; without it p.site's buffer could be read mid-assign.
+  util::MutexLock lock(p.mu);
   // site strings are compile-time literals at the hook points; the
   // armed site was validated against kSites, so a simple compare picks
   // out the one site under test.
@@ -73,6 +88,8 @@ void inject_slow(const char* site) {
   if (n != p.nth) return;
   p.fired.store(true, std::memory_order_relaxed);
   if (p.action == FaultAction::kKill) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): SIGKILL terminates the
+    // process from any thread by design (torn-file/resume testing).
     std::raise(SIGKILL);
     std::abort();  // unreachable; SIGKILL cannot be handled
   }
@@ -150,7 +167,7 @@ Status arm(std::string_view site, std::uint64_t nth, FaultAction action) {
         "fault injection: unregistered site '" + std::string(site) +
             "' (see `tmm fault-sites`)");
   Plan& p = plan();
-  std::lock_guard<std::mutex> lock(p.mu);
+  util::MutexLock lock(p.mu);
   p.site = std::string(site);
   p.nth = nth;
   p.action = action;
@@ -162,7 +179,7 @@ Status arm(std::string_view site, std::uint64_t nth, FaultAction action) {
 
 void disarm() noexcept {
   Plan& p = plan();
-  std::lock_guard<std::mutex> lock(p.mu);
+  util::MutexLock lock(p.mu);
   detail::g_armed.store(false, std::memory_order_relaxed);
   p.site.clear();
   p.nth = 0;
@@ -171,6 +188,8 @@ void disarm() noexcept {
 }
 
 Status arm_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup,
+  // before any thread that could call setenv exists.
   const char* env = std::getenv("TMM_FAULT");
   if (env == nullptr || *env == '\0') return {};
   const std::string spec(env);

@@ -4,11 +4,11 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 
 #include "util/atomic_io.hpp"
 #include "util/instrument.hpp"
+#include "util/mutex.hpp"
 
 namespace tmm::obs {
 
@@ -74,13 +74,20 @@ void Histogram::reset() noexcept {
 
 namespace {
 
+const util::lockorder::LockClass kRegistryLockClass("obs.metrics.registry");
+
 /// Name -> metric maps. The mutex guards only registration/lookup and
-/// snapshotting; mutation goes through the atomics inside each metric.
+/// snapshotting; mutation goes through the atomics inside each metric
+/// (metric references escape the lock by design — they are immortal
+/// and internally lock-free).
 struct RegistryImpl {
-  std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  util::Mutex mu{kRegistryLockClass};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      TMM_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      TMM_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      TMM_GUARDED_BY(mu);
 };
 
 RegistryImpl& registry() {
@@ -101,7 +108,7 @@ void json_string(std::ostream& os, const std::string& s) {
 
 Counter& counter(std::string_view name) {
   RegistryImpl& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   auto it = r.counters.find(name);
   if (it == r.counters.end())
     it = r.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -111,7 +118,7 @@ Counter& counter(std::string_view name) {
 
 Gauge& gauge(std::string_view name) {
   RegistryImpl& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   auto it = r.gauges.find(name);
   if (it == r.gauges.end())
     it = r.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -120,7 +127,7 @@ Gauge& gauge(std::string_view name) {
 
 Histogram& histogram(std::string_view name, std::span<const double> bounds) {
   RegistryImpl& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   auto it = r.histograms.find(name);
   if (it == r.histograms.end())
     it = r.histograms
@@ -131,7 +138,7 @@ Histogram& histogram(std::string_view name, std::span<const double> bounds) {
 
 void write_metrics_json(std::ostream& os) {
   RegistryImpl& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : r.counters) {
@@ -185,7 +192,7 @@ bool write_metrics_json_file(const std::string& path) {
 
 void reset_metrics() {
   RegistryImpl& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   for (auto& [name, c] : r.counters) c->reset();
   for (auto& [name, g] : r.gauges) g->reset();
   for (auto& [name, h] : r.histograms) h->reset();

@@ -5,18 +5,24 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "util/atomic_io.hpp"
 #include "util/instrument.hpp"
+#include "util/mutex.hpp"
 
 namespace tmm::obs {
 
 namespace {
 
+// Invariant: g_tracing is a pure on/off flag; the per-thread buffer
+// mutexes order the event data itself, so relaxed loads/stores suffice
+// (a span racing a toggle merely lands on one side of it).
 std::atomic<bool> g_tracing{false};
+
+const util::lockorder::LockClass kTraceRegistryClass("obs.trace.registry");
+const util::lockorder::LockClass kTraceBufferClass("obs.trace.buffer");
 
 std::chrono::steady_clock::time_point trace_epoch() {
   static const auto epoch = std::chrono::steady_clock::now();
@@ -37,16 +43,19 @@ struct TraceEvent {
 /// the mutex makes export/reset from another thread race-free without
 /// contending the hot path (the owner's lock is almost always
 /// uncontended).
+/// Lock order: obs.trace.registry before obs.trace.buffer (export and
+/// reset hold the registry lock while visiting each buffer); `tid` is
+/// written once at registration, then read-only.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
+  util::Mutex mu{kTraceBufferClass};
+  std::vector<TraceEvent> events TMM_GUARDED_BY(mu);
   std::uint32_t tid = 0;
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 1;
+  util::Mutex mu{kTraceRegistryClass};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers TMM_GUARDED_BY(mu);
+  std::uint32_t next_tid TMM_GUARDED_BY(mu) = 1;
 };
 
 Registry& registry() {
@@ -58,7 +67,7 @@ ThreadBuffer& local_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> buf = [] {
     auto b = std::make_shared<ThreadBuffer>();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    util::MutexLock lock(r.mu);
     b->tid = r.next_tid++;
     r.buffers.push_back(b);
     return b;
@@ -68,7 +77,7 @@ ThreadBuffer& local_buffer() {
 
 void append(TraceEvent ev) {
   ThreadBuffer& buf = local_buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  util::MutexLock lock(buf.mu);
   buf.events.push_back(std::move(ev));
 }
 
@@ -120,19 +129,19 @@ void set_tracing_enabled(bool on) noexcept {
 
 void reset_trace() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   for (auto& buf : r.buffers) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    util::MutexLock buf_lock(buf->mu);
     buf->events.clear();
   }
 }
 
 std::size_t trace_event_count() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   std::size_t n = 0;
   for (auto& buf : r.buffers) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    util::MutexLock buf_lock(buf->mu);
     n += buf->events.size();
   }
   return n;
@@ -182,11 +191,11 @@ void trace_rss_sample() {
 
 void write_chrome_trace(std::ostream& os) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (auto& buf : r.buffers) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    util::MutexLock buf_lock(buf->mu);
     for (const TraceEvent& ev : buf->events) {
       if (!first) os << ",\n";
       first = false;

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "fault/fault.hpp"
@@ -12,6 +11,7 @@
 #include "sta/propagation.hpp"
 #include "util/instrument.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
 
 namespace tmm {
 
@@ -172,12 +172,14 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
   // conservatively fully sensitive, so it stays in the model — and the
   // loop continues. Exceptions must never escape a worker thread.
   std::atomic<std::size_t> failed{0};
-  std::mutex failure_mu;
+  static const util::lockorder::LockClass kFailureLockClass(
+      "ts.failure_record");
+  util::Mutex failure_mu(kFailureLockClass);
   auto record_failure = [&](NodeId n, const char* what) {
     failed.fetch_add(1, std::memory_order_relaxed);
     g_pins_failed.add();
     out.ts[n] = kFailedPinTs;
-    std::lock_guard<std::mutex> lock(failure_mu);
+    util::MutexLock lock(failure_mu);
     if (out.first_failure.empty())
       out.first_failure =
           std::string("pin '") + ilm.node(n).name + "': " + what;

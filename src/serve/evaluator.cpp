@@ -15,6 +15,12 @@ using fault::FlowError;
 // ---------------------------------------------------------------------
 // ResultCache
 
+namespace {
+const util::lockorder::LockClass kShardLockClass("serve.cache.shard");
+}  // namespace
+
+ResultCache::Shard::Shard() : mu(kShardLockClass) {}
+
 ResultCache::ResultCache(std::size_t capacity, std::size_t num_shards) {
   if (num_shards == 0) num_shards = 1;
   if (num_shards > capacity && capacity > 0) num_shards = capacity;
@@ -35,7 +41,7 @@ bool ResultCache::lookup(const std::string& key, BoundarySnapshot& out) {
     return false;
   }
   Shard& s = shard_of(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   const auto it = s.index.find(key);
   if (it == s.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -56,7 +62,7 @@ void ResultCache::insert(const std::string& key,
                          const BoundarySnapshot& snap) {
   if (capacity_ == 0) return;
   Shard& s = shard_of(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
     // Concurrent miss on the same key: refresh in place.
@@ -79,7 +85,7 @@ CacheStats ResultCache::stats() const noexcept {
   st.misses = misses_.load(std::memory_order_relaxed);
   st.evictions = evictions_.load(std::memory_order_relaxed);
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    util::MutexLock lock(s->mu);
     st.entries += s->lru.size();
   }
   return st;

@@ -21,13 +21,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "serve/registry.hpp"
 #include "sta/propagation.hpp"
+#include "util/mutex.hpp"
 
 namespace tmm::serve {
 
@@ -66,10 +66,15 @@ class ResultCache {
     std::string key;
     BoundarySnapshot snap;
   };
+  /// All shards share lock class "serve.cache.shard" (leaf lock; a
+  /// thread never holds two shards at once — stats() visits them one
+  /// at a time).
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    Shard();  // out of line: binds mu to the shared lock class
+    util::Mutex mu;
+    std::list<Entry> lru TMM_GUARDED_BY(mu);  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        TMM_GUARDED_BY(mu);
   };
 
   Shard& shard_of(const std::string& key) noexcept;
@@ -77,6 +82,9 @@ class ResultCache {
   std::size_t capacity_;
   std::size_t per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Invariant: hit/miss/eviction tallies are per-event counters only
+  // read for reporting; no data is published through them, so relaxed
+  // suffices.
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "fault/fault.hpp"
+#include "util/errno_string.hpp"
 
 namespace tmm::serve {
 
@@ -227,7 +228,7 @@ bool read_frame(int fd, std::string& out) {
       if (errno == EINTR) continue;
       throw FlowError(ErrorCode::kIo, "serve.protocol",
                       std::string("socket read failed: ") +
-                          std::strerror(errno));
+                          util::errno_string(errno));
     }
     return true;
   };
@@ -257,7 +258,7 @@ void write_frame(int fd, const std::string& payload) {
       if (errno == EINTR) continue;
       throw FlowError(ErrorCode::kIo, "serve.protocol",
                       std::string("socket write failed: ") +
-                          std::strerror(errno));
+                          util::errno_string(errno));
     }
   };
   write_all(reinterpret_cast<const char*>(&len), sizeof len);

@@ -9,6 +9,13 @@
 //
 // Per-file failures are isolated: one corrupt model never prevents the
 // others from serving (the server reports degraded startup, exit 3).
+//
+// Concurrency invariant: the registry is immutable after load_dir()
+// returns — load runs single-threaded before workers start, lookups
+// return const pointers into storage that is never resized afterwards.
+// That is why this class carries no mutex and no thread-safety
+// annotations; any future mutating API must add both (see
+// docs/ANALYSIS.md, "Concurrency invariants").
 
 #include <cstdint>
 #include <map>

@@ -16,6 +16,7 @@
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
+#include "util/errno_string.hpp"
 #include "util/log.hpp"
 
 namespace tmm::serve {
@@ -24,6 +25,8 @@ using fault::ErrorCode;
 using fault::FlowError;
 
 namespace {
+
+const util::lockorder::LockClass kQueueLockClass("serve.server.queue");
 
 constexpr double kLatencyBoundsUs[] = {50,    100,    200,    500,    1000,
                                        2000,  5000,   10000,  20000,  50000,
@@ -41,7 +44,7 @@ obs::Histogram& batch_hist() {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw FlowError(ErrorCode::kIo, "serve.server",
-                  what + ": " + std::strerror(errno));
+                  what + ": " + util::errno_string(errno));
 }
 
 /// One decoded (or undecodable) request of a batch, stamped on receipt
@@ -57,7 +60,7 @@ struct Pending {
 }  // namespace
 
 Server::Server(Evaluator& evaluator, ServerOptions opt)
-    : eval_(evaluator), opt_(std::move(opt)) {}
+    : eval_(evaluator), opt_(std::move(opt)), mu_(kQueueLockClass) {}
 
 Server::~Server() {
   stop();
@@ -67,6 +70,9 @@ Server::~Server() {
   if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
   if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
   if (unlink_on_close_) ::unlink(opt_.unix_path.c_str());
+  // Workers are joined, but lock anyway: the guarded-by contract has no
+  // destructor exemption, and the lock is uncontended here.
+  util::MutexLock lock(mu_);
   for (const int fd : pending_) ::close(fd);
 }
 
@@ -85,6 +91,8 @@ void Server::start() {
   // A response written into a connection the client already closed
   // must surface as EPIPE (handled per connection), not kill the
   // process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): process-wide disposition,
+  // set once in start() before any worker thread exists.
   ::signal(SIGPIPE, SIG_IGN);
 
   if (!opt_.unix_path.empty()) {
@@ -127,7 +135,9 @@ void Server::stop() noexcept {
   // Only async-signal-safe operations here: stop() is called from the
   // CLI's SIGTERM handler. The acceptor wakes on the pipe and does the
   // non-AS-safe part (cv notify, joins) in serve()'s epilogue.
-  if (stopping_.exchange(true)) return;
+  // Relaxed: the exchange is only an idempotency latch (first caller
+  // writes the pipe); ordering comes from the self-pipe write itself.
+  if (stopping_.exchange(true, std::memory_order_relaxed)) return;
   if (stop_pipe_[1] >= 0) {
     const char byte = 's';
     [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
@@ -135,10 +145,11 @@ void Server::stop() noexcept {
 }
 
 int Server::pop_connection() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return !pending_.empty() || stopping_.load(std::memory_order_relaxed);
-  });
+  util::MutexUniqueLock lock(mu_);
+  // Explicit wait loop (not the predicate overload) so every access to
+  // pending_ is lexically under the scoped capability.
+  while (pending_.empty() && !stopping_.load(std::memory_order_relaxed))
+    cv_.wait(lock.native());
   if (pending_.empty()) return -1;
   const int fd = pending_.front();
   pending_.pop_front();
@@ -170,7 +181,7 @@ void Server::serve() {
     connections_.fetch_add(1, std::memory_order_relaxed);
     g_conns.add();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       pending_.push_back(conn);
     }
     cv_.notify_one();
@@ -183,7 +194,7 @@ void Server::serve() {
   // Connections the workers never picked up: close without answering
   // (the client observes EOF, the protocol's retry signal).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const int fd : pending_) ::close(fd);
     pending_.clear();
   }

@@ -24,12 +24,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/evaluator.hpp"
+#include "util/mutex.hpp"
 
 namespace tmm::serve {
 
@@ -87,14 +87,25 @@ class Server {
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
   int bound_port_ = -1;
+  // Invariant: stopping_ is a latch only ever flipped false -> true;
+  // every consumer tolerates reading it one iteration late (workers
+  // re-check after the cv wakeup, the acceptor after poll), so all
+  // accesses are relaxed — the queue mutex and the self-pipe provide
+  // the actual synchronization.
   std::atomic<bool> stopping_{false};
   bool unlink_on_close_ = false;
 
-  std::mutex mu_;
+  /// Lock class "serve.server.queue". Guards only the handoff queue;
+  /// leaf lock (nothing else is acquired while holding it).
+  util::Mutex mu_;
   std::condition_variable cv_;
-  std::deque<int> pending_;
+  std::deque<int> pending_ TMM_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 
+  // Invariant: the stats counters are monotonic and independent — each
+  // is a standalone event count read only after the fact (stats(),
+  // serve() epilogue), so relaxed increments and loads suffice; no
+  // other data is published through them.
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> responses_ok_{0};

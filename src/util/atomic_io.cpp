@@ -1,5 +1,7 @@
 #include "util/atomic_io.hpp"
 
+#include "util/errno_string.hpp"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -14,7 +16,7 @@ namespace {
 fault::Status io_failure(const std::string& what, const std::string& path) {
   return fault::Status::failure(
       fault::ErrorCode::kIo,
-      what + " '" + path + "': " + std::strerror(errno));
+      what + " '" + path + "': " + errno_string(errno));
 }
 
 }  // namespace

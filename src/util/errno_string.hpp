@@ -1,0 +1,31 @@
+#pragma once
+// Thread-safe errno rendering. std::strerror writes into shared static
+// storage (clang-tidy concurrency-mt-unsafe), and error paths here run
+// on worker threads (serve, atomic_io) — so every "<syscall>: <why>"
+// message goes through strerror_r instead.
+
+#include <cstring>
+#include <string>
+
+namespace tmm::util {
+
+namespace detail {
+// glibc with _GNU_SOURCE returns char* (possibly a static string,
+// possibly buf); the XSI variant fills buf and returns int. Overload
+// on the actual return type so both build unchanged.
+inline const char* strerror_result(int rc, const char* buf) noexcept {
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* strerror_result(const char* s, const char*) noexcept {
+  return s;
+}
+}  // namespace detail
+
+/// strerror(err) into a private buffer; safe from any thread.
+inline std::string errno_string(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return detail::strerror_result(strerror_r(err, buf, sizeof buf), buf);
+}
+
+}  // namespace tmm::util

@@ -1,0 +1,232 @@
+#include "util/lockorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace tmm::util::lockorder {
+
+namespace {
+
+/// Global analyzer state. Guarded by a plain std::mutex: the analyzer
+/// must never run through util::Mutex or it would recurse into itself.
+/// Leaked (like the obs registries) because instrumented threads may
+/// outlive main and release locks during process teardown.
+struct State {
+  std::mutex mu;
+  std::vector<std::string> class_names;            ///< id -> name
+  std::map<std::string, std::uint32_t> class_ids;  ///< name -> id
+  /// (from, to) -> edge record; std::map keeps dumps deterministic.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Edge> edges;
+  std::vector<Cycle> cycles;
+  /// Cycle dedup: one report per distinct closing (from, to) pair.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> reported;
+};
+
+State& state() {
+  static State* s = new State();
+  return *s;
+}
+
+/// Per-thread stack of currently held lock classes, outermost first.
+struct Held {
+  std::uint32_t cls;
+  std::string site;  ///< "file:line" of the acquisition
+};
+
+std::vector<Held>& held_stack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+std::string site_of(const std::source_location& loc) {
+  const char* file = loc.file_name();
+  // Basename only: full build paths make reports unstable across trees.
+  for (const char* p = file; *p != '\0'; ++p)
+    if (*p == '/') file = p + 1;
+  return std::string(file) + ":" + std::to_string(loc.line());
+}
+
+/// True when `from` is reachable from `to` over existing edges — i.e.
+/// adding the edge (from -> to) would close a cycle. Iterative DFS over
+/// the id graph; caller holds s.mu. Fills `path` with the class-id walk
+/// to -> ... -> from when found.
+bool reaches(const State& s, std::uint32_t to, std::uint32_t from,
+             std::vector<std::uint32_t>& path) {
+  std::vector<std::vector<std::uint32_t>> work{{to}};
+  std::set<std::uint32_t> seen{to};
+  while (!work.empty()) {
+    std::vector<std::uint32_t> cur = std::move(work.back());
+    work.pop_back();
+    if (cur.back() == from) {
+      path = std::move(cur);
+      return true;
+    }
+    // edges is keyed (from, to): scan the out-edges of cur.back().
+    const std::uint32_t node = cur.back();
+    for (auto it = s.edges.lower_bound({node, 0});
+         it != s.edges.end() && it->first.first == node; ++it) {
+      const std::uint32_t next = it->first.second;
+      if (!seen.insert(next).second) continue;
+      std::vector<std::uint32_t> ext = cur;
+      ext.push_back(next);
+      work.push_back(std::move(ext));
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LockClass::LockClass(const char* name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto [it, inserted] =
+      s.class_ids.emplace(name, static_cast<std::uint32_t>(
+                                    s.class_names.size()));
+  if (inserted) s.class_names.emplace_back(name);
+  id_ = it->second;
+}
+
+const std::string& LockClass::name() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.class_names[id_];
+}
+
+std::string Cycle::to_string() const {
+  std::string out = closing.from + " -> " + closing.to + " (" +
+                    closing.from_site + " holding, " + closing.to_site +
+                    " acquiring) closes cycle:";
+  for (const std::string& c : path) out += " " + c + " ->";
+  out += " " + closing.to;
+  return out;
+}
+
+void on_acquire(const LockClass& cls, const std::source_location& loc) {
+  std::vector<Held>& stack = held_stack();
+  const std::string site = site_of(loc);
+  if (!stack.empty()) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Held& h : stack) {
+      const std::pair<std::uint32_t, std::uint32_t> key{h.cls, cls.id()};
+      auto it = s.edges.find(key);
+      const bool new_edge = it == s.edges.end();
+      if (new_edge) {
+        Edge e;
+        e.from = s.class_names[h.cls];
+        e.to = s.class_names[cls.id()];
+        e.from_site = h.site;
+        e.to_site = site;
+        it = s.edges.emplace(key, std::move(e)).first;
+      }
+      ++it->second.count;
+      // A cycle can only appear when the edge does: check the closure
+      // once, on first observation. Self-edges (nested acquisition of
+      // the same non-recursive class) are length-1 cycles.
+      if (new_edge || h.cls == cls.id()) {
+        std::vector<std::uint32_t> path;
+        const bool self = h.cls == cls.id();
+        if ((self || reaches(s, cls.id(), h.cls, path)) &&
+            s.reported.insert(key).second) {
+          Cycle cyc;
+          cyc.closing = it->second;
+          if (self)
+            cyc.path = {s.class_names[cls.id()]};
+          else
+            for (const std::uint32_t id : path)
+              cyc.path.push_back(s.class_names[id]);
+          // Direct stderr (not util/log.hpp): lockorder sits below
+          // every other library so the base fault layer can use
+          // util::Mutex without a dependency cycle.
+          std::fprintf(stderr, "[lockorder] potential deadlock: %s\n",
+                       cyc.to_string().c_str());
+          s.cycles.push_back(std::move(cyc));
+        }
+      }
+    }
+  }
+  stack.push_back(Held{cls.id(), site});
+}
+
+void on_release(const LockClass& cls) noexcept {
+  std::vector<Held>& stack = held_stack();
+  // Locks are almost always released in LIFO order; scan from the back
+  // so out-of-order release (std::scoped_lock, manual unlock) still
+  // removes the right entry.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->cls == cls.id()) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::vector<std::string> registered_classes() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<std::string> out = s.class_names;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Edge> observed_edges() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<Edge> out;
+  out.reserve(s.edges.size());
+  for (const auto& [key, e] : s.edges) out.push_back(e);
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  return out;
+}
+
+std::vector<Cycle> cycles() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.cycles;
+}
+
+bool cycle_detected() noexcept {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return !s.cycles.empty();
+}
+
+void reset_observations() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.edges.clear();
+  s.cycles.clear();
+  s.reported.clear();
+  held_stack().clear();
+}
+
+bool write_report(std::ostream& os) {
+  os << "lock classes (" << registered_classes().size() << "):\n";
+  for (const std::string& name : registered_classes())
+    os << "  " << name << "\n";
+  const std::vector<Edge> edges = observed_edges();
+  os << "observed acquisition edges (" << edges.size() << "):\n";
+  for (const Edge& e : edges)
+    os << "  " << e.from << " -> " << e.to << "  [" << e.count
+       << "x, first " << e.from_site << " -> " << e.to_site << "]\n";
+  if (!tracking_compiled_in())
+    os << "note: acquisition tracking compiled out in this build "
+          "(rebuild with -DTMM_LOCKORDER=ON or CMAKE_BUILD_TYPE=Debug "
+          "to observe edges)\n";
+  const std::vector<Cycle> found = cycles();
+  if (found.empty()) {
+    os << "lock hierarchy: acyclic\n";
+    return true;
+  }
+  os << "lock hierarchy: " << found.size() << " potential deadlock(s):\n";
+  for (const Cycle& c : found) os << "  " << c.to_string() << "\n";
+  return false;
+}
+
+}  // namespace tmm::util::lockorder

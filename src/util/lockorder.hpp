@@ -1,0 +1,111 @@
+#pragma once
+// Debug-build lock-order analyzer (docs/ANALYSIS.md, "Concurrency
+// invariants").
+//
+// Every util::Mutex belongs to a named *lock class* ("serve.cache.shard",
+// "obs.trace.registry", ...). When tracking is compiled in
+// (TMM_LOCK_ORDER_ENABLED=1: Debug and sanitizer builds by default,
+// -DTMM_LOCKORDER=ON anywhere else), each acquisition is pushed on a
+// per-thread stack and every (held -> acquired) class pair becomes an
+// edge in a global lock-acquisition graph. An edge that closes a cycle
+// — including the length-1 cycle of re-acquiring a class this thread
+// already holds — is a potential deadlock: it is recorded with the
+// source locations of both acquisitions and reported deterministically
+// (once per distinct cycle, in discovery order) on stderr. Nothing
+// throws and nothing aborts: the analyzer is a
+// detector, the gates (tests/test_lockorder.cpp, `tmm lint
+// --concurrency`, tools/check.sh lockorder) turn detections into
+// failures.
+//
+// In Release builds the tracking calls are compiled out of
+// util::Mutex entirely (zero cost); lock-class *registration* is always
+// compiled in — it happens once per class and is what lets a Release
+// `tmm lint --concurrency` still dump the hierarchy.
+//
+// The analyzer's own state is guarded by a plain std::mutex (never a
+// util::Mutex — the tracker must not track itself).
+
+#include <cstdint>
+#include <ostream>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#ifndef TMM_LOCK_ORDER_ENABLED
+#define TMM_LOCK_ORDER_ENABLED 0
+#endif
+
+namespace tmm::util::lockorder {
+
+/// A named equivalence class of mutexes ("serve.cache.shard" covers
+/// every shard instance). Construction registers the name in a leaked
+/// global registry; two LockClass objects with the same name share one
+/// id, so classes can be declared wherever is convenient (namespace
+/// scope, function-local static) without double counting.
+class LockClass {
+ public:
+  explicit LockClass(const char* name);
+
+  std::uint32_t id() const noexcept { return id_; }
+  const std::string& name() const;
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Record that the calling thread acquired / released a mutex of class
+/// `cls`. Called by util::Mutex when tracking is compiled in; exposed
+/// so tests and the lint self-audit can drive the analyzer directly in
+/// any build type.
+void on_acquire(const LockClass& cls,
+                const std::source_location& loc =
+                    std::source_location::current());
+void on_release(const LockClass& cls) noexcept;
+
+/// One observed acquisition ordering: a mutex of class `to` was
+/// acquired while one of class `from` was held. Sites are the
+/// "file:line" of the first observation of this edge.
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string from_site;  ///< where the held (outer) lock was acquired
+  std::string to_site;    ///< where the inner lock was acquired
+  std::uint64_t count = 0;
+};
+
+/// One detected potential deadlock: the new edge closing the cycle
+/// (from -> to with both sites, as in Edge) plus the full class path
+/// to -> ... -> from already present in the graph.
+struct Cycle {
+  Edge closing;
+  std::vector<std::string> path;  ///< to, ..., from
+
+  /// "fault.plan -> serve.cache.shard (a.cpp:10 holding, b.cpp:20
+  /// acquiring) closes cycle: serve.cache.shard -> fault.plan"
+  std::string to_string() const;
+};
+
+/// Every registered class name, sorted.
+std::vector<std::string> registered_classes();
+/// Every observed edge, sorted by (from, to) — deterministic.
+std::vector<Edge> observed_edges();
+/// Every detected cycle, in detection order (deterministic for a
+/// deterministic execution). Empty means the observed order is acyclic.
+std::vector<Cycle> cycles();
+bool cycle_detected() noexcept;
+
+/// Drop every observed edge, cycle, and the calling thread's
+/// acquisition stack (test isolation). Registered classes survive.
+void reset_observations();
+
+/// True when util::Mutex compiles the tracking calls in.
+constexpr bool tracking_compiled_in() noexcept {
+  return TMM_LOCK_ORDER_ENABLED != 0;
+}
+
+/// Human-readable hierarchy dump: registered classes, observed edges
+/// with first-observation sites, and the cycle verdict. Returns true
+/// when acyclic (the `tmm lint --concurrency` exit gate).
+bool write_report(std::ostream& os);
+
+}  // namespace tmm::util::lockorder

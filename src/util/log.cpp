@@ -23,10 +23,15 @@ const char* level_name(LogLevel level) {
 /// bench tables stay clean. Unrecognized values keep the default.
 LogLevel initial_level() {
   LogLevel level = LogLevel::kWarn;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, at first log call.
   if (const char* env = std::getenv("TMM_LOG")) parse_log_level(env, &level);
   return level;
 }
 
+// Invariant: the level is an independent filter knob — a logging
+// thread racing set_log_level() merely keeps or drops one line under
+// the old level; no other state hangs off the value, so relaxed
+// loads/stores suffice.
 std::atomic<LogLevel>& level_ref() {
   static std::atomic<LogLevel> level{initial_level()};
   return level;
@@ -41,6 +46,8 @@ std::chrono::steady_clock::time_point log_epoch() {
 /// thread's lifetime; cheaper to read than kernel tids and stable across
 /// platforms.
 unsigned thread_ordinal() {
+  // Invariant: fetch_add only needs to hand out distinct ordinals;
+  // nothing is published through the counter, so relaxed suffices.
   static std::atomic<unsigned> next{1};
   thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
   return id;

@@ -1,0 +1,125 @@
+#pragma once
+// Capability-annotated mutex wrapper (docs/ANALYSIS.md, "Concurrency
+// invariants") — the one lock type the concurrent subsystems use.
+//
+// util::Mutex wraps std::mutex with two static-analysis hooks:
+//   1. Clang thread-safety capability annotations, so every
+//      TMM_GUARDED_BY field access is machine-checked under
+//      -Wthread-safety (thread_annotations.hpp);
+//   2. lock-order tracking in Debug/sanitizer builds, so every
+//      acquisition feeds the deadlock-cycle analyzer
+//      (util/lockorder.hpp). In Release the tracking calls are
+//      compiled out and lock()/unlock() are exactly
+//      std::mutex::lock()/unlock().
+//
+// Every Mutex names its lock class at construction; instances of the
+// same class (e.g. all cache shards) share one node in the lock-order
+// graph. Locks are taken through the scoped types below — never via
+// bare lock()/unlock() calls at use sites:
+//
+//   util::MutexLock lock(mu_);           // lock_guard shape
+//   util::MutexUniqueLock lock(mu_);     // condition_variable shape
+//   cv_.wait(lock.native(), ...);
+//
+// Caveat: during a condition-variable wait the underlying mutex is
+// released and re-acquired by the native handle, which the lock-order
+// stack does not see — a waiting thread therefore must not be modeled
+// as holding other locks across the wait (it never is in this
+// codebase; waits only ever hold the single queue mutex).
+
+#include <mutex>
+
+#include "util/lockorder.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace tmm::util {
+
+class TMM_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const lockorder::LockClass& cls) noexcept : cls_(cls) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+#if TMM_LOCK_ORDER_ENABLED
+  void lock(const std::source_location& loc =
+                std::source_location::current()) TMM_ACQUIRE() {
+    mu_.lock();
+    lockorder::on_acquire(cls_, loc);
+  }
+  void unlock() TMM_RELEASE() {
+    lockorder::on_release(cls_);
+    mu_.unlock();
+  }
+#else
+  void lock() TMM_ACQUIRE() { mu_.lock(); }
+  void unlock() TMM_RELEASE() { mu_.unlock(); }
+#endif
+
+  /// The wrapped std::mutex, for std::condition_variable interop via
+  /// MutexUniqueLock::native(). Bypasses annotation and order tracking;
+  /// do not lock it directly.
+  std::mutex& native_handle() noexcept { return mu_; }
+
+  const lockorder::LockClass& lock_class() const noexcept { return cls_; }
+
+ private:
+  std::mutex mu_;
+  const lockorder::LockClass& cls_;
+};
+
+/// std::lock_guard over a util::Mutex, visible to the thread-safety
+/// analysis as a scoped capability.
+class TMM_SCOPED_CAPABILITY MutexLock {
+ public:
+#if TMM_LOCK_ORDER_ENABLED
+  explicit MutexLock(Mutex& mu, const std::source_location& loc =
+                                    std::source_location::current())
+      TMM_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.lock(loc);
+  }
+#else
+  explicit MutexLock(Mutex& mu) TMM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+#endif
+  ~MutexLock() TMM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over a util::Mutex, for condition-variable waits.
+/// The native std::unique_lock is exposed for std::condition_variable;
+/// ownership stays with this scope (no release()/swap surface).
+class TMM_SCOPED_CAPABILITY MutexUniqueLock {
+ public:
+#if TMM_LOCK_ORDER_ENABLED
+  explicit MutexUniqueLock(Mutex& mu, const std::source_location& loc =
+                                          std::source_location::current())
+      TMM_ACQUIRE(mu)
+      : mu_(mu), lk_(mu.native_handle()) {
+    lockorder::on_acquire(mu_.lock_class(), loc);
+  }
+  ~MutexUniqueLock() TMM_RELEASE() {
+    lockorder::on_release(mu_.lock_class());
+  }
+#else
+  explicit MutexUniqueLock(Mutex& mu) TMM_ACQUIRE(mu)
+      : mu_(mu), lk_(mu.native_handle()) {}
+  ~MutexUniqueLock() TMM_RELEASE() {}
+#endif
+
+  MutexUniqueLock(const MutexUniqueLock&) = delete;
+  MutexUniqueLock& operator=(const MutexUniqueLock&) = delete;
+
+  /// For std::condition_variable::wait only.
+  std::unique_lock<std::mutex>& native() noexcept { return lk_; }
+
+ private:
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace tmm::util

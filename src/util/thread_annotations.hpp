@@ -1,0 +1,74 @@
+#pragma once
+// Clang thread-safety analysis annotations (docs/ANALYSIS.md,
+// "Concurrency invariants").
+//
+// These macros attach static lock-discipline contracts to fields and
+// functions: which mutex guards a field, which capabilities a function
+// acquires, releases, or requires. Under Clang with -Wthread-safety
+// (the TMM_THREAD_SAFETY=ON CMake option promotes it to an error) the
+// compiler verifies every annotated access; under GCC — which has no
+// capability analysis — every macro expands to nothing, so the
+// annotations are free documentation in the default build.
+//
+// Conventions:
+//   - every lock-protected field is annotated TMM_GUARDED_BY(mu);
+//   - locks are taken through util::Mutex / util::MutexLock
+//     (util/mutex.hpp), whose capability annotations live here too;
+//   - functions that must be called with a lock held are annotated
+//     TMM_REQUIRES(mu), functions that must NOT hold it TMM_EXCLUDES(mu).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TMM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TMM_THREAD_ANNOTATION
+#define TMM_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define TMM_CAPABILITY(x) TMM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (std::lock_guard shape).
+#define TMM_SCOPED_CAPABILITY TMM_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define TMM_GUARDED_BY(x) TMM_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee of the annotated pointer is protected by `x`.
+#define TMM_PT_GUARDED_BY(x) TMM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities (exclusively).
+#define TMM_REQUIRES(...) \
+  TMM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and does not release them.
+#define TMM_ACQUIRE(...) \
+  TMM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define TMM_RELEASE(...) \
+  TMM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TMM_TRY_ACQUIRE(b, ...) \
+  TMM_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define TMM_EXCLUDES(...) TMM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a static acquisition-order constraint between capabilities.
+#define TMM_ACQUIRED_BEFORE(...) \
+  TMM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TMM_ACQUIRED_AFTER(...) \
+  TMM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding it.
+#define TMM_RETURN_CAPABILITY(x) TMM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot model (e.g. locking
+/// through an opaque native handle). Use sparingly, with a comment.
+#define TMM_NO_THREAD_SAFETY_ANALYSIS \
+  TMM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -107,6 +107,21 @@ test -s "$DIR/models/t1.tmb"
 "$TMM" pack "$DIR/block.macro"
 test -s "$DIR/block.tmb"
 
+# Serving-artifact lint: packed images and the model directory are
+# clean; a truncated image is a finding (exit 3, S001); the concurrency
+# self-audit dumps the lock hierarchy and must report it acyclic.
+"$TMM" lint "$DIR/models/t1.tmb"
+"$TMM" lint "$DIR/models"
+head -c 40 "$DIR/models/t1.tmb" > "$DIR/trunc.tmb"
+set +e
+"$TMM" lint "$DIR/trunc.tmb" > "$DIR/lint_trunc.txt"
+rc_lint=$?
+set -e
+[ "$rc_lint" -eq 3 ]
+grep -q "S001" "$DIR/lint_trunc.txt"
+"$TMM" lint --concurrency > "$DIR/lint_conc.txt"
+grep -q "acyclic" "$DIR/lint_conc.txt"
+
 # An injected pack fault is a runtime failure: exit code 1.
 set +e
 TMM_FAULT="serve.pack:1" "$TMM" pack "$DIR/block.macro" 2> "$DIR/err4.txt"

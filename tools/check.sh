@@ -1,9 +1,10 @@
 #!/bin/sh
 # tools/check.sh — continuous static/dynamic analysis driver.
 #
-#   tools/check.sh [release] [sanitize] [tsan] [tidy] [fault]
+#   tools/check.sh [release] [sanitize] [tsan] [tidy] [threadsafety]
+#                  [lockorder] [fault]
 #
-# With no arguments all five stages run:
+# With no arguments all seven stages run:
 #   release   Release build with -Werror (TMM_WERROR=ON) + full ctest.
 #   sanitize  ASan+UBSan build (TMM_SANITIZE=address,undefined) + full
 #             ctest; any sanitizer report fails the test.
@@ -16,6 +17,16 @@
 #             (skipped with a notice when clang-tidy is not installed).
 #             TIDY_BASE=<git-ref> restricts it to files changed since
 #             that ref (used by CI on pull requests).
+#   threadsafety
+#             Clang build with -Werror=thread-safety over the
+#             TMM_GUARDED_BY/TMM_REQUIRES annotations
+#             (src/util/thread_annotations.hpp; skipped with a notice
+#             when clang++ is not installed — GCC has no capability
+#             analysis).
+#   lockorder Debug build with the lock-order analyzer compiled into
+#             util::Mutex (-DTMM_LOCKORDER=ON), running the analyzer
+#             tests plus the concurrent serve/obs/fault suites, then
+#             `tmm lint --concurrency` as the acyclic-hierarchy gate.
 #   fault     Deterministic fault-injection matrix (tools/fault_matrix.sh):
 #             every registered TMM_FAULT site is armed in throw mode
 #             (clean skip-with-diagnostic, no torn files) and the
@@ -88,6 +99,35 @@ run_tidy() {
     clang-tidy -p "$ROOT/build-check-release" --quiet
 }
 
+run_threadsafety() {
+  echo "== check: clang thread-safety analysis =="
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "clang++ not installed — skipping the thread-safety stage"
+    return 0
+  fi
+  cmake -S "$ROOT" -B "$ROOT/build-check-threadsafety" \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_BUILD_TYPE=Release \
+    -DTMM_THREAD_SAFETY=ON >/dev/null
+  cmake --build "$ROOT/build-check-threadsafety" -j"$JOBS"
+}
+
+run_lockorder() {
+  echo "== check: lock-order analyzer (Debug, tracking on) =="
+  cmake -S "$ROOT" -B "$ROOT/build-check-lockorder" \
+    -DCMAKE_BUILD_TYPE=Debug -DTMM_LOCKORDER=ON >/dev/null
+  cmake --build "$ROOT/build-check-lockorder" -j"$JOBS" \
+    --target tmm_tests tmm
+  # Analyzer semantics plus the concurrent subsystems under live
+  # acquisition tracking: any ordering violation a test provokes in
+  # real mutexes fails the suite (the deliberate inversions in
+  # LockOrder.* reset their observations).
+  "$ROOT/build-check-lockorder/tests/tmm_tests" \
+    --gtest_filter='LockOrder.*:Server*:ResultCache*:Evaluator*:Registry*:Tmb*:Protocol*:Obs*:Fault*:ServeLint*'
+  # Self-audit gate: dump the registered lock hierarchy and fail on any
+  # cycle (exit 3).
+  "$ROOT/build-check-lockorder/tools/tmm" lint --concurrency
+}
+
 run_fault() {
   echo "== check: fault-injection matrix =="
   # Reuse (or create) the release tree; only the tmm binary is needed.
@@ -98,15 +138,17 @@ run_fault() {
   sh "$ROOT/tools/fault_matrix.sh" "$ROOT/build-check-release/tools/tmm"
 }
 
-stages="${*:-release sanitize tsan tidy fault}"
+stages="${*:-release sanitize tsan tidy threadsafety lockorder fault}"
 for stage in $stages; do
   case "$stage" in
-    release)  run_release ;;
-    sanitize) run_sanitize ;;
-    tsan)     run_tsan ;;
-    tidy)     run_tidy ;;
-    fault)    run_fault ;;
-    *) echo "unknown stage '$stage' (expected release|sanitize|tsan|tidy|fault)" >&2
+    release)      run_release ;;
+    sanitize)     run_sanitize ;;
+    tsan)         run_tsan ;;
+    tidy)         run_tidy ;;
+    threadsafety) run_threadsafety ;;
+    lockorder)    run_lockorder ;;
+    fault)        run_fault ;;
+    *) echo "unknown stage '$stage' (expected release|sanitize|tsan|tidy|threadsafety|lockorder|fault)" >&2
        exit 64 ;;
   esac
 done

@@ -27,7 +27,10 @@
 //                  (serve every .tmb in model-dir; SIGTERM drains)
 //   tmm export-lib <out.lib> [--early]
 //   tmm lint       <file...>  (.macro files are linted as macro models,
+//                  .tmb files and model directories as serving artifacts,
 //                  anything else as designs + their flat timing graphs)
+//   tmm lint       --concurrency  (self-audit: exercise the lock-using
+//                  subsystems, dump the lock hierarchy, fail on cycles)
 //   tmm fault-sites           (list fault-injection sites; see
 //                  docs/ROBUSTNESS.md and the TMM_FAULT env variable)
 //
@@ -39,8 +42,11 @@
 #include <cstdio>
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <exception>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +54,7 @@
 #include "analysis/design_lint.hpp"
 #include "analysis/graph_lint.hpp"
 #include "analysis/model_lint.hpp"
+#include "analysis/serve_lint.hpp"
 #include "fault/fault.hpp"
 #include "flow/flow_runner.hpp"
 #include "flow/framework.hpp"
@@ -61,6 +68,7 @@
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/tmb.hpp"
+#include "util/lockorder.hpp"
 #include "util/log.hpp"
 
 #include <csignal>
@@ -100,6 +108,8 @@ struct Args {
   std::size_t batch = 16;
   std::size_t cache = 4096;
   double quantize = 0.0;
+  /// lint: concurrency self-audit (lock hierarchy dump + cycle gate).
+  bool concurrency = false;
 };
 
 /// Options valid with every subcommand.
@@ -119,7 +129,7 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       "--no-cppr", "--regression", "--pins",    "--seed",
       "--name",    "--period",     "--sets",    "--early",
       "--out",     "--socket",     "--port",    "--threads",
-      "--batch",   "--cache",      "--quantize"};
+      "--batch",   "--cache",      "--quantize", "--concurrency"};
   auto check_allowed = [&](std::string_view a) {
     if (std::find(allowed.begin(), allowed.end(), a) != allowed.end()) return;
     const bool known = std::find(std::begin(kKnownFlags), std::end(kKnownFlags),
@@ -178,6 +188,8 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       args.cache = std::stoul(next());
     else if (a == "--quantize")
       args.quantize = std::stod(next());
+    else if (a == "--concurrency")
+      args.concurrency = true;
     else if (a.rfind("--", 0) == 0)
       throw UsageError("unknown option " + a);
     else
@@ -390,13 +402,51 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// `tmm lint --concurrency`: self-audit of the process's own lock
+/// hierarchy. Exercises every concurrent subsystem the binary links
+/// (metrics, trace, result cache, fault plan) so their acquisition
+/// edges are observed, then dumps the registered classes + edges and
+/// gates on the cycle verdict. In builds without acquisition tracking
+/// the dump still lists every registered class; the report says so.
+int lint_concurrency() {
+  // obs.metrics.registry: registration + snapshot paths.
+  obs::counter("lint.concurrency.probe").add();
+  std::ostringstream sink;
+  obs::write_metrics_json(sink);
+  // obs.trace.registry -> obs.trace.buffer: the one intended nesting.
+  obs::set_tracing_enabled(true);
+  { obs::Span span("lint.concurrency"); }
+  obs::trace_event_count();
+  obs::set_tracing_enabled(false);
+  // serve.cache.shard: lookup miss, insert, eviction-free stats sweep.
+  serve::ResultCache cache(/*capacity=*/8, /*num_shards=*/2);
+  BoundarySnapshot snap;
+  cache.lookup("probe", snap);
+  cache.insert("probe", snap);
+  cache.stats();
+  // fault.plan: arm/disarm round trip (restores the disarmed state).
+  if (fault::arm("sta.run", 1).ok()) fault::disarm();
+
+  const bool acyclic = util::lockorder::write_report(std::cout);
+  return acyclic ? 0 : 3;
+}
+
 int cmd_lint(const Args& args) {
+  if (args.concurrency) {
+    if (!args.positional.empty())
+      throw UsageError("lint --concurrency takes no files");
+    return lint_concurrency();
+  }
   if (args.positional.empty())
     throw std::runtime_error("lint: at least one file required");
   std::size_t total_errors = 0;
   for (const std::string& path : args.positional) {
     analysis::LintReport report;
-    if (has_suffix(path, ".macro")) {
+    if (std::filesystem::is_directory(path)) {
+      report = analysis::lint_registry_dir(path);
+    } else if (has_suffix(path, ".tmb")) {
+      report = analysis::lint_tmb_file(path);
+    } else if (has_suffix(path, ".macro")) {
       std::ifstream is(path);
       if (!is) throw std::runtime_error("cannot open " + path);
       const MacroModel model = read_macro_model(is);
@@ -560,7 +610,7 @@ const Command kCommands[] = {
      {"--socket", "--port", "--threads", "--batch", "--cache", "--quantize",
       "--no-cppr"}},
     {"export-lib", cmd_export_lib, {"--early"}},
-    {"lint", cmd_lint, {}},
+    {"lint", cmd_lint, {"--concurrency"}},
     {"fault-sites", cmd_fault_sites, {}},
 };
 
