@@ -16,7 +16,9 @@
 #include "flow/framework.hpp"
 #include "liberty/library_gen.hpp"
 #include "netlist/design_gen.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sliding_window.hpp"
 #include "obs/trace.hpp"
 #include "sensitivity/ts_eval.hpp"
 #include "util/instrument.hpp"
@@ -127,6 +129,52 @@ void BM_ObsCounter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsCounter);
+
+// Flight-recorder hot path (docs/OBSERVABILITY.md): disabled it is one
+// relaxed load + branch (the permanently-instrumented serve contract);
+// enabled, one seqlock-protected ring-slot write. The serving budget is
+// < 100 ns/request enabled.
+void BM_FlightRecordDisabled(benchmark::State& state) {
+  obs::set_flight_recorder_enabled(false);
+  obs::FlightRecord rec;
+  rec.set_model("bench");
+  rec.set_status("ok");
+  for (auto _ : state) {
+    obs::flight_record(rec);
+    benchmark::DoNotOptimize(&rec);
+  }
+}
+BENCHMARK(BM_FlightRecordDisabled);
+
+void BM_FlightRecordEnabled(benchmark::State& state) {
+  obs::set_flight_recorder_enabled(true, /*per_thread_capacity=*/256);
+  obs::FlightRecord rec;
+  rec.set_model("bench");
+  rec.set_status("ok");
+  rec.total_us = 12.5F;
+  for (auto _ : state) {
+    obs::flight_record(rec);
+    benchmark::DoNotOptimize(&rec);
+  }
+  obs::set_flight_recorder_enabled(false);
+  obs::reset_flight_recorder();
+}
+BENCHMARK(BM_FlightRecordEnabled);
+
+// One windowed observation: slot claim (usually an acquire load that
+// matches) + bucket/count/sum relaxed adds — the per-request cost of
+// ServeStats on top of the flight record.
+void BM_WindowedHistogramObserve(benchmark::State& state) {
+  static const std::vector<double> bounds = obs::log_spaced_bounds(1.0, 1e7, 5);
+  obs::WindowedHistogram h(bounds);
+  std::uint64_t now_us = 0;
+  for (auto _ : state) {
+    h.observe(now_us, 42.0);
+    now_us += 7;  // ~140k observations per simulated second
+    benchmark::DoNotOptimize(&h);
+  }
+}
+BENCHMARK(BM_WindowedHistogramObserve);
 
 void BM_StaFullRunTraced(benchmark::State& state) {
   const TimingGraph& g = flat_graph();

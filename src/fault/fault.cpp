@@ -65,6 +65,21 @@ Plan& plan() {
   return *p;
 }
 
+const util::lockorder::LockClass kFireHookLockClass("fault.firehook");
+
+/// Fire observer. The mutex guards only the std::function slot (set
+/// and copy-out); the hook itself always runs with no locks held, so
+/// it can contain inject() sites of its own. Leaf lock.
+struct FireHookSlot {
+  util::Mutex mu{kFireHookLockClass};
+  std::function<void(const char*)> fn TMM_GUARDED_BY(mu);
+};
+
+FireHookSlot& fire_hook() {
+  static FireHookSlot* h = new FireHookSlot;  // leaked, as plan()
+  return *h;
+}
+
 }  // namespace
 
 namespace detail {
@@ -77,19 +92,50 @@ std::atomic<bool> g_armed{false};
 
 void inject_slow(const char* site) {
   Plan& p = plan();
-  // Lock: the armed spec may be re-armed by a test thread while hook
-  // sites run; without it p.site's buffer could be read mid-assign.
-  util::MutexLock lock(p.mu);
-  // site strings are compile-time literals at the hook points; the
-  // armed site was validated against kSites, so a simple compare picks
-  // out the one site under test.
-  if (p.site != site) return;
-  const std::uint64_t n = p.count.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (n != p.nth) return;
-  p.fired.store(true, std::memory_order_relaxed);
-  if (p.action == FaultAction::kKill) {
+  std::uint64_t n = 0;
+  FaultAction action = FaultAction::kThrow;
+  {
+    // Lock: the armed spec may be re-armed by a test thread while hook
+    // sites run; without it p.site's buffer could be read mid-assign.
+    // Scoped so the fire hook below runs with the plan unlocked — the
+    // hook may do real work containing inject() sites (a flight-dump
+    // write goes through util.atomic_write), which would self-deadlock
+    // here otherwise.
+    util::MutexLock lock(p.mu);
+    // site strings are compile-time literals at the hook points; the
+    // armed site was validated against kSites, so a simple compare
+    // picks out the one site under test.
+    if (p.site != site) return;
+    n = p.count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n != p.nth) return;
+    p.fired.store(true, std::memory_order_relaxed);
+    action = p.action;
+  }
+  {
+    // Copy the hook out under its (leaf) lock, invoke outside it. A
+    // site firing *inside* a hook must not recurse into the hook —
+    // thread-local guard, not the exactly-once counter, enforces that
+    // (the counter alone would allow one nested invocation).
+    static thread_local bool in_hook = false;
+    std::function<void(const char*)> fn;
+    if (!in_hook) {
+      FireHookSlot& h = fire_hook();
+      util::MutexLock lock(h.mu);
+      fn = h.fn;
+    }
+    if (fn) {
+      in_hook = true;
+      try {
+        fn(site);
+      } catch (...) {
+        // A failing observer must not mask the injected fault.
+      }
+      in_hook = false;
+    }
+  }
+  if (action == FaultAction::kKill) {
     // NOLINTNEXTLINE(concurrency-mt-unsafe): SIGKILL terminates the
-    // process from any thread by design (torn-file/resume testing).
+    // process from any thread by design (torn-file / resume testing).
     std::raise(SIGKILL);
     std::abort();  // unreachable; SIGKILL cannot be handled
   }
@@ -232,6 +278,12 @@ bool fired() noexcept {
 
 std::span<const std::string_view> registered_sites() noexcept {
   return kSites;
+}
+
+void set_fire_hook(std::function<void(const char*)> hook) {
+  FireHookSlot& h = fire_hook();
+  util::MutexLock lock(h.mu);
+  h.fn = std::move(hook);
 }
 
 }  // namespace tmm::fault

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -133,5 +134,14 @@ bool fired() noexcept;
 /// Every registered injection site, sorted (the CI matrix iterates
 /// this via `tmm fault-sites`).
 std::span<const std::string_view> registered_sites() noexcept;
+
+/// Observer called when the armed fault fires, after the fire decision
+/// but before the action (throw or SIGKILL) takes effect — the serving
+/// layer uses it to dump the request flight recorder next to the
+/// failure. The hook runs with no fault-layer locks held, so it may do
+/// real work (file I/O, even code containing other inject() sites —
+/// the exactly-once contract keeps those from re-firing). It is never
+/// invoked re-entrantly. Pass an empty function to clear.
+void set_fire_hook(std::function<void(const char* site)> hook);
 
 }  // namespace tmm::fault

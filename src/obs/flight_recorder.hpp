@@ -1,0 +1,116 @@
+#pragma once
+// Request flight recorder: a lock-free black box for the serving layer
+// (docs/OBSERVABILITY.md, "Live serving telemetry").
+//
+// Each worker thread owns a fixed-capacity ring of fixed-size
+// FlightRecords; record() overwrites the oldest slot, so the recorder
+// always holds the last N requests per thread. Writes never take a
+// lock: the owning thread is the sole writer, and every slot is
+// protected by a per-slot sequence counter (a seqlock) over 8-byte
+// atomic words, so a concurrent drain (flight_snapshot(), the
+// `kFlightDump` admin request, the dump-on-fault hook) copies only
+// consistent records and simply skips a slot it races with. Disabled
+// (the default), record() is one relaxed atomic load — the same
+// permanently-instrumented contract as obs::Span; the enabled hot-path
+// cost is measured by BM_FlightRecord* in bench/bench_micro.cpp
+// (budget: < 100 ns/request).
+//
+// Dumps are deterministic: records carry a process-wide monotonic
+// sequence stamp assigned at record() time, and every drain sorts by
+// it, so a quiesced recorder always dumps the same JSON.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tmm::obs {
+
+/// Flag bits for FlightRecord::flags.
+inline constexpr std::uint16_t kFlightCacheHit = 1u;
+inline constexpr std::uint16_t kFlightHasDeadline = 2u;
+
+/// One served request, fixed size so ring slots never allocate. The
+/// text fields are truncating copies (set_model/set_status) — long
+/// model names keep their prefix.
+struct FlightRecord {
+  std::uint64_t seq = 0;         ///< process-wide order stamp (drain sort key)
+  std::uint64_t request_id = 0;
+  std::uint64_t ts_us = 0;       ///< arrival, microseconds since trace epoch
+  char model[16] = {};           ///< NUL-padded, possibly truncated
+  char status[12] = {};          ///< response status label ("ok", ...)
+  std::uint16_t flags = 0;       ///< kFlightCacheHit | kFlightHasDeadline
+  std::uint16_t kind = 0;        ///< protocol request kind (0 = evaluate)
+  /// Deadline slack at response time: deadline minus elapsed,
+  /// milliseconds (negative = answered late). Meaningful only with
+  /// kFlightHasDeadline.
+  float deadline_slack_ms = 0.0F;
+  // Per-stage timing breakdown, microseconds.
+  float parse_us = 0.0F;
+  float cache_us = 0.0F;  ///< result-cache lookup (cache-hit requests)
+  float eval_us = 0.0F;   ///< STA evaluation (cache-miss requests)
+  float write_us = 0.0F;
+  float total_us = 0.0F;  ///< arrival to response written
+
+  void set_model(const char* name) { copy_text(model, sizeof model, name); }
+  void set_status(const char* name) { copy_text(status, sizeof status, name); }
+  std::string model_str() const { return text_str(model, sizeof model); }
+  std::string status_str() const { return text_str(status, sizeof status); }
+
+ private:
+  static void copy_text(char* dst, std::size_t cap, const char* src) {
+    std::memset(dst, 0, cap);
+    if (src == nullptr) return;
+    const std::size_t n = std::strlen(src);
+    std::memcpy(dst, src, n < cap - 1 ? n : cap - 1);
+  }
+  static std::string text_str(const char* src, std::size_t cap) {
+    return {src, ::strnlen(src, cap)};
+  }
+};
+static_assert(sizeof(FlightRecord) % sizeof(std::uint64_t) == 0,
+              "records are copied through 8-byte atomic words");
+
+/// Turn the recorder on with the given per-thread ring capacity, or
+/// off. Capacity applies to rings created after the call (a thread's
+/// ring is sized on its first record()); re-enabling with a different
+/// capacity does not resize existing rings.
+void set_flight_recorder_enabled(bool on, std::size_t per_thread_capacity = 256);
+bool flight_recorder_enabled() noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+void flight_record_slow(const FlightRecord& rec);
+}  // namespace detail
+
+/// Hot path: append one record to the calling thread's ring. Disabled,
+/// this is a single relaxed load and a branch. `rec.seq` is assigned
+/// here; the caller's value is ignored.
+inline void flight_record(const FlightRecord& rec) noexcept {
+  if (!detail::g_flight_enabled.load(std::memory_order_relaxed)) return;
+  detail::flight_record_slow(rec);
+}
+
+/// Consistent copy of every retained record across all threads, sorted
+/// by sequence stamp (oldest first). Slots mid-write are skipped, never
+/// torn.
+std::vector<FlightRecord> flight_snapshot();
+
+/// Number of records ever recorded (not just retained).
+std::uint64_t flight_total_recorded() noexcept;
+
+/// Drop every ring and reset the sequence stamp (test isolation).
+/// Leaves the enabled flag and capacity unchanged.
+void reset_flight_recorder();
+
+/// Serialize flight_snapshot() as a JSON object:
+///   {"records_total": N, "records": [{...}, ...]}
+void write_flight_dump_json(std::ostream& os);
+
+/// Atomic-write the dump to `path`; false on I/O failure (the dump-on-
+/// fault hook must never turn a fault into a second failure).
+bool write_flight_dump_file(const std::string& path);
+
+}  // namespace tmm::obs

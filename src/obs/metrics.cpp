@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -41,29 +42,42 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
-  const std::vector<std::uint64_t> counts = bucket_counts();
+  return quantile_from_buckets(bounds_, bucket_counts(), q);
+}
+
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> buckets,
+                             double q) {
   std::uint64_t total = 0;
-  for (const std::uint64_t c : counts) total += c;
+  for (const std::uint64_t c : buckets) total += c;
   if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the requested quantile, 1-based; walk buckets until the
   // cumulative count reaches it.
   const double rank = q * static_cast<double>(total);
   std::uint64_t cum = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) continue;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
     const std::uint64_t prev = cum;
-    cum += counts[i];
+    cum += buckets[i];
     if (static_cast<double>(cum) < rank) continue;
-    if (i >= bounds_.size())  // overflow bucket: no upper edge to lerp to
-      return bounds_.empty() ? 0.0 : bounds_.back();
-    const double hi = bounds_[i];
-    const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+    if (i >= bounds.size())  // overflow bucket: no upper edge to lerp to
+      return bounds.empty() ? 0.0 : bounds.back();
+    const double hi = bounds[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds[i - 1];
     const double frac =
-        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+        (rank - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
     return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::vector<double> log_spaced_bounds(double lo, double hi, int per_decade) {
+  std::vector<double> bounds;
+  if (!(lo > 0.0) || !(hi > lo) || per_decade < 1) return bounds;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  for (double b = lo; b < hi * step; b *= step) bounds.push_back(b);
+  return bounds;
 }
 
 void Histogram::reset() noexcept {
@@ -171,7 +185,8 @@ void write_metrics_json(std::ostream& os) {
     os << "], \"count\": " << h->count() << ", \"sum\": " << h->sum()
        << ", \"p50\": " << h->quantile(0.50)
        << ", \"p95\": " << h->quantile(0.95)
-       << ", \"p99\": " << h->quantile(0.99) << "}";
+       << ", \"p99\": " << h->quantile(0.99)
+       << ", \"p999\": " << h->quantile(0.999) << "}";
   }
   os << "\n  },\n  \"process\": {\n    \"current_rss_bytes\": "
      << current_rss_bytes()

@@ -71,7 +71,7 @@ class Histogram {
   /// Estimated q-quantile (q in [0,1]) by linear interpolation inside
   /// the bucket the rank falls into; observations in the overflow
   /// bucket report the last bound (a lower bound on the true value).
-  /// 0 when empty. The JSON snapshot emits p50/p95/p99 from this.
+  /// 0 when empty. The JSON snapshot emits p50/p95/p99/p999 from this.
   double quantile(double q) const;
 
   void reset() noexcept;
@@ -82,6 +82,21 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// Estimate the q-quantile of a bucketed distribution: `buckets` has
+/// bounds.size() + 1 entries (the last is the overflow bucket), with
+/// linear interpolation inside the bucket the rank falls into. Shared
+/// by Histogram::quantile and obs::WindowedHistogram so lifetime and
+/// windowed percentiles agree on semantics.
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> buckets,
+                             double q);
+
+/// Log-spaced histogram bounds: `per_decade` bounds per power of ten
+/// from `lo` up to and including (at least) `hi`. Tail percentiles of a
+/// long-tailed latency distribution need log spacing — linear buckets
+/// quantize p99.9 into one coarse overflow bucket.
+std::vector<double> log_spaced_bounds(double lo, double hi, int per_decade);
 
 /// Look up (or register on first use) a metric by name. References stay
 /// valid for the process lifetime; repeated calls with the same name

@@ -25,6 +25,16 @@ const char* response_status_name(ResponseStatus s) noexcept {
   return "unknown";
 }
 
+const char* request_kind_name(RequestKind k) noexcept {
+  switch (k) {
+    case RequestKind::kEvaluate: return "evaluate";
+    case RequestKind::kStats: return "stats";
+    case RequestKind::kHealth: return "health";
+    case RequestKind::kFlightDump: return "flight_dump";
+  }
+  return "unknown";
+}
+
 namespace {
 
 class Writer {
@@ -111,6 +121,7 @@ std::string encode_request(const Request& req) {
   w.bytes(kRequestMagic, sizeof kRequestMagic);
   w.u16(kProtocolVersion);
   w.u16(req.no_cache ? kReqNoCache : 0);
+  w.u16(static_cast<std::uint16_t>(req.kind));
   w.u64(req.request_id);
   w.u32(req.deadline_ms);
   w.u16(static_cast<std::uint16_t>(req.model.size()));
@@ -136,6 +147,10 @@ Request decode_request(const std::string& payload) {
   Request req;
   const std::uint16_t flags = r.u16("flags");
   req.no_cache = (flags & kReqNoCache) != 0;
+  const std::uint16_t kind = r.u16("request kind");
+  if (kind > static_cast<std::uint16_t>(RequestKind::kFlightDump))
+    r.fail("bad request kind " + std::to_string(kind));
+  req.kind = static_cast<RequestKind>(kind);
   req.request_id = r.u64("request id");
   req.deadline_ms = r.u32("deadline");
   const std::uint16_t model_len = r.u16("model-name length");
@@ -164,9 +179,15 @@ std::string encode_response(const Response& resp) {
   w.bytes(kResponseMagic, sizeof kResponseMagic);
   w.u16(kProtocolVersion);
   w.u16(static_cast<std::uint16_t>(resp.status));
-  w.u16(resp.cache_hit ? kRespCacheHit : 0);
+  w.u16(static_cast<std::uint16_t>((resp.cache_hit ? kRespCacheHit : 0u) |
+                                   (resp.admin ? kRespAdminText : 0u)));
   w.u64(resp.request_id);
-  if (resp.status == ResponseStatus::kOk) {
+  if (resp.status == ResponseStatus::kOk && resp.admin) {
+    // Admin-text body: stats/health/flight dumps can exceed 64 KiB, so
+    // the length is a u32 (unlike the u16 error path).
+    w.u32(static_cast<std::uint32_t>(resp.text.size()));
+    w.bytes(resp.text.data(), resp.text.size());
+  } else if (resp.status == ResponseStatus::kOk) {
     w.u32(static_cast<std::uint32_t>(resp.snap.num_ports));
     for (const double v : resp.snap.slew) w.f64(v);
     for (const double v : resp.snap.at) w.f64(v);
@@ -189,8 +210,12 @@ Response decode_response(const std::string& payload) {
   resp.status = static_cast<ResponseStatus>(status);
   const std::uint16_t flags = r.u16("flags");
   resp.cache_hit = (flags & kRespCacheHit) != 0;
+  resp.admin = (flags & kRespAdminText) != 0;
   resp.request_id = r.u64("request id");
-  if (resp.status == ResponseStatus::kOk) {
+  if (resp.status == ResponseStatus::kOk && resp.admin) {
+    const std::uint32_t text_len = r.u32("admin-text length");
+    resp.text = r.str(text_len, "admin text");
+  } else if (resp.status == ResponseStatus::kOk) {
     const std::uint32_t num_ports = r.u32("port count");
     if (num_ports > kMaxPorts) r.fail("implausible port count");
     resp.snap.num_ports = num_ports;

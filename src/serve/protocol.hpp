@@ -23,7 +23,10 @@ namespace tmm::serve {
 
 inline constexpr char kRequestMagic[4] = {'T', 'M', 'R', 'Q'};
 inline constexpr char kResponseMagic[4] = {'T', 'M', 'R', 'S'};
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2 added the request-kind word (admin introspection) and the
+/// admin-text response body. v1 frames are rejected, not misparsed:
+/// the version check precedes any layout assumption.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 /// Largest accepted frame payload; a corrupt length prefix must not
 /// turn into a multi-GiB allocation.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
@@ -32,6 +35,20 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 inline constexpr std::uint16_t kReqNoCache = 1u;
 /// Response flag bits.
 inline constexpr std::uint16_t kRespCacheHit = 1u;
+inline constexpr std::uint16_t kRespAdminText = 2u;
+
+/// What the client is asking for. Admin kinds (everything except
+/// kEvaluate) are answered off the evaluation hot path with a text
+/// (JSON) body instead of a boundary snapshot; they carry an empty
+/// model name and zero ports.
+enum class RequestKind : std::uint16_t {
+  kEvaluate = 0,    ///< evaluate boundary constraints against a model
+  kStats = 1,       ///< windowed + lifetime serving statistics (JSON)
+  kHealth = 2,      ///< liveness/readiness summary (JSON)
+  kFlightDump = 3,  ///< drain the request flight recorder (JSON)
+};
+
+const char* request_kind_name(RequestKind k) noexcept;
 
 enum class ResponseStatus : std::uint16_t {
   kOk = 0,
@@ -46,6 +63,7 @@ const char* response_status_name(ResponseStatus s) noexcept;
 
 struct Request {
   std::uint64_t request_id = 0;
+  RequestKind kind = RequestKind::kEvaluate;
   /// Milliseconds from frame receipt until the response is useless;
   /// 0 = no deadline.
   std::uint32_t deadline_ms = 0;
@@ -58,8 +76,12 @@ struct Response {
   std::uint64_t request_id = 0;
   ResponseStatus status = ResponseStatus::kOk;
   bool cache_hit = false;
-  BoundarySnapshot snap;  ///< filled when status == kOk
-  std::string error;      ///< diagnostic otherwise
+  /// Admin-text body: when true (wire flag kRespAdminText) the ok body
+  /// is `text` (JSON from the introspection channel), not a snapshot.
+  bool admin = false;
+  std::string text;
+  BoundarySnapshot snap;  ///< filled when status == kOk && !admin
+  std::string error;      ///< diagnostic when status != kOk
 };
 
 std::string encode_request(const Request& req);

@@ -13,8 +13,12 @@
 #include <csignal>
 #include <cstring>
 
+#include <sstream>
+
 #include "fault/fault.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "util/errno_string.hpp"
 #include "util/log.hpp"
@@ -28,13 +32,14 @@ namespace {
 
 const util::lockorder::LockClass kQueueLockClass("serve.server.queue");
 
-constexpr double kLatencyBoundsUs[] = {50,    100,    200,    500,    1000,
-                                       2000,  5000,   10000,  20000,  50000,
-                                       100000, 500000, 1000000};
 constexpr double kBatchBounds[] = {1, 2, 4, 8, 16, 32, 64};
 
 obs::Histogram& latency_hist() {
-  static obs::Histogram& h = obs::histogram("serve.latency_us", kLatencyBoundsUs);
+  // Log-spaced: tail percentiles (p99.9) of a long-tailed latency
+  // distribution need geometric buckets; the old linear bounds
+  // quantized everything past 1 ms into a handful of coarse cells.
+  static const std::vector<double> bounds = default_latency_bounds();
+  static obs::Histogram& h = obs::histogram("serve.latency_us", bounds);
   return h;
 }
 obs::Histogram& batch_hist() {
@@ -52,10 +57,17 @@ obs::Histogram& batch_hist() {
 struct Pending {
   Request req;
   std::chrono::steady_clock::time_point arrival;
+  std::uint64_t arrival_us = 0;  ///< same instant on the trace clock
+  double parse_us = 0.0;
   bool parse_failed = false;
   bool parse_injected = false;
   std::string parse_error;
 };
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) noexcept {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
 
 }  // namespace
 
@@ -64,6 +76,9 @@ Server::Server(Evaluator& evaluator, ServerOptions opt)
 
 Server::~Server() {
   stop();
+  // The dump-on-fault hook captures only the dump path, but clearing
+  // it here keeps a dead server from writing dumps for later faults.
+  if (fire_hook_registered_) fault::set_fire_hook({});
   for (std::thread& t : workers_)
     if (t.joinable()) t.join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -86,6 +101,37 @@ void Server::start() {
   if (opt_.unix_path.empty() && opt_.tcp_port < 0)
     throw FlowError(ErrorCode::kConfig, "serve.server",
                     "either a unix socket path or a TCP port is required");
+
+  // Telemetry before the socket exists: the admin channel must be able
+  // to answer kStats/kHealth from the very first connection.
+  {
+    std::vector<std::string> models;
+    models.reserve(eval_.registry().entries().size());
+    for (const auto& [name, entry] : eval_.registry().entries())
+      models.push_back(name);
+    ServeStats::Options sopt;
+    sopt.slow_threshold_us = opt_.slow_threshold_us;
+    sopt.slow_sample = opt_.slow_sample;
+    stats_ = std::make_unique<ServeStats>(std::move(models),
+                                          obs::trace_now_us(), sopt);
+  }
+  if (opt_.flight_capacity > 0)
+    obs::set_flight_recorder_enabled(true, opt_.flight_capacity);
+  if (!opt_.dump_dir.empty()) {
+    // Dump-on-fault: when any serve.* injection site fires, freeze the
+    // last-N-requests picture next to the failure. The hook runs with
+    // no fault-layer locks held and must never throw.
+    const std::string dir = opt_.dump_dir;
+    fault::set_fire_hook([dir](const char* site) {
+      const std::string_view sv(site);
+      if (!sv.starts_with("serve.")) return;
+      std::string name(sv);
+      for (char& c : name)
+        if (c == '.') c = '_';
+      obs::write_flight_dump_file(dir + "/flight." + name + ".json");
+    });
+    fire_hook_registered_ = true;
+  }
 
   if (::pipe(stop_pipe_) != 0) throw_errno("cannot create stop pipe");
   // A response written into a connection the client already closed
@@ -230,6 +276,7 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
   static obs::Counter& g_aborts = obs::counter("serve.conn_aborts");
   static obs::Counter& g_batches = obs::counter("serve.batches");
   static obs::Counter& g_deadline = obs::counter("serve.deadline_exceeded");
+  static obs::Counter& g_admin = obs::counter("serve.admin_requests");
 
   std::string frame;
   std::vector<Pending> batch;
@@ -239,6 +286,7 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
     if (!read_frame(fd, frame)) return false;
     Pending p;
     p.arrival = std::chrono::steady_clock::now();
+    p.arrival_us = obs::trace_now_us();
     try {
       p.req = decode_request(frame);
     } catch (const FlowError& e) {
@@ -248,6 +296,7 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
       p.parse_injected = e.code() == ErrorCode::kInjected;
       p.parse_error = e.what();
     }
+    p.parse_us = us_between(p.arrival, std::chrono::steady_clock::now());
     batch.push_back(std::move(p));
     return true;
   };
@@ -287,21 +336,50 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
       for (const Pending& p : batch) {
         Response resp;
         resp.request_id = p.req.request_id;
+        const bool is_admin =
+            !p.parse_failed && p.req.kind != RequestKind::kEvaluate;
+        bool shed = false;
+        double stage_cache_us = 0.0;
+        double stage_eval_us = 0.0;
         if (p.parse_failed) {
           resp.status = p.parse_injected ? ResponseStatus::kInternalError
                                          : ResponseStatus::kBadRequest;
           resp.error = p.parse_error;
+        } else if (is_admin) {
+          // Admin introspection: answered right here from pre-
+          // aggregated state — no STA, no result cache, no interaction
+          // with the evaluation hot path beyond this worker's turn in
+          // the batch. Health still answers while draining (that IS
+          // the signal).
+          resp.admin = true;
+          const std::uint64_t now_us = obs::trace_now_us();
+          if (p.req.kind == RequestKind::kStats) {
+            resp.text = stats_->stats_json(now_us);
+          } else if (p.req.kind == RequestKind::kHealth) {
+            resp.text = stats_->health_json(
+                now_us, stopping_.load(std::memory_order_relaxed),
+                eval_.registry().entries().size(),
+                eval_.registry().failures().size());
+          } else {  // kFlightDump
+            std::ostringstream os;
+            obs::write_flight_dump_json(os);
+            resp.text = os.str();
+          }
+          g_admin.add();
         } else if (stopping_.load(std::memory_order_relaxed)) {
           resp.status = ResponseStatus::kShuttingDown;
           resp.error = "server is draining";
+          shed = true;
         } else if (p.req.deadline_ms > 0 &&
                    std::chrono::steady_clock::now() - p.arrival >=
                        std::chrono::milliseconds(p.req.deadline_ms)) {
           resp.status = ResponseStatus::kDeadlineExceeded;
           resp.error = "deadline of " + std::to_string(p.req.deadline_ms) +
                        " ms elapsed before evaluation";
+          shed = true;
           g_deadline.add();
         } else {
+          const auto t_eval0 = std::chrono::steady_clock::now();
           try {
             const Evaluator::Result r = eval_.evaluate(
                 p.req.model, p.req.bc, resp.snap, scratch, p.req.no_cache);
@@ -318,6 +396,10 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
             resp.status = ResponseStatus::kInternalError;
             resp.error = e.what();
           }
+          const double spent =
+              us_between(t_eval0, std::chrono::steady_clock::now());
+          // A cache hit spent its time in the lookup; a miss in STA.
+          (resp.cache_hit ? stage_cache_us : stage_eval_us) = spent;
         }
         requests_.fetch_add(1, std::memory_order_relaxed);
         g_requests.add();
@@ -329,11 +411,49 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
           g_errors.add();
         }
         fault::inject("serve.write_response");
+        const auto t_write0 = std::chrono::steady_clock::now();
         write_frame(fd, encode_response(resp));
-        latency_hist().observe(
-            std::chrono::duration<double, std::micro>(
-                std::chrono::steady_clock::now() - p.arrival)
-                .count());
+        const auto t_done = std::chrono::steady_clock::now();
+        const double write_us = us_between(t_write0, t_done);
+        const double total_us = us_between(p.arrival, t_done);
+        // One logical "now" for every structure this request touches:
+        // arrival on the trace clock plus the measured duration.
+        const std::uint64_t now_us =
+            p.arrival_us + static_cast<std::uint64_t>(total_us);
+        const bool has_deadline = !p.parse_failed && p.req.deadline_ms > 0;
+        const double slack_ms =
+            static_cast<double>(p.req.deadline_ms) - total_us / 1000.0;
+        if (!is_admin) {
+          latency_hist().observe(total_us);
+          if (stats_) {
+            RequestTimings t;
+            t.parse_us = p.parse_us;
+            t.cache_us = stage_cache_us;
+            t.eval_us = stage_eval_us;
+            t.write_us = write_us;
+            t.total_us = total_us;
+            t.has_deadline = has_deadline;
+            if (has_deadline) t.deadline_slack_ms = slack_ms;
+            stats_->record(now_us, p.req.model, resp.status, resp.cache_hit,
+                           shed, t, p.req.request_id);
+          }
+        }
+        obs::FlightRecord rec;
+        rec.request_id = p.req.request_id;
+        rec.ts_us = p.arrival_us;
+        rec.set_model(p.req.model.c_str());
+        rec.set_status(response_status_name(resp.status));
+        rec.kind = static_cast<std::uint16_t>(p.req.kind);
+        rec.flags = static_cast<std::uint16_t>(
+            (resp.cache_hit ? obs::kFlightCacheHit : 0u) |
+            (has_deadline ? obs::kFlightHasDeadline : 0u));
+        if (has_deadline) rec.deadline_slack_ms = static_cast<float>(slack_ms);
+        rec.parse_us = static_cast<float>(p.parse_us);
+        rec.cache_us = static_cast<float>(stage_cache_us);
+        rec.eval_us = static_cast<float>(stage_eval_us);
+        rec.write_us = static_cast<float>(write_us);
+        rec.total_us = static_cast<float>(total_us);
+        obs::flight_record(rec);
       }
       if (stopping_.load(std::memory_order_relaxed)) return;
     }
@@ -343,6 +463,10 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
     conn_aborts_.fetch_add(1, std::memory_order_relaxed);
     g_aborts.add();
     log_error("serve: connection aborted: %s", e.what());
+    // Freeze the black box next to the failure: the last N requests
+    // (all threads) as of the abort, best-effort.
+    if (!opt_.dump_dir.empty())
+      obs::write_flight_dump_file(opt_.dump_dir + "/flight.conn_abort.json");
   }
 }
 

@@ -24,11 +24,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/evaluator.hpp"
+#include "serve/stats.hpp"
 #include "util/mutex.hpp"
 
 namespace tmm::serve {
@@ -42,6 +44,18 @@ struct ServerOptions {
   int num_threads = 4;
   /// Max requests answered per worker wakeup (adaptive batching).
   int batch_max = 16;
+  /// Slow-request log: evaluate requests slower than this (µs) are
+  /// retained in the stats slow ring and sampled into log_warn;
+  /// 0 disables (`tmm serve --slow-ms`).
+  std::uint64_t slow_threshold_us = 0;
+  /// log_warn every Nth slow request (`--slow-sample`).
+  std::uint32_t slow_sample = 1;
+  /// Per-thread flight-recorder ring capacity; 0 leaves the recorder
+  /// untouched (`tmm serve --flight`).
+  std::size_t flight_capacity = 256;
+  /// Directory for automatic flight dumps (dump-on-fault, dump-on-
+  /// connection-abort); empty disables both (`--dump-dir`).
+  std::string dump_dir;
 };
 
 class Server {
@@ -76,6 +90,10 @@ class Server {
   };
   Stats stats() const noexcept;
 
+  /// Windowed serving statistics (the kStats/kHealth backing store);
+  /// non-null after start().
+  const ServeStats* serve_stats() const noexcept { return stats_.get(); }
+
  private:
   void worker_main();
   void handle_connection(int fd, Evaluator::Scratch& scratch);
@@ -94,6 +112,8 @@ class Server {
   // the actual synchronization.
   std::atomic<bool> stopping_{false};
   bool unlink_on_close_ = false;
+  bool fire_hook_registered_ = false;
+  std::unique_ptr<ServeStats> stats_;
 
   /// Lock class "serve.server.queue". Guards only the handoff queue;
   /// leaf lock (nothing else is acquired while holding it).

@@ -154,6 +154,32 @@ while [ ! -S "$DIR/tmm.sock" ] && [ "$i" -lt 100 ]; do i=$((i+1)); sleep 0.1; do
 TMM_BENCH_JSON_DIR="$DIR" "$LOADGEN" --socket "$DIR/tmm.sock" \
   --model-dir "$DIR/models" --threads 4 --seconds 1 --warm-keys 4 \
   > "$DIR/loadgen.txt"
+
+# Live introspection channel while the server is still up: one-shot
+# stats/health/flight snapshots must be valid JSON with windowed fields
+# (docs/OBSERVABILITY.md, "Live serving telemetry").
+"$TMM" stat "$DIR/tmm.sock" > "$DIR/stat.json"
+grep -q '"global"' "$DIR/stat.json"
+grep -q '"10s"' "$DIR/stat.json"
+grep -q '"300s"' "$DIR/stat.json"
+grep -q '"p999_us"' "$DIR/stat.json"
+grep -q '"cache_hit_rate"' "$DIR/stat.json"
+"$TMM" stat --health "$DIR/tmm.sock" > "$DIR/health.json"
+grep -q '"status": "ok"' "$DIR/health.json"
+"$TMM" stat --flight "$DIR/tmm.sock" > "$DIR/flight.json"
+grep -q '"records_total"' "$DIR/flight.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$DIR/stat.json" > /dev/null
+  python3 -m json.tool "$DIR/health.json" > /dev/null
+  python3 -m json.tool "$DIR/flight.json" > /dev/null
+fi
+# --health and --flight are mutually exclusive: usage error (exit 2).
+set +e
+"$TMM" stat --health --flight "$DIR/tmm.sock" 2> /dev/null
+rc_stat=$?
+set -e
+[ "$rc_stat" -eq 2 ]
+
 kill -TERM "$SRV"
 set +e
 wait "$SRV"
@@ -190,6 +216,11 @@ for SITE in serve.parse_request serve.write_response; do
   set -e
   [ "$rcf" -eq 1 ]   # loadgen saw the injected failure
   [ "$rcs" -eq 0 ]   # server survived it and drained cleanly
+  # Dump-on-fault: the fire hook froze the flight recorder next to the
+  # models (serve defaults --dump-dir to the model directory).
+  DUMP="$DIR/models/flight.$(echo "$SITE" | tr '.' '_').json"
+  test -s "$DUMP"
+  grep -q '"records_total"' "$DUMP"
 done
 
 # Degraded startup: one corrupt model among good ones still serves, but

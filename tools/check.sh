@@ -71,7 +71,7 @@ run_tsan() {
   cmake --build "$ROOT/build-check-tsan" -j"$JOBS" --target tmm_tests
   TSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-check-tsan/tests/tmm_tests" \
-    --gtest_filter='StaIncremental.*:MergeDelta.*:TsIncremental.*:TsParallel.*:Server.*:ResultCache.*:Evaluator.*'
+    --gtest_filter='StaIncremental.*:MergeDelta.*:TsIncremental.*:TsParallel.*:Server.*:ResultCache.*:Evaluator.*:FlightRecorder.*:SlidingWindow.*:ServeAdmin.*'
 }
 
 run_tidy() {
@@ -122,7 +122,7 @@ run_lockorder() {
   # real mutexes fails the suite (the deliberate inversions in
   # LockOrder.* reset their observations).
   "$ROOT/build-check-lockorder/tests/tmm_tests" \
-    --gtest_filter='LockOrder.*:Server*:ResultCache*:Evaluator*:Registry*:Tmb*:Protocol*:Obs*:Fault*:ServeLint*'
+    --gtest_filter='LockOrder.*:Server*:ResultCache*:Evaluator*:Registry*:Tmb*:Protocol*:Obs*:Fault*:ServeLint*:ServeStats*:ServeAdmin*:FlightRecorder*:SlidingWindow*:LatencyBuckets*'
   # Self-audit gate: dump the registered lock hierarchy and fail on any
   # cycle (exit 3).
   "$ROOT/build-check-lockorder/tools/tmm" lint --concurrency

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -304,6 +305,76 @@ void report_phase(bench::JsonReport& report, const char* impl,
                   {"latency_p99_us", p99}});
 }
 
+/// One-shot kStats query on a fresh connection; empty text on failure.
+std::string fetch_stats_json(const Options& opt) {
+  const int fd = connect_server(opt);
+  if (fd < 0) return {};
+  std::string text;
+  try {
+    serve::Request req;
+    req.request_id = 1;
+    req.kind = serve::RequestKind::kStats;
+    serve::write_frame(fd, serve::encode_request(req));
+    std::string frame;
+    if (serve::read_frame(fd, frame)) {
+      const serve::Response resp = serve::decode_response(frame);
+      if (resp.status == serve::ResponseStatus::kOk && resp.admin)
+        text = resp.text;
+    }
+  } catch (const std::exception&) {
+    text.clear();
+  }
+  ::close(fd);
+  return text;
+}
+
+/// Pull `key` out of the "10s" window of the "global" section of a
+/// stats_json body. Anchor scan, not a JSON parser — the shape is
+/// produced by ServeStats::stats_json and covered by its tests.
+double stats_window_value(const std::string& json, const char* key) {
+  const std::size_t g = json.find("\"global\"");
+  if (g == std::string::npos) return -1.0;
+  const std::size_t w = json.find("\"10s\"", g);
+  if (w == std::string::npos) return -1.0;
+  const std::size_t end = json.find('}', w);
+  const std::string anchor = std::string("\"") + key + "\": ";
+  const std::size_t k = json.find(anchor, w);
+  if (k == std::string::npos || k > end) return -1.0;
+  return std::strtod(json.c_str() + k + anchor.size(), nullptr);
+}
+
+/// Sample the server's windowed view right after a sweep: the last-10 s
+/// window still holds the phase's traffic, so the server-side tail
+/// (p99/p99.9) and cache hit-rate land in BENCH_serve.json next to the
+/// client-side numbers. Returns false when the channel is unavailable.
+bool report_stats_phase(bench::JsonReport& report, const char* impl,
+                        const Options& opt) {
+  const std::string json = fetch_stats_json(opt);
+  if (json.empty()) {
+    std::fprintf(stderr,
+                 "serve_loadgen: stats channel unavailable after %s phase\n",
+                 impl);
+    return false;
+  }
+  const double qps = stats_window_value(json, "qps");
+  const double p50 = stats_window_value(json, "p50_us");
+  const double p99 = stats_window_value(json, "p99_us");
+  const double p999 = stats_window_value(json, "p999_us");
+  const double hit_rate = stats_window_value(json, "cache_hit_rate");
+  const double err_rate = stats_window_value(json, "error_rate");
+  std::printf("stats %-5s window 10s: %8.1f qps  p50 %8.1f us  p99 %8.1f us  "
+              "p99.9 %8.1f us  hit-rate %.3f  error-rate %.3f\n",
+              impl, qps, p50, p99, p999, hit_rate, err_rate);
+  report.add_row("stats", impl,
+                 {{"window_qps", qps},
+                  {"window_p50_us", p50},
+                  {"window_p99_us", p99},
+                  {"window_p999_us", p999},
+                  {"window_cache_hit_rate", hit_rate},
+                  {"window_error_rate", err_rate}});
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -346,6 +417,7 @@ int main(int argc, char** argv) {
                                  opt.verify ? &verifier : nullptr,
                                  /*key_base=*/1u << 20, /*unique_keys=*/0);
     report_phase(report, "cold", cold);
+    bool stats_ok = report_stats_phase(report, "cold", opt);
 
     // Warm sweep: cycle a small key set; after the first lap every
     // request should hit the server's result cache.
@@ -353,6 +425,8 @@ int main(int argc, char** argv) {
                                  opt.verify ? &verifier : nullptr,
                                  /*key_base=*/0, opt.warm_keys);
     report_phase(report, "warm", warm);
+    stats_ok = report_stats_phase(report, "warm", opt) && stats_ok;
+    report.set_summary("stats_sampled", stats_ok ? 1.0 : 0.0);
 
     const std::uint64_t errors = cold.errors + warm.errors;
     const std::uint64_t mismatches = cold.mismatches + warm.mismatches;

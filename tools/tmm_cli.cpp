@@ -24,7 +24,17 @@
 //                  to the binary serving format; docs/SERVING.md)
 //   tmm serve      <model-dir> [--socket path | --port N] [--threads N]
 //                  [--batch N] [--cache N] [--quantize Q] [--no-cppr]
-//                  (serve every .tmb in model-dir; SIGTERM drains)
+//                  [--slow-ms X] [--slow-sample N] [--flight-records N]
+//                  [--dump-dir D]
+//                  (serve every .tmb in model-dir; SIGTERM drains;
+//                  requests slower than --slow-ms land in the slow log,
+//                  any serve.* injected fault dumps the flight recorder
+//                  into --dump-dir, default the model dir)
+//   tmm stat       <endpoint> [--health | --flight] [--watch]
+//                  [--interval S]
+//                  (query a live server's admin channel: windowed stats
+//                  JSON by default; endpoint is a unix socket path or a
+//                  TCP port on 127.0.0.1)
 //   tmm export-lib <out.lib> [--early]
 //   tmm lint       <file...>  (.macro files are linted as macro models,
 //                  .tmb files and model directories as serving artifacts,
@@ -63,15 +73,26 @@
 #include "liberty/library_gen.hpp"
 #include "netlist/design_gen.hpp"
 #include "netlist/netlist_io.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
+#include "serve/stats.hpp"
 #include "serve/tmb.hpp"
 #include "util/lockorder.hpp"
 #include "util/log.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <csignal>
+#include <thread>
 
 namespace {
 
@@ -110,6 +131,15 @@ struct Args {
   double quantize = 0.0;
   /// lint: concurrency self-audit (lock hierarchy dump + cycle gate).
   bool concurrency = false;
+  // Live-telemetry options (`tmm serve` / `tmm stat`).
+  double slow_ms = 0.0;          ///< serve: slow-log threshold (0 = off)
+  std::size_t slow_sample = 1;   ///< serve: log every Nth slow request
+  std::size_t flight_records = 256;  ///< serve: per-thread ring (0 = off)
+  std::string dump_dir;          ///< serve: dump-on-fault directory
+  bool health = false;           ///< stat: kHealth instead of kStats
+  bool flight = false;           ///< stat: kFlightDump instead of kStats
+  bool watch = false;            ///< stat: repeat until interrupted
+  double interval = 2.0;         ///< stat: --watch period, seconds
 };
 
 /// Options valid with every subcommand.
@@ -129,7 +159,9 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       "--no-cppr", "--regression", "--pins",    "--seed",
       "--name",    "--period",     "--sets",    "--early",
       "--out",     "--socket",     "--port",    "--threads",
-      "--batch",   "--cache",      "--quantize", "--concurrency"};
+      "--batch",   "--cache",      "--quantize", "--concurrency",
+      "--slow-ms", "--slow-sample", "--flight-records", "--dump-dir",
+      "--health",  "--flight",     "--watch",   "--interval"};
   auto check_allowed = [&](std::string_view a) {
     if (std::find(allowed.begin(), allowed.end(), a) != allowed.end()) return;
     const bool known = std::find(std::begin(kKnownFlags), std::end(kKnownFlags),
@@ -190,6 +222,22 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       args.quantize = std::stod(next());
     else if (a == "--concurrency")
       args.concurrency = true;
+    else if (a == "--slow-ms")
+      args.slow_ms = std::stod(next());
+    else if (a == "--slow-sample")
+      args.slow_sample = std::stoul(next());
+    else if (a == "--flight-records")
+      args.flight_records = std::stoul(next());
+    else if (a == "--dump-dir")
+      args.dump_dir = next();
+    else if (a == "--health")
+      args.health = true;
+    else if (a == "--flight")
+      args.flight = true;
+    else if (a == "--watch")
+      args.watch = true;
+    else if (a == "--interval")
+      args.interval = std::stod(next());
     else if (a.rfind("--", 0) == 0)
       throw UsageError("unknown option " + a);
     else
@@ -426,6 +474,27 @@ int lint_concurrency() {
   cache.stats();
   // fault.plan: arm/disarm round trip (restores the disarmed state).
   if (fault::arm("sta.run", 1).ok()) fault::disarm();
+  // fault.firehook: set + clear the fire observer.
+  fault::set_fire_hook([](const char*) {});
+  fault::set_fire_hook({});
+  // obs.flightrec.registry: enable, record, drain, reset.
+  obs::set_flight_recorder_enabled(true, /*per_thread_capacity=*/8);
+  obs::FlightRecord rec;
+  rec.set_model("probe");
+  rec.set_status("ok");
+  obs::flight_record(rec);
+  obs::flight_snapshot();
+  obs::set_flight_recorder_enabled(false);
+  obs::reset_flight_recorder();
+  // serve.stats.slowlog: a slow request lands in the ring; the huge
+  // sample keeps the probe out of stderr.
+  serve::ServeStats stats({"probe"}, /*start_us=*/0,
+                          {.slow_threshold_us = 1, .slow_sample = 1u << 30});
+  serve::RequestTimings t;
+  t.total_us = 5.0;
+  stats.record(1'000'000, "probe", serve::ResponseStatus::kOk,
+               /*cache_hit=*/false, /*shed=*/false, t, /*request_id=*/1);
+  stats.stats_json(1'000'000);
 
   const bool acyclic = util::lockorder::write_report(std::cout);
   return acyclic ? 0 : 3;
@@ -524,6 +593,11 @@ int cmd_serve(const Args& args) {
     sopt.unix_path = dir + "/tmm.sock";  // default endpoint
   sopt.num_threads = static_cast<int>(args.threads);
   sopt.batch_max = static_cast<int>(args.batch);
+  sopt.slow_threshold_us =
+      static_cast<std::uint64_t>(args.slow_ms * 1000.0);
+  sopt.slow_sample = static_cast<std::uint32_t>(args.slow_sample);
+  sopt.flight_capacity = args.flight_records;
+  sopt.dump_dir = args.dump_dir.empty() ? dir : args.dump_dir;
   serve::Server server(evaluator, sopt);
   server.start();
 
@@ -568,6 +642,87 @@ int cmd_serve(const Args& args) {
   return registry.failures().empty() ? 0 : 3;
 }
 
+/// Connect to a server endpoint: an all-digits endpoint is a TCP port
+/// on 127.0.0.1, anything else a unix socket path.
+int connect_endpoint(const std::string& ep) {
+  int fd = -1;
+  const bool is_port =
+      !ep.empty() && std::all_of(ep.begin(), ep.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      });
+  if (!is_port) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.size() >= sizeof(addr.sun_path))
+      throw std::runtime_error("socket path too long: " + ep);
+    std::strncpy(addr.sun_path, ep.c_str(), sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return fd;
+  } else {
+    int port = 0;
+    try {
+      port = std::stoi(ep);
+    } catch (const std::exception&) {
+      throw UsageError("stat: endpoint must be a socket path or port, got '" +
+                       ep + "'");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return fd;
+  }
+  if (fd >= 0) ::close(fd);
+  throw std::runtime_error("cannot connect to " + ep);
+}
+
+int cmd_stat(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error(
+        "stat: server endpoint required (socket path or port)");
+  if (args.health && args.flight)
+    throw UsageError("stat: --health and --flight are mutually exclusive");
+  const serve::RequestKind kind = args.health ? serve::RequestKind::kHealth
+                                 : args.flight
+                                     ? serve::RequestKind::kFlightDump
+                                     : serve::RequestKind::kStats;
+  const int fd = connect_endpoint(args.positional[0]);
+  std::string frame;
+  std::uint64_t id = 1;
+  int rc = 0;
+  try {
+    for (;;) {
+      serve::Request req;
+      req.request_id = id++;
+      req.kind = kind;
+      serve::write_frame(fd, serve::encode_request(req));
+      if (!serve::read_frame(fd, frame))
+        throw std::runtime_error("server closed the connection");
+      const serve::Response resp = serve::decode_response(frame);
+      if (resp.status != serve::ResponseStatus::kOk)
+        throw std::runtime_error(
+            std::string("server answered ") +
+            serve::response_status_name(resp.status) +
+            (resp.error.empty() ? "" : ": " + resp.error));
+      std::fputs(resp.text.c_str(), stdout);
+      std::fflush(stdout);
+      if (!args.watch) break;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(std::max(args.interval, 0.1)));
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return rc;
+}
+
 int cmd_export_lib(const Args& args) {
   if (args.positional.empty())
     throw std::runtime_error("export-lib: output path required");
@@ -586,7 +741,7 @@ int usage() {
                "usage: tmm [--trace out.json] [--metrics out.json] "
                "[--resume dir] "
                "<gen-design|stats|sta|train|generate|evaluate|flow|pack|"
-               "serve|export-lib|lint|fault-sites> "
+               "serve|stat|export-lib|lint|fault-sites> "
                "[args...]  (see tools/tmm_cli.cpp header)\n");
   return 64;
 }
@@ -608,7 +763,9 @@ const Command kCommands[] = {
     {"pack", cmd_pack, {"--out"}},
     {"serve", cmd_serve,
      {"--socket", "--port", "--threads", "--batch", "--cache", "--quantize",
-      "--no-cppr"}},
+      "--no-cppr", "--slow-ms", "--slow-sample", "--flight-records",
+      "--dump-dir"}},
+    {"stat", cmd_stat, {"--health", "--flight", "--watch", "--interval"}},
     {"export-lib", cmd_export_lib, {"--early"}},
     {"lint", cmd_lint, {"--concurrency"}},
     {"fault-sites", cmd_fault_sites, {}},
