@@ -1,14 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
-// substrate pieces: LUT lookup, full STA propagation, the slew-only
-// filter propagation, GraphSAGE inference, feature extraction, ILM
-// extraction, merging and the incremental TS evaluation loop.
+// substrate pieces: LUT lookup, full STA propagation (serial and
+// level-parallel), the slew-only filter propagation, GraphSAGE
+// inference, feature extraction, ILM extraction, merging and the
+// incremental TS evaluation loop.
 //
 // Besides the google-benchmark entries, main() directly times the TS
-// loop full vs incremental and records `speedup_incremental` in
-// BENCH_micro.json (CI asserts it stays >= 1).
+// loop full vs incremental (`speedup_incremental`) and serial vs
+// parallel full STA on a large synthetic design (`speedup_parallel`,
+// with a bitwise serial/parallel comparison on the way) into the one
+// BENCH_micro.json (CI asserts both stay >= 1 and zero mismatches).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -84,6 +88,32 @@ void BM_StaFullRun(benchmark::State& state) {
                           static_cast<std::int64_t>(g.num_nodes()));
 }
 BENCHMARK(BM_StaFullRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Levelized parallel full run at 1/2/4/8 threads on the bench design
+// (parallel_min_nodes forced to 0 so even the Arg(1) row goes through
+// the same dispatch). Results are bit-identical to BM_StaFullRun's.
+void BM_StaParallelForward(benchmark::State& state) {
+  const TimingGraph& g = flat_graph();
+  Sta::Options opt;
+  opt.cppr = true;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  opt.parallel_min_nodes = 0;
+  Sta sta(g, opt);
+  const BoundaryConstraints bc = nominal_constraints(
+      g.primary_inputs().size(), g.primary_outputs().size());
+  for (auto _ : state) {
+    sta.run(bc);
+    benchmark::DoNotOptimize(sta.worst_slack(kLate));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_StaParallelForward)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // Observability overhead. Sta::run carries an obs::Span and two metric
 // counters; BM_StaFullRun above therefore measures the
@@ -300,10 +330,31 @@ BENCHMARK(BM_TsEvalFullVsIncremental)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);  // a single TS sweep is seconds on the full path
 
+// TS labeling loop across worker counts (parallelism is across
+// candidate pins; each worker's scratch engine stays serial).
+void BM_TsEvalParallel(benchmark::State& state) {
+  static const IlmResult ilm = extract_ilm(flat_graph());
+  const std::vector<bool> cands(ilm.graph.num_nodes(), true);
+  TsConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.incremental = true;
+  for (auto _ : state) {
+    TsResult r = evaluate_timing_sensitivity(ilm.graph, cands, cfg);
+    benchmark::DoNotOptimize(r.ts.data());
+  }
+}
+BENCHMARK(BM_TsEvalParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 // Direct full-vs-incremental comparison on the bench design, recorded
 // in BENCH_micro.json: CI smoke-checks `speedup_incremental`, and the
 // loop double-checks the bit-identity contract on the way.
-void record_ts_speedup() {
+void record_ts_speedup(bench::JsonReport& json) {
   const IlmResult ilm = extract_ilm(flat_graph());
   const std::vector<bool> cands(ilm.graph.num_nodes(), true);
   TsConfig cfg;
@@ -330,7 +381,6 @@ void record_ts_speedup() {
       "speedup_incremental %.2fx (%zu TS mismatches)\n",
       full.evaluated_pins, full_s, inc_s, speedup, mismatches);
 
-  bench::JsonReport json("micro");
   json.set_meta("ts_pins", static_cast<double>(full.evaluated_pins));
   json.add_row("bench", "full",
                {{"ts_eval_seconds", full_s},
@@ -340,7 +390,78 @@ void record_ts_speedup() {
                 {"pins", static_cast<double>(inc.evaluated_pins)}});
   json.set_summary("speedup_incremental", speedup);
   json.set_summary("ts_bitwise_mismatches", static_cast<double>(mismatches));
-  json.write();
+}
+
+// Serial vs level-parallel full STA on a design an order of magnitude
+// larger than the google-benchmark one (scale with
+// TMM_BENCH_PARALLEL_GATES). Every parallel run is compared against
+// the serial engine bit-for-bit over all live nodes before its time is
+// trusted; CI smoke-checks `speedup_parallel` (the 4-thread row) and
+// `parallel_bitwise_mismatches`.
+void record_parallel_speedup(bench::JsonReport& json) {
+  DesignGenConfig dcfg;
+  dcfg.name = "bench_parallel";
+  dcfg.seed = 78;
+  dcfg.num_data_inputs = 64;
+  dcfg.num_outputs = 64;
+  dcfg.num_flops = 256;
+  dcfg.levels = 12;
+  dcfg.gates_per_level = bench::env_scale("TMM_BENCH_PARALLEL_GATES", 700);
+  const Design d = generate_design(lib(), dcfg);
+  const TimingGraph g = build_timing_graph(d);
+  const BoundaryConstraints bc = nominal_constraints(
+      g.primary_inputs().size(), g.primary_outputs().size());
+
+  // Best-of-3 wall time per configuration: full runs are long enough
+  // for the min to be stable, and the min discards one-off scheduler /
+  // page-fault noise that a mean would fold in.
+  const auto best_of = [&](Sta& sta) {
+    double best = kInf;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch sw;
+      sta.run(bc);
+      best = std::min(best, sw.seconds());
+    }
+    return best;
+  };
+
+  Sta serial(g, {.cppr = true});
+  const double serial_s = best_of(serial);
+
+  std::size_t mismatches = 0;
+  double at4 = 0.0;
+  json.set_meta("parallel_nodes", static_cast<double>(g.num_nodes()));
+  json.add_row("parallel", "threads=1",
+               {{"sta_run_seconds", serial_s}, {"speedup", 1.0}});
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    Sta::Options opt;
+    opt.cppr = true;
+    opt.threads = threads;
+    opt.parallel_min_nodes = 0;
+    Sta par(g, opt);
+    const double par_s = best_of(par);
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (g.node(n).dead) continue;
+      const PinTiming a = serial.timing(n);
+      const PinTiming b = par.timing(n);
+      if (std::memcmp(&a, &b, sizeof(PinTiming)) != 0) ++mismatches;
+    }
+    const double speedup = par_s > 0.0 ? serial_s / par_s : 0.0;
+    if (threads == 4) at4 = speedup;
+    char label[32];
+    std::snprintf(label, sizeof(label), "threads=%zu", threads);
+    json.add_row("parallel", label,
+                 {{"sta_run_seconds", par_s}, {"speedup", speedup}});
+    std::printf(
+        "Parallel STA on %zu nodes: serial %.3fs, %zu threads %.3fs -> "
+        "%.2fx (%zu bitwise mismatches so far)\n",
+        static_cast<std::size_t>(g.num_nodes()), serial_s, threads, par_s,
+        speedup, mismatches);
+  }
+  json.set_summary("speedup_parallel", at4);
+  json.set_summary("parallel_bitwise_mismatches",
+                   static_cast<double>(mismatches));
 }
 
 }  // namespace
@@ -350,6 +471,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  record_ts_speedup();
+  // Both recorders feed one report: JsonReport::write replaces the
+  // whole BENCH_micro.json, so a second instance would clobber the
+  // first one's rows and summaries.
+  bench::JsonReport json("micro");
+  record_ts_speedup(json);
+  record_parallel_speedup(json);
+  json.write();
   return 0;
 }

@@ -43,6 +43,7 @@ Framework::Framework(FlowConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.data.ts.aocv = cfg_.aocv;
   cfg_.data.ts.merge.aocv = cfg_.aocv;
   cfg_.merge.aocv = cfg_.aocv;
+  cfg_.data.ts.threads = cfg_.threads;
 }
 
 TrainingSummary Framework::train(std::span<const Design> designs) {
@@ -247,6 +248,9 @@ DesignResult Framework::evaluate(const Design& design, const TimingGraph& flat,
   Sta::Options opt;
   opt.cppr = cfg_.cppr;
   opt.aocv = cfg_.aocv;
+  // Full-design reference runs dominate evaluation; macro-model runs
+  // fall under parallel_min_nodes and stay serial automatically.
+  opt.threads = cfg_.threads;
   result.acc = evaluate_accuracy(flat, model.graph, sets, opt);
   result.usage_peak_rss = peak_rss_bytes();
   result.model_memory_bytes = model.graph.memory_bytes();

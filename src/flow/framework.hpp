@@ -77,6 +77,14 @@ struct FlowConfig {
   /// one full graph sweep per stage.
   bool validate_stages = false;
 
+  /// Worker threads for the compute-heavy stages: the TS labeling loop
+  /// (per-pin re-analyses fanned over workers) and the full-design STA
+  /// runs of accuracy evaluation (levelized parallel passes,
+  /// bit-identical to serial — see docs/PERFORMANCE.md). 0 = auto
+  /// (TMM_THREADS when set, else hardware concurrency), 1 = serial,
+  /// N = at most N. Plumbed from the tmm CLI's --threads flag.
+  std::size_t threads = 0;
+
   /// Observability hook: record a per-stage wall-clock breakdown into
   /// TrainingSummary::stage_timings / DesignResult::stage_timings (one
   /// Stopwatch read per stage; see docs/OBSERVABILITY.md for the stage

@@ -12,6 +12,7 @@
 #include "util/instrument.hpp"
 #include "util/log.hpp"
 #include "util/mutex.hpp"
+#include "util/task_pool.hpp"
 
 namespace tmm {
 
@@ -128,9 +129,9 @@ TsResult evaluate_timing_sensitivity(const TimingGraph& ilm,
     work.push_back(n);
   }
 
-  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t threads =
-      std::min(cfg.threads == 0 ? hw : cfg.threads,
+      std::min(cfg.threads == 0 ? util::TaskPool::default_threads()
+                                : cfg.threads,
                std::max<std::size_t>(1, work.size()));
   std::atomic<std::size_t> next{0};
 

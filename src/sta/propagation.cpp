@@ -10,15 +10,14 @@
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/task_pool.hpp"
 
 namespace tmm {
 
 namespace {
 
 constexpr std::size_t idx(NodeId n, unsigned el, unsigned rf) {
-  return static_cast<std::size_t>(n) * (static_cast<std::size_t>(kNumEl) *
-                                      kNumRf) +
-         el * kNumRf + rf;
+  return TimingStore::index(n, el, rf);
 }
 
 /// True if `cand` is worse (dominates) than `cur` in the el corner:
@@ -27,12 +26,23 @@ constexpr bool dominates(unsigned el, double cand, double cur) {
   return el == kLate ? cand > cur : cand < cur;
 }
 
+/// Nodes per task-pool chunk in the level-parallel passes. A node's
+/// relaxation is a handful of LUT lookups (~a microsecond for typical
+/// fanin), so 16 nodes amortize the chunk-claim atomic while leaving
+/// wide levels enough chunks to balance.
+constexpr std::size_t kLevelGrain = 16;
+/// Check-seeding chunks are per data pin (each pin's checks go to one
+/// task so all writes stay on that pin); seeds are heavier than node
+/// relaxations when CPPR walks clock chains, so chunk fewer of them.
+constexpr std::size_t kCheckGrain = 8;
+
 // Metric handles resolved once at namespace scope: the TS loop runs the
 // engine once per pin per constraint set, and the registry name lookup
 // plus the guard check of a function-local static are measurable there.
 // The registry itself is a leaked function-local static, so this is
 // safe at static-initialization time.
 obs::Counter& g_runs = obs::counter("sta.runs");
+obs::Counter& g_parallel_runs = obs::counter("sta.parallel_runs");
 obs::Counter& g_nodes_propagated = obs::counter("sta.nodes_propagated");
 obs::Counter& g_nan_detected = obs::counter("sta.nan_detected");
 obs::Counter& g_incremental_runs = obs::counter("sta.incremental_runs");
@@ -76,14 +86,29 @@ SnapshotDiff diff_snapshots(const BoundarySnapshot& a,
 
 Sta::Sta(const TimingGraph& graph, Options opt) : graph_(&graph), opt_(opt) {}
 
+std::size_t Sta::resolve_parallelism() const {
+  if (opt_.threads == 1) return 1;
+  if (graph_->num_nodes() < opt_.parallel_min_nodes) return 1;
+  const std::size_t want =
+      opt_.threads == 0 ? util::TaskPool::default_threads() : opt_.threads;
+  return std::max<std::size_t>(1, want);
+}
+
+void Sta::ensure_topology() {
+  if (topo_valid_ && topo_.graph_version == graph_->structure_version())
+    return;
+  topo_ = StaTopology::build(*graph_);
+  topo_valid_ = true;
+}
+
 void Sta::run(const BoundaryConstraints& bc) {
   obs::Span span("sta.run");
   g_runs.add();
   g_nodes_propagated.add(graph_->num_live_nodes());
   const std::size_t n = graph_->num_nodes();
-  values_.assign(n, PinTiming{});
-  preds_.assign(n * kNumEl * kNumRf, Pred{});
-  credits_.assign(n * kNumEl * kNumRf, 0.0);
+  store_.assign_nodes(n);
+  preds_.assign(n * TimingStore::kLanes, Pred{});
+  credits_.assign(n * TimingStore::kLanes, 0.0);
   eff_load_.assign(n, 0.0);
   for (NodeId u = 0; u < n; ++u) {
     const auto& node = graph_->node(u);
@@ -93,17 +118,27 @@ void Sta::run(const BoundaryConstraints& bc) {
       if (po < bc.po.size()) load += bc.po[po].load_ff;
     eff_load_[u] = load;
     for (unsigned rf = 0; rf < kNumRf; ++rf) {
-      values_[u].at(kLate, rf) = -kInf;
-      values_[u].at(kEarly, rf) = kInf;
-      values_[u].slew(kLate, rf) = -kInf;
-      values_[u].slew(kEarly, rf) = kInf;
-      values_[u].rat(kLate, rf) = kInf;
-      values_[u].rat(kEarly, rf) = -kInf;
+      store_.at[idx(u, kLate, rf)] = -kInf;
+      store_.at[idx(u, kEarly, rf)] = kInf;
+      store_.slew[idx(u, kLate, rf)] = -kInf;
+      store_.slew[idx(u, kEarly, rf)] = kInf;
+      store_.rat[idx(u, kLate, rf)] = kInf;
+      store_.rat[idx(u, kEarly, rf)] = -kInf;
     }
   }
-  forward(bc);
-  seed_backward(bc);
-  backward();
+  const std::size_t par = resolve_parallelism();
+  if (par > 1) {
+    g_parallel_runs.add();
+    span.set_arg("threads", static_cast<double>(par));
+    ensure_topology();
+    forward_parallel(bc, par);
+    seed_backward_parallel(bc, par);
+    backward_parallel(par);
+  } else {
+    forward(bc);
+    seed_backward(bc);
+    backward();
+  }
   check_numeric();
 }
 
@@ -115,16 +150,17 @@ void Sta::check_numeric() const {
   // into labels and macro models silently. Scanning the boundary only
   // keeps this O(ports), negligible next to the propagation itself.
   auto scan = [&](NodeId u) {
-    const PinTiming& t = values_[u];
     for (unsigned el = 0; el < kNumEl; ++el)
-      for (unsigned rf = 0; rf < kNumRf; ++rf)
-        if (std::isnan(t.at(el, rf)) || std::isnan(t.slew(el, rf)) ||
-            std::isnan(t.rat(el, rf))) {
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        const std::size_t k = idx(u, el, rf);
+        if (std::isnan(store_.at[k]) || std::isnan(store_.slew[k]) ||
+            std::isnan(store_.rat[k])) {
           g_nan_detected.add();
           throw fault::FlowError(fault::ErrorCode::kNumeric, "sta.run",
                                  "NaN timing value after propagation", {},
                                  graph_->node(u).name);
         }
+      }
   };
   for (NodeId u : graph_->primary_inputs()) scan(u);
   for (NodeId u : graph_->primary_outputs()) scan(u);
@@ -137,13 +173,29 @@ void Sta::forward(const BoundaryConstraints& bc) {
   }
 }
 
-void Sta::relax_forward_node(NodeId v, const BoundaryConstraints& bc) {
-  PinTiming& tv = values_[v];
+void Sta::forward_parallel(const BoundaryConstraints& bc, std::size_t par) {
+  // Levels ascend: every fanin of a level-L node lives strictly below
+  // L, so all values a relaxation reads are finalized before its level
+  // starts. parallel_for is the between-levels barrier.
+  util::TaskPool& pool = util::TaskPool::shared();
+  for (std::size_t l = 0; l < topo_.num_levels(); ++l) {
+    const std::span<const NodeId> nodes = topo_.level(l);
+    pool.parallel_for(nodes.size(), kLevelGrain, par,
+                      [&](std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i)
+                          relax_forward_node(nodes[i], bc,
+                                             topo_.fanin(nodes[i]));
+                      });
+  }
+}
+
+void Sta::relax_forward_node(NodeId v, const BoundaryConstraints& bc,
+                             std::span<const ArcId> fanin) {
   for (unsigned rf = 0; rf < kNumRf; ++rf) {
-    tv.at(kLate, rf) = -kInf;
-    tv.at(kEarly, rf) = kInf;
-    tv.slew(kLate, rf) = -kInf;
-    tv.slew(kEarly, rf) = kInf;
+    store_.at[idx(v, kLate, rf)] = -kInf;
+    store_.at[idx(v, kEarly, rf)] = kInf;
+    store_.slew[idx(v, kLate, rf)] = -kInf;
+    store_.slew[idx(v, kEarly, rf)] = kInf;
   }
   for (unsigned el = 0; el < kNumEl; ++el)
     for (unsigned rf = 0; rf < kNumRf; ++rf) preds_[idx(v, el, rf)] = Pred{};
@@ -152,26 +204,28 @@ void Sta::relax_forward_node(NodeId v, const BoundaryConstraints& bc) {
     const PiConstraint& c = bc.pi[node.port_ordinal];
     for (unsigned el = 0; el < kNumEl; ++el)
       for (unsigned rf = 0; rf < kNumRf; ++rf) {
-        tv.at(el, rf) = c.at(el, rf);
-        tv.slew(el, rf) = c.slew(el, rf);
+        store_.at[idx(v, el, rf)] = c.at(el, rf);
+        store_.slew[idx(v, el, rf)] = c.slew(el, rf);
       }
   }
-  for (ArcId aid : graph_->fanin(v)) {
+  for (ArcId aid : fanin) {
     const GraphArc& a = graph_->arc(aid);
-    const PinTiming& tu = values_[a.from];
+    const std::size_t ub = a.from * TimingStore::kLanes;
     if (a.kind == GraphArcKind::kWire) {
       for (unsigned el = 0; el < kNumEl; ++el) {
         for (unsigned rf = 0; rf < kNumRf; ++rf) {
-          const double su = tu.slew(el, rf);
+          const std::size_t lane = el * kNumRf + rf;
+          const double su = store_.slew[ub + lane];
           if (std::isfinite(su)) {
             const double so = wire_slew(su, a.wire_delay_ps);
-            if (dominates(el, so, tv.slew(el, rf))) tv.slew(el, rf) = so;
+            if (dominates(el, so, store_.slew[idx(v, el, rf)]))
+              store_.slew[idx(v, el, rf)] = so;
           }
-          const double atu = tu.at(el, rf);
+          const double atu = store_.at[ub + lane];
           if (std::isfinite(atu)) {
             const double cand = atu + a.wire_delay_ps;
-            if (dominates(el, cand, tv.at(el, rf))) {
-              tv.at(el, rf) = cand;
+            if (dominates(el, cand, store_.at[idx(v, el, rf)])) {
+              store_.at[idx(v, el, rf)] = cand;
               preds_[idx(v, el, rf)] = {aid, static_cast<std::uint8_t>(rf)};
             }
           }
@@ -185,19 +239,20 @@ void Sta::relax_forward_node(NodeId v, const BoundaryConstraints& bc) {
                 ? 1.0
                 : opt_.aocv.derate(el, graph_->node(a.from).aocv_depth);
         for (unsigned irf = 0; irf < kNumRf; ++irf) {
-          const double su = tu.slew(el, irf);
+          const double su = store_.slew[ub + el * kNumRf + irf];
           if (!std::isfinite(su)) continue;
           const unsigned mask = output_transitions(a.sense, irf);
           for (unsigned orf = 0; orf < kNumRf; ++orf) {
             if (!(mask & (1u << orf))) continue;
             const double d = (*a.delay)(el, orf).lookup(su, load) * derate;
             const double so = (*a.out_slew)(el, orf).lookup(su, load);
-            if (dominates(el, so, tv.slew(el, orf))) tv.slew(el, orf) = so;
-            const double atu = tu.at(el, irf);
+            if (dominates(el, so, store_.slew[idx(v, el, orf)]))
+              store_.slew[idx(v, el, orf)] = so;
+            const double atu = store_.at[ub + el * kNumRf + irf];
             if (std::isfinite(atu)) {
               const double cand = atu + d;
-              if (dominates(el, cand, tv.at(el, orf))) {
-                tv.at(el, orf) = cand;
+              if (dominates(el, cand, store_.at[idx(v, el, orf)])) {
+                store_.at[idx(v, el, orf)] = cand;
                 preds_[idx(v, el, orf)] = {aid, static_cast<std::uint8_t>(irf)};
               }
             }
@@ -246,8 +301,8 @@ double Sta::cppr_credit(NodeId launch_ck, NodeId capture_ck) const {
   unsigned rf = kRise;
   for (std::size_t steps = 0; steps <= graph_->num_nodes(); ++steps) {
     if (capture_chain.count(u)) {
-      const double late = values_[u].at(kLate, rf);
-      const double early = values_[u].at(kEarly, rf);
+      const double late = store_.at[idx(u, kLate, rf)];
+      const double early = store_.at[idx(u, kEarly, rf)];
       if (!std::isfinite(late) || !std::isfinite(early)) return 0.0;
       return std::max(0.0, late - early);
     }
@@ -260,15 +315,13 @@ double Sta::cppr_credit(NodeId launch_ck, NodeId capture_ck) const {
 }
 
 void Sta::apply_check_seed(const CheckArc& c, const BoundaryConstraints& bc) {
-  PinTiming& td = values_[c.data];
-  PinTiming& tc = values_[c.clock];
-  const double ck_slew = tc.slew(kLate, kRise);
-  const double ck_at_early = tc.at(kEarly, kRise);
-  const double ck_at_late = tc.at(kLate, kRise);
+  const double ck_slew = store_.slew[idx(c.clock, kLate, kRise)];
+  const double ck_at_early = store_.at[idx(c.clock, kEarly, kRise)];
+  const double ck_at_late = store_.at[idx(c.clock, kLate, kRise)];
   if (!std::isfinite(ck_slew)) return;
   for (unsigned rf = 0; rf < kNumRf; ++rf) {
     if (c.is_setup) {
-      const double d_slew = td.slew(kLate, rf);
+      const double d_slew = store_.slew[idx(c.data, kLate, rf)];
       if (!std::isfinite(d_slew) || !std::isfinite(ck_at_early)) continue;
       const double guard = (*c.guard)(kLate, rf).lookup(ck_slew, d_slew);
       double credit = 0.0;
@@ -278,18 +331,21 @@ void Sta::apply_check_seed(const CheckArc& c, const BoundaryConstraints& bc) {
       }
       credits_[idx(c.data, kLate, rf)] = credit;
       const double cand = bc.clock_period_ps + ck_at_early - guard + credit;
-      if (cand < td.rat(kLate, rf)) td.rat(kLate, rf) = cand;
+      if (cand < store_.rat[idx(c.data, kLate, rf)])
+        store_.rat[idx(c.data, kLate, rf)] = cand;
       // Capture-side requirement on the clock pin: the capture edge
-      // must not arrive so early that the data misses setup.
+      // must not arrive so early that the data misses setup. Writes a
+      // *clock* pin, which is why clock_rat mode seeds serially.
       if (opt_.clock_rat) {
-        const double d_at = td.at(kLate, rf);
+        const double d_at = store_.at[idx(c.data, kLate, rf)];
         if (std::isfinite(d_at)) {
           const double ck_req = d_at + guard - bc.clock_period_ps - credit;
-          if (ck_req > tc.rat(kEarly, kRise)) tc.rat(kEarly, kRise) = ck_req;
+          if (ck_req > store_.rat[idx(c.clock, kEarly, kRise)])
+            store_.rat[idx(c.clock, kEarly, kRise)] = ck_req;
         }
       }
     } else {
-      const double d_slew = td.slew(kEarly, rf);
+      const double d_slew = store_.slew[idx(c.data, kEarly, rf)];
       if (!std::isfinite(d_slew) || !std::isfinite(ck_at_late)) continue;
       const double guard = (*c.guard)(kEarly, rf).lookup(ck_slew, d_slew);
       double credit = 0.0;
@@ -299,12 +355,14 @@ void Sta::apply_check_seed(const CheckArc& c, const BoundaryConstraints& bc) {
       }
       credits_[idx(c.data, kEarly, rf)] = credit;
       const double cand = ck_at_late + guard - credit;
-      if (cand > td.rat(kEarly, rf)) td.rat(kEarly, rf) = cand;
+      if (cand > store_.rat[idx(c.data, kEarly, rf)])
+        store_.rat[idx(c.data, kEarly, rf)] = cand;
       if (opt_.clock_rat) {
-        const double d_at = td.at(kEarly, rf);
+        const double d_at = store_.at[idx(c.data, kEarly, rf)];
         if (std::isfinite(d_at)) {
           const double ck_req = d_at - guard + credit;
-          if (ck_req < tc.rat(kLate, kRise)) tc.rat(kLate, kRise) = ck_req;
+          if (ck_req < store_.rat[idx(c.clock, kLate, kRise)])
+            store_.rat[idx(c.clock, kLate, kRise)] = ck_req;
         }
       }
     }
@@ -315,10 +373,9 @@ void Sta::seed_backward(const BoundaryConstraints& bc) {
   const auto& pos = graph_->primary_outputs();
   for (std::uint32_t i = 0; i < pos.size(); ++i) {
     if (pos[i] == kInvalidId || i >= bc.po.size()) continue;
-    auto& t = values_[pos[i]];
     for (unsigned rf = 0; rf < kNumRf; ++rf) {
-      t.rat(kLate, rf) = bc.po[i].rat(kLate, rf);
-      t.rat(kEarly, rf) = bc.po[i].rat(kEarly, rf);
+      store_.rat[idx(pos[i], kLate, rf)] = bc.po[i].rat(kLate, rf);
+      store_.rat[idx(pos[i], kEarly, rf)] = bc.po[i].rat(kEarly, rf);
     }
   }
 
@@ -328,19 +385,54 @@ void Sta::seed_backward(const BoundaryConstraints& bc) {
   }
 }
 
-void Sta::relax_backward_arcs(NodeId u) {
-  PinTiming& tu = values_[u];
-  for (ArcId aid : graph_->fanout(u)) {
+void Sta::seed_backward_parallel(const BoundaryConstraints& bc,
+                                 std::size_t par) {
+  const auto& pos = graph_->primary_outputs();
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    if (pos[i] == kInvalidId || i >= bc.po.size()) continue;
+    for (unsigned rf = 0; rf < kNumRf; ++rf) {
+      store_.rat[idx(pos[i], kLate, rf)] = bc.po[i].rat(kLate, rf);
+      store_.rat[idx(pos[i], kEarly, rf)] = bc.po[i].rat(kEarly, rf);
+    }
+  }
+
+  if (opt_.clock_rat) {
+    // Capture-side clock requirements write clock pins shared across
+    // checks — keep the serial check-id order.
+    for (const CheckArc& c : graph_->checks()) {
+      if (c.dead) continue;
+      apply_check_seed(c, bc);
+    }
+    return;
+  }
+  // One task per data pin: a pin's checks are applied by one thread in
+  // ascending check-id order (the serial order restricted to that pin),
+  // and a check writes only its data pin's rat/credit lanes — so the
+  // per-pin update sequences, and therefore the results, match the
+  // serial pass exactly. Reads (clock slew/at, pred chains) are
+  // finalized forward-pass state.
+  util::TaskPool::shared().parallel_for(
+      topo_.check_pins.size(), kCheckGrain, par,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+          for (std::uint32_t cid : topo_.checks_of_pin(i))
+            apply_check_seed(graph_->check(cid), bc);
+      });
+}
+
+void Sta::relax_backward_arcs(NodeId u, std::span<const ArcId> fanout) {
+  for (ArcId aid : fanout) {
     const GraphArc& a = graph_->arc(aid);
-    const PinTiming& tv = values_[a.to];
     if (a.kind == GraphArcKind::kWire) {
       for (unsigned rf = 0; rf < kNumRf; ++rf) {
-        const double rl = tv.rat(kLate, rf);
-        if (std::isfinite(rl) && rl - a.wire_delay_ps < tu.rat(kLate, rf))
-          tu.rat(kLate, rf) = rl - a.wire_delay_ps;
-        const double re = tv.rat(kEarly, rf);
-        if (std::isfinite(re) && re - a.wire_delay_ps > tu.rat(kEarly, rf))
-          tu.rat(kEarly, rf) = re - a.wire_delay_ps;
+        const double rl = store_.rat[idx(a.to, kLate, rf)];
+        if (std::isfinite(rl) &&
+            rl - a.wire_delay_ps < store_.rat[idx(u, kLate, rf)])
+          store_.rat[idx(u, kLate, rf)] = rl - a.wire_delay_ps;
+        const double re = store_.rat[idx(a.to, kEarly, rf)];
+        if (std::isfinite(re) &&
+            re - a.wire_delay_ps > store_.rat[idx(u, kEarly, rf)])
+          store_.rat[idx(u, kEarly, rf)] = re - a.wire_delay_ps;
       }
     } else {
       const double load = eff_load_[a.to];
@@ -350,19 +442,21 @@ void Sta::relax_backward_arcs(NodeId u) {
                 ? 1.0
                 : opt_.aocv.derate(el, graph_->node(a.from).aocv_depth);
         for (unsigned irf = 0; irf < kNumRf; ++irf) {
-          const double su = tu.slew(el, irf);
+          const double su = store_.slew[idx(u, el, irf)];
           if (!std::isfinite(su)) continue;
           const unsigned mask = output_transitions(a.sense, irf);
           for (unsigned orf = 0; orf < kNumRf; ++orf) {
             if (!(mask & (1u << orf))) continue;
-            const double rv = tv.rat(el, orf);
+            const double rv = store_.rat[idx(a.to, el, orf)];
             if (!std::isfinite(rv)) continue;
             const double d = (*a.delay)(el, orf).lookup(su, load) * derate;
             const double cand = rv - d;
             if (el == kLate) {
-              if (cand < tu.rat(kLate, irf)) tu.rat(kLate, irf) = cand;
+              if (cand < store_.rat[idx(u, kLate, irf)])
+                store_.rat[idx(u, kLate, irf)] = cand;
             } else {
-              if (cand > tu.rat(kEarly, irf)) tu.rat(kEarly, irf) = cand;
+              if (cand > store_.rat[idx(u, kEarly, irf)])
+                store_.rat[idx(u, kEarly, irf)] = cand;
             }
           }
         }
@@ -381,19 +475,38 @@ void Sta::backward() {
   }
 }
 
+void Sta::backward_parallel(std::size_t par) {
+  // Levels descend: a node's fanout targets live in strictly higher
+  // levels, already finalized. relax_backward_arcs writes only u's own
+  // rat lanes, so nodes within a level are independent.
+  util::TaskPool& pool = util::TaskPool::shared();
+  for (std::size_t l = topo_.num_levels(); l-- > 0;) {
+    const std::span<const NodeId> nodes = topo_.level(l);
+    pool.parallel_for(nodes.size(), kLevelGrain, par,
+                      [&](std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) {
+                          const NodeId u = nodes[i];
+                          if (!opt_.clock_rat &&
+                              graph_->node(u).in_clock_network)
+                            continue;
+                          relax_backward_arcs(u, topo_.fanout(u));
+                        }
+                      });
+  }
+}
+
 void Sta::relax_backward_node(NodeId u, const BoundaryConstraints& bc) {
-  PinTiming& tu = values_[u];
   for (unsigned rf = 0; rf < kNumRf; ++rf) {
-    tu.rat(kLate, rf) = kInf;
-    tu.rat(kEarly, rf) = -kInf;
+    store_.rat[idx(u, kLate, rf)] = kInf;
+    store_.rat[idx(u, kEarly, rf)] = -kInf;
   }
   for (unsigned el = 0; el < kNumEl; ++el)
     for (unsigned rf = 0; rf < kNumRf; ++rf) credits_[idx(u, el, rf)] = 0.0;
   const GraphNode& node = graph_->node(u);
   if (node.role == NodeRole::kPrimaryOutput && node.port_ordinal < bc.po.size()) {
     for (unsigned rf = 0; rf < kNumRf; ++rf) {
-      tu.rat(kLate, rf) = bc.po[node.port_ordinal].rat(kLate, rf);
-      tu.rat(kEarly, rf) = bc.po[node.port_ordinal].rat(kEarly, rf);
+      store_.rat[idx(u, kLate, rf)] = bc.po[node.port_ordinal].rat(kLate, rf);
+      store_.rat[idx(u, kEarly, rf)] = bc.po[node.port_ordinal].rat(kEarly, rf);
     }
   }
   for (std::uint32_t cid : graph_->checks_of(u))
@@ -402,9 +515,9 @@ void Sta::relax_backward_node(NodeId u, const BoundaryConstraints& bc) {
 }
 
 void Sta::set_reference() {
-  if (values_.size() != graph_->num_nodes())
+  if (store_.num_nodes() != graph_->num_nodes())
     throw std::logic_error("Sta::set_reference: call run() first");
-  ref_values_ = values_;
+  ref_store_ = store_;
   ref_preds_ = preds_;
   ref_credits_ = credits_;
   const std::size_t n = graph_->num_nodes();
@@ -438,12 +551,13 @@ void Sta::mark_changed(NodeId v) {
 }
 
 void Sta::restore_reference() {
-  constexpr std::size_t stride =
-      static_cast<std::size_t>(kNumEl) * kNumRf;
+  constexpr std::size_t stride = TimingStore::kLanes;
   for (NodeId v : modified_) {
-    values_[v] = ref_values_[v];
     const std::size_t base = static_cast<std::size_t>(v) * stride;
     for (std::size_t k = base; k < base + stride; ++k) {
+      store_.slew[k] = ref_store_.slew[k];
+      store_.at[k] = ref_store_.at[k];
+      store_.rat[k] = ref_store_.rat[k];
       preds_[k] = ref_preds_[k];
       credits_[k] = ref_credits_[k];
     }
@@ -514,7 +628,7 @@ StaIncrementalStats Sta::run_incremental(const BoundaryConstraints& bc,
   restore_reference();
   ++incr_gen_;
 
-  constexpr std::size_t stride = static_cast<std::size_t>(kNumEl) * kNumRf;
+  constexpr std::size_t stride = TimingStore::kLanes;
   using Entry = std::pair<std::uint32_t, NodeId>;
 
   // --- forward: min-heap over cached topo positions. Pops are non-
@@ -533,23 +647,24 @@ StaIncrementalStats Sta::run_incremental(const BoundaryConstraints& bc,
     fwd.pop();
     ++stats.fwd_recomputed;
     mark_modified(v);
-    const ElRf<double> old_at = values_[v].at;
-    const ElRf<double> old_slew = values_[v].slew;
+    std::array<double, stride> old_at;
+    std::array<double, stride> old_slew;
     std::array<Pred, stride> old_preds;
-    for (std::size_t k = 0; k < stride; ++k)
+    for (std::size_t k = 0; k < stride; ++k) {
+      old_at[k] = store_.at[v * stride + k];
+      old_slew[k] = store_.slew[v * stride + k];
       old_preds[k] = preds_[v * stride + k];
+    }
     relax_forward_node(v, bc);
     bool value_diff = false;
     bool pred_diff = false;
-    for (unsigned el = 0; el < kNumEl; ++el) {
-      for (unsigned rf = 0; rf < kNumRf; ++rf) {
-        if (values_[v].at(el, rf) != old_at(el, rf) ||
-            values_[v].slew(el, rf) != old_slew(el, rf))
-          value_diff = true;
-        const Pred& np = preds_[idx(v, el, rf)];
-        const Pred& op = old_preds[el * kNumRf + rf];
-        if (np.arc != op.arc || np.from_rf != op.from_rf) pred_diff = true;
-      }
+    for (std::size_t k = 0; k < stride; ++k) {
+      if (store_.at[v * stride + k] != old_at[k] ||
+          store_.slew[v * stride + k] != old_slew[k])
+        value_diff = true;
+      const Pred& np = preds_[v * stride + k];
+      const Pred& op = old_preds[k];
+      if (np.arc != op.arc || np.from_rf != op.from_rf) pred_diff = true;
     }
     if (value_diff) {
       value_changed_[v] = 1;
@@ -587,12 +702,13 @@ StaIncrementalStats Sta::run_incremental(const BoundaryConstraints& bc,
     bwd.pop();
     ++stats.bwd_recomputed;
     mark_modified(u);
-    const ElRf<double> old_rat = values_[u].rat;
+    std::array<double, stride> old_rat;
+    for (std::size_t k = 0; k < stride; ++k)
+      old_rat[k] = store_.rat[u * stride + k];
     relax_backward_node(u, bc);
     bool rat_diff = false;
-    for (unsigned el = 0; el < kNumEl; ++el)
-      for (unsigned rf = 0; rf < kNumRf; ++rf)
-        if (values_[u].rat(el, rf) != old_rat(el, rf)) rat_diff = true;
+    for (std::size_t k = 0; k < stride; ++k)
+      if (store_.rat[u * stride + k] != old_rat[k]) rat_diff = true;
     if (rat_diff) {
       ++stats.bwd_changed;
       for (ArcId aid : graph_->fanin(u)) bwd_push(graph_->arc(aid).from);
@@ -608,9 +724,8 @@ StaIncrementalStats Sta::run_incremental(const BoundaryConstraints& bc,
 }
 
 double Sta::slack(NodeId n, unsigned el, unsigned rf) const {
-  const auto& t = values_.at(n);
-  const double at = t.at(el, rf);
-  const double rat = t.rat(el, rf);
+  const double at = store_.at.at(idx(n, el, rf));
+  const double rat = store_.rat[idx(n, el, rf)];
   if (!std::isfinite(at) || !std::isfinite(rat)) return kInf;
   return el == kLate ? rat - at : at - rat;
 }
@@ -639,12 +754,12 @@ double Sta::endpoint_credit(NodeId data, unsigned el, unsigned rf) const {
 std::vector<Sta::PathStep> Sta::worst_path(NodeId endpoint, unsigned el,
                                            unsigned rf) const {
   std::vector<PathStep> path;
-  if (!std::isfinite(values_.at(endpoint).at(el, rf))) return path;
+  if (!std::isfinite(store_.at.at(idx(endpoint, el, rf)))) return path;
   NodeId u = endpoint;
   unsigned crf = rf;
   for (std::size_t steps = 0; steps <= graph_->num_nodes(); ++steps) {
     const Pred p = preds_[idx(u, el, crf)];
-    path.push_back({u, p.arc, crf, values_[u].at(el, crf)});
+    path.push_back({u, p.arc, crf, store_.at[idx(u, el, crf)]});
     if (p.arc == kInvalidId) break;
     u = graph_->arc(p.arc).from;
     crf = p.from_rf;
@@ -673,7 +788,7 @@ NodeId Sta::worst_endpoint(unsigned el, unsigned* rf_out) const {
 }
 
 void Sta::snapshot_into(BoundarySnapshot& out) const {
-  const std::size_t stride = static_cast<std::size_t>(kNumEl) * kNumRf;
+  const std::size_t stride = TimingStore::kLanes;
   const auto& pis = graph_->primary_inputs();
   const auto& pos = graph_->primary_outputs();
   out.num_ports = pis.size() + pos.size();
@@ -683,15 +798,14 @@ void Sta::snapshot_into(BoundarySnapshot& out) const {
   out.slack.assign(out.num_ports * stride, kInf);
   auto fill = [&](std::size_t i, NodeId p) {
     if (p == kInvalidId) return;
-    const auto& t = values_[p];
-    for (unsigned el = 0; el < kNumEl; ++el) {
-      for (unsigned rf = 0; rf < kNumRf; ++rf) {
-        const std::size_t k = i * stride + el * kNumRf + rf;
-        out.slew[k] = t.slew(el, rf);
-        out.at[k] = t.at(el, rf);
-        out.rat[k] = t.rat(el, rf);
-        out.slack[k] = slack(p, el, rf);
-      }
+    const std::size_t base = static_cast<std::size_t>(p) * stride;
+    for (std::size_t lane = 0; lane < stride; ++lane) {
+      const std::size_t k = i * stride + lane;
+      out.slew[k] = store_.slew[base + lane];
+      out.at[k] = store_.at[base + lane];
+      out.rat[k] = store_.rat[base + lane];
+      out.slack[k] = slack(p, static_cast<unsigned>(lane / kNumRf),
+                           static_cast<unsigned>(lane % kNumRf));
     }
   };
   std::size_t i = 0;

@@ -10,6 +10,15 @@
 //
 // The same engine analyzes flat designs, ILMs and macro models, which is
 // what makes macro accuracy evaluation (Fig. 2) a pure snapshot diff.
+//
+// Timing state lives in a structure-of-arrays store (sta/timing_store.hpp)
+// and full passes can run levelized-parallel over a worker pool
+// (Options::threads, sta/topology.hpp): each topological level's nodes
+// are relaxed concurrently with a barrier between levels. Because every
+// relaxation is gather-form over finalized fanin (resp. fanout) values
+// and visits arcs in ascending arc-id order, parallel results are
+// bit-identical to the serial reference — no reduction-order tie-break
+// exists to document away (docs/PERFORMANCE.md).
 
 #include <limits>
 #include <span>
@@ -18,6 +27,8 @@
 #include "sta/aocv.hpp"
 #include "sta/constraints.hpp"
 #include "sta/timing_graph.hpp"
+#include "sta/timing_store.hpp"
+#include "sta/topology.hpp"
 
 namespace tmm {
 
@@ -78,6 +89,16 @@ class Sta {
     /// letting corruption (a poisoned LUT, a bad derate) leak into
     /// labels or macro models silently. O(ports) per run.
     bool check_numeric = true;
+    /// Threads for the full forward/backward passes of run(): 1 =
+    /// serial (default), 0 = auto (TMM_THREADS when set, else hardware
+    /// concurrency), N = at most N. Parallel runs are bit-identical to
+    /// serial ones; run_incremental is always serial (its worklist is
+    /// tiny by construction).
+    std::size_t threads = 1;
+    /// Graphs with fewer nodes than this always run serially — pool
+    /// dispatch costs more than it buys on macro-sized graphs (the
+    /// serve::Evaluator scratch engines rely on this fallback).
+    std::size_t parallel_min_nodes = 2048;
   };
 
   explicit Sta(const TimingGraph& graph, Options opt);
@@ -108,7 +129,20 @@ class Sta {
   StaIncrementalStats run_incremental(const BoundaryConstraints& bc,
                                       std::span<const NodeId> dirty);
 
-  const PinTiming& timing(NodeId n) const { return values_.at(n); }
+  /// Timing values of one node, gathered from the SoA store (by value;
+  /// binding the result to a const reference at call sites is fine —
+  /// lifetime extension applies).
+  PinTiming timing(NodeId n) const {
+    PinTiming t;
+    for (unsigned el = 0; el < kNumEl; ++el)
+      for (unsigned rf = 0; rf < kNumRf; ++rf) {
+        const std::size_t k = TimingStore::index(n, el, rf);
+        t.slew(el, rf) = store_.slew.at(k);
+        t.at(el, rf) = store_.at.at(k);
+        t.rat(el, rf) = store_.rat.at(k);
+      }
+    return t;
+  }
 
   /// slack: late = rat - at, early = at - rat; +inf when unconstrained.
   double slack(NodeId n, unsigned el, unsigned rf) const;
@@ -160,14 +194,37 @@ class Sta {
   void check_numeric() const;
   void seed_backward(const BoundaryConstraints& bc);
   void backward();
+  /// Level-parallel counterparts of forward/seed_backward/backward,
+  /// executing the same gather-form relaxations over the cached CSR
+  /// topology with `par`-way parallelism (bit-identical results).
+  void forward_parallel(const BoundaryConstraints& bc, std::size_t par);
+  void seed_backward_parallel(const BoundaryConstraints& bc, std::size_t par);
+  void backward_parallel(std::size_t par);
+  /// Threads the full passes of this run() should use: Options::threads
+  /// resolved against TMM_THREADS / hardware and the tiny-graph floor.
+  std::size_t resolve_parallelism() const;
+  /// Rebuild the cached CSR + level schedule when the graph structure
+  /// changed (keyed on TimingGraph::structure_version()).
+  void ensure_topology();
   /// Recompute slew/at/preds of `v` from scratch as a pure function of
   /// its PI seed and fanin arcs (gather form). Fanin arcs are visited in
   /// ascending arc-id order, so tie-breaks do not depend on which
   /// topological order drives the sweep — the property that makes
-  /// incremental re-relaxation bit-identical to a full run.
-  void relax_forward_node(NodeId v, const BoundaryConstraints& bc);
+  /// incremental re-relaxation (and level-parallel execution)
+  /// bit-identical to a full serial run. The span overload is the one
+  /// implementation; serial and incremental callers pass the graph's
+  /// adjacency, the parallel pass passes the CSR view (same content,
+  /// same order).
+  void relax_forward_node(NodeId v, const BoundaryConstraints& bc,
+                          std::span<const ArcId> fanin);
+  void relax_forward_node(NodeId v, const BoundaryConstraints& bc) {
+    relax_forward_node(v, bc, graph_->fanin(v));
+  }
   /// Relax u's rat from its (final) fanout targets.
-  void relax_backward_arcs(NodeId u);
+  void relax_backward_arcs(NodeId u, std::span<const ArcId> fanout);
+  void relax_backward_arcs(NodeId u) {
+    relax_backward_arcs(u, graph_->fanout(u));
+  }
   /// Recompute u's rat from scratch: init, PO seed, check seeds at u,
   /// then fanout relaxation (gather form of seed_backward + backward).
   void relax_backward_node(NodeId u, const BoundaryConstraints& bc);
@@ -187,14 +244,19 @@ class Sta {
 
   const TimingGraph* graph_;
   Options opt_;
-  std::vector<PinTiming> values_;
+  TimingStore store_;        ///< SoA slew/at/rat, [node*kLanes + lane]
   std::vector<Pred> preds_;  ///< [node * kNumEl*kNumRf + el*kNumRf + rf]
   std::vector<double> eff_load_;
   std::vector<double> credits_;  ///< endpoint credits, same indexing as preds_
 
+  // CSR adjacency + level schedule for the parallel passes, cached
+  // against the graph's structure version (see ensure_topology).
+  StaTopology topo_;
+  bool topo_valid_ = false;
+
   // --- incremental state (see set_reference / run_incremental) --------
   bool has_reference_ = false;
-  std::vector<PinTiming> ref_values_;
+  TimingStore ref_store_;
   std::vector<Pred> ref_preds_;
   std::vector<double> ref_credits_;
   std::vector<std::uint32_t> topo_pos_;  ///< node -> cached topo position

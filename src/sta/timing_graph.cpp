@@ -94,6 +94,7 @@ void adj_insert(std::vector<ArcId>& v, ArcId a) {
 }  // namespace
 
 void TimingGraph::delta_kill_arc(ArcId a) {
+  ++structure_version_;
   GraphArc& arc = arcs_.at(a);
   arc.dead = true;
   if (adjacency_valid_) {
@@ -103,6 +104,7 @@ void TimingGraph::delta_kill_arc(ArcId a) {
 }
 
 void TimingGraph::delta_restore_arc(ArcId a) {
+  ++structure_version_;
   GraphArc& arc = arcs_.at(a);
   arc.dead = false;
   if (adjacency_valid_) {
@@ -115,6 +117,7 @@ ArcId TimingGraph::delta_add_cell_arc(NodeId from, NodeId to, ArcSense sense,
                                       const ElRf<Lut>* delay,
                                       const ElRf<Lut>* out_slew,
                                       bool is_launch) {
+  ++structure_version_;
   GraphArc a;
   a.from = from;
   a.to = to;
@@ -134,11 +137,13 @@ ArcId TimingGraph::delta_add_cell_arc(NodeId from, NodeId to, ArcSense sense,
 }
 
 void TimingGraph::delta_set_node_dead(NodeId n, bool dead) {
+  ++structure_version_;
   nodes_.at(n).dead = dead;
 }
 
 void TimingGraph::delta_truncate(std::size_t num_arcs,
                                  std::size_t num_tables) {
+  ++structure_version_;
   while (arcs_.size() > num_arcs) {
     const GraphArc& a = arcs_.back();
     if (!a.dead && adjacency_valid_) {
@@ -167,6 +172,7 @@ std::size_t TimingGraph::num_live_arcs() const {
 void TimingGraph::invalidate() const {
   adjacency_valid_ = false;
   topo_valid_ = false;
+  ++structure_version_;
 }
 
 void TimingGraph::rebuild_adjacency() const {

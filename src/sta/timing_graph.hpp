@@ -179,6 +179,14 @@ class TimingGraph {
   /// checks, names, owned tables) — the model-usage-memory metric.
   std::size_t memory_bytes() const;
 
+  /// Monotonic counter bumped by every structural mutation (plain
+  /// mutators via invalidate(), delta_* mutators directly). Lets
+  /// derived structures (the Sta's CSR + level schedule, sta/topology)
+  /// cache against the graph and rebuild only when it actually changed.
+  std::uint64_t structure_version() const noexcept {
+    return structure_version_;
+  }
+
  private:
   void invalidate() const;
   void rebuild_adjacency() const;
@@ -197,6 +205,9 @@ class TimingGraph {
   mutable std::vector<std::vector<std::uint32_t>> node_checks_;
   mutable bool topo_valid_ = false;
   mutable std::vector<NodeId> topo_;
+  // Mutable: invalidate() is const (called from lazy cache fills'
+  // mutation counterparts); the version only ever increases.
+  mutable std::uint64_t structure_version_ = 0;
 };
 
 /// Build the flat timing graph of a design. Node ids equal pin ids.

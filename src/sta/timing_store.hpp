@@ -1,0 +1,45 @@
+#pragma once
+// Structure-of-arrays timing state for the STA engine
+// (docs/PERFORMANCE.md, "Data-oriented timing store").
+//
+// One contiguous double array per quantity (slew, arrival, required),
+// indexed [node * kLanes + el * kNumRf + rf]: a node's four corner
+// lanes (early/late x rise/fall) are adjacent, so per-node relaxation
+// updates touch one cache line per quantity and whole-array operations
+// (init, reference checkpoint/restore, snapshot) are linear scans the
+// compiler vectorizes. The lane order matches the engine's
+// preds_/credits_ indexing, so one index expression serves all five
+// arrays.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tmm {
+
+struct TimingStore {
+  static constexpr std::size_t kLanes =
+      static_cast<std::size_t>(kNumEl) * kNumRf;
+
+  static constexpr std::size_t index(std::size_t node, unsigned el,
+                                     unsigned rf) noexcept {
+    return node * kLanes + el * kNumRf + rf;
+  }
+
+  std::vector<double> slew;
+  std::vector<double> at;
+  std::vector<double> rat;
+
+  /// Resize to `n` nodes, zero-filled (dead nodes keep 0.0, matching
+  /// the old value-initialized AoS store).
+  void assign_nodes(std::size_t n) {
+    slew.assign(n * kLanes, 0.0);
+    at.assign(n * kLanes, 0.0);
+    rat.assign(n * kLanes, 0.0);
+  }
+
+  std::size_t num_nodes() const noexcept { return at.size() / kLanes; }
+};
+
+}  // namespace tmm

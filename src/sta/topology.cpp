@@ -1,0 +1,98 @@
+#include "sta/topology.hpp"
+
+#include <algorithm>
+
+namespace tmm {
+
+StaTopology StaTopology::build(const TimingGraph& g) {
+  StaTopology t;
+  t.graph_version = g.structure_version();
+  const std::size_t n = g.num_nodes();
+  t.num_nodes = n;
+
+  // Materializes the graph's adjacency + topological order once, up
+  // front, so nothing in the parallel passes ever triggers a lazy
+  // (mutable, unsynchronized) cache rebuild.
+  const std::vector<NodeId>& topo = g.topo_order();
+
+  // CSR adjacency: count, prefix-sum, fill. Iterating arcs in id order
+  // appends each node's arcs in ascending id — the same order
+  // TimingGraph::rebuild_adjacency produces.
+  t.fanin_offsets.assign(n + 1, 0);
+  t.fanout_offsets.assign(n + 1, 0);
+  const std::size_t num_arcs = g.num_arcs();
+  for (ArcId a = 0; a < num_arcs; ++a) {
+    const GraphArc& arc = g.arc(a);
+    if (arc.dead) continue;
+    ++t.fanin_offsets[arc.to + 1];
+    ++t.fanout_offsets[arc.from + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    t.fanin_offsets[i + 1] += t.fanin_offsets[i];
+    t.fanout_offsets[i + 1] += t.fanout_offsets[i];
+  }
+  t.fanin_arcs.resize(t.fanin_offsets[n]);
+  t.fanout_arcs.resize(t.fanout_offsets[n]);
+  std::vector<std::uint32_t> fi = t.fanin_offsets;
+  std::vector<std::uint32_t> fo = t.fanout_offsets;
+  for (ArcId a = 0; a < num_arcs; ++a) {
+    const GraphArc& arc = g.arc(a);
+    if (arc.dead) continue;
+    t.fanin_arcs[fi[arc.to]++] = a;
+    t.fanout_arcs[fo[arc.from]++] = a;
+  }
+
+  // Longest-path levels over the topological order.
+  std::vector<std::uint32_t> level(n, 0);
+  std::uint32_t max_level = 0;
+  for (const NodeId v : topo) {
+    std::uint32_t lv = 0;
+    for (const ArcId a : t.fanin(v)) {
+      const std::uint32_t lu = level[g.arc(a).from];
+      lv = std::max(lv, lu + 1);
+    }
+    level[v] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  const std::size_t num_levels = topo.empty() ? 0 : max_level + 1u;
+  t.level_offsets.assign(num_levels + 1, 0);
+  for (const NodeId v : topo) ++t.level_offsets[level[v] + 1];
+  for (std::size_t l = 0; l < num_levels; ++l)
+    t.level_offsets[l + 1] += t.level_offsets[l];
+  t.level_nodes.resize(topo.size());
+  {
+    std::vector<std::uint32_t> cursor(t.level_offsets.begin(),
+                                      t.level_offsets.end() - 1);
+    // Ascending node-id iteration fills each level in ascending order.
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.node(v).dead) continue;
+      t.level_nodes[cursor[level[v]]++] = v;
+    }
+  }
+
+  // Live checks grouped by data pin, ascending check id within a pin
+  // (check-id-order iteration over a sorted pin list preserves it).
+  std::vector<std::uint32_t> per_pin(n, 0);
+  const std::size_t num_checks = g.num_checks();
+  for (std::uint32_t c = 0; c < num_checks; ++c)
+    if (!g.check(c).dead) ++per_pin[g.check(c).data];
+  for (NodeId v = 0; v < n; ++v)
+    if (per_pin[v] > 0) t.check_pins.push_back(v);
+  t.check_offsets.assign(t.check_pins.size() + 1, 0);
+  for (std::size_t i = 0; i < t.check_pins.size(); ++i)
+    t.check_offsets[i + 1] = t.check_offsets[i] + per_pin[t.check_pins[i]];
+  t.check_ids.resize(t.check_offsets.back());
+  {
+    // Map node id -> dense check_pins slot for the fill pass.
+    std::vector<std::uint32_t> slot(n, 0);
+    for (std::size_t i = 0; i < t.check_pins.size(); ++i)
+      slot[t.check_pins[i]] = static_cast<std::uint32_t>(i);
+    std::vector<std::uint32_t> cursor(t.check_offsets.begin(),
+                                      t.check_offsets.end() - 1);
+    for (std::uint32_t c = 0; c < num_checks; ++c)
+      if (!g.check(c).dead) t.check_ids[cursor[slot[g.check(c).data]]++] = c;
+  }
+  return t;
+}
+
+}  // namespace tmm

@@ -60,6 +60,31 @@ grep -q "unknown option" "$DIR/err2.txt"
 TMM_LOG=info "$TMM" sta "$DIR/block.dsn" 2> "$DIR/log.txt"
 grep -q "\[tmm INFO" "$DIR/log.txt"
 
+# --- Parallel STA: --threads / TMM_THREADS (docs/PERFORMANCE.md) ------------
+
+# Multi-threaded analysis must print byte-identical reports.
+"$TMM" sta "$DIR/block.dsn" --threads 1 > "$DIR/sta_t1.txt"
+"$TMM" sta "$DIR/block.dsn" --threads 4 > "$DIR/sta_t4.txt"
+cmp "$DIR/sta_t1.txt" "$DIR/sta_t4.txt"
+TMM_THREADS=3 "$TMM" sta "$DIR/block.dsn" > "$DIR/sta_env.txt"
+cmp "$DIR/sta_t1.txt" "$DIR/sta_env.txt"
+
+# --threads 0 and a malformed TMM_THREADS are configuration errors.
+set +e
+"$TMM" sta "$DIR/block.dsn" --threads 0 2> "$DIR/errt1.txt"
+rct1=$?
+TMM_THREADS="4x" "$TMM" stats "$DIR/block.dsn" 2> "$DIR/errt2.txt"
+rct2=$?
+"$TMM" lint --threads 2 "$DIR/block.dsn" 2> "$DIR/errt3.txt"
+rct3=$?
+set -e
+[ "$rct1" -eq 2 ]
+grep -q "positive integer" "$DIR/errt1.txt"
+[ "$rct2" -eq 2 ]
+grep -q "invalid TMM_THREADS" "$DIR/errt2.txt"
+[ "$rct3" -eq 2 ]
+grep -q "not valid for subcommand" "$DIR/errt3.txt"
+
 # --- Robustness: fault injection, checkpoint/resume, exit codes -------------
 
 # The fault-site registry must be non-empty and include the flow hooks.

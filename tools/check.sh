@@ -10,7 +10,9 @@
 #             ctest; any sanitizer report fails the test.
 #   tsan      TSan build (TMM_SANITIZE=thread) + the multi-threaded
 #             incremental TS equivalence tests (the per-worker scratch
-#             graph / engine reuse is the racy-by-construction surface)
+#             graph / engine reuse is the racy-by-construction surface),
+#             the parallel STA + task-pool suites (levelized workers
+#             over the shared SoA store, tests/test_sta_parallel.cpp)
 #             and the serving-engine concurrency tests (shared registry
 #             + sharded cache + socket server, tests/test_serve.cpp).
 #   tidy      clang-tidy over src/ using the repo .clang-tidy config
@@ -64,14 +66,14 @@ run_sanitize() {
 }
 
 run_tsan() {
-  echo "== check: TSan (incremental TS loop + serving engine) =="
+  echo "== check: TSan (parallel STA + incremental TS loop + serving engine) =="
   cmake -S "$ROOT" -B "$ROOT/build-check-tsan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTMM_WERROR=ON \
     -DTMM_SANITIZE=thread >/dev/null
   cmake --build "$ROOT/build-check-tsan" -j"$JOBS" --target tmm_tests
   TSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-check-tsan/tests/tmm_tests" \
-    --gtest_filter='StaIncremental.*:MergeDelta.*:TsIncremental.*:TsParallel.*:Server.*:ResultCache.*:Evaluator.*:FlightRecorder.*:SlidingWindow.*:ServeAdmin.*'
+    --gtest_filter='StaIncremental.*:StaParallel.*:TaskPool.*:MergeDelta.*:TsIncremental.*:TsParallel.*:Server.*:ResultCache.*:Evaluator.*:FlightRecorder.*:SlidingWindow.*:ServeAdmin.*'
 }
 
 run_tidy() {
@@ -122,7 +124,7 @@ run_lockorder() {
   # real mutexes fails the suite (the deliberate inversions in
   # LockOrder.* reset their observations).
   "$ROOT/build-check-lockorder/tests/tmm_tests" \
-    --gtest_filter='LockOrder.*:Server*:ResultCache*:Evaluator*:Registry*:Tmb*:Protocol*:Obs*:Fault*:ServeLint*:ServeStats*:ServeAdmin*:FlightRecorder*:SlidingWindow*:LatencyBuckets*'
+    --gtest_filter='LockOrder.*:TaskPool*:StaParallel*:Server*:ResultCache*:Evaluator*:Registry*:Tmb*:Protocol*:Obs*:Fault*:ServeLint*:ServeStats*:ServeAdmin*:FlightRecorder*:SlidingWindow*:LatencyBuckets*'
   # Self-audit gate: dump the registered lock hierarchy and fail on any
   # cycle (exit 3).
   "$ROOT/build-check-lockorder/tools/tmm" lint --concurrency

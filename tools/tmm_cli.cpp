@@ -11,12 +11,13 @@
 // Subcommands (everything uses the built-in generated NLDM library):
 //   tmm gen-design <out.dsn> [--pins N] [--seed S] [--name X]
 //   tmm stats      <in.dsn>
-//   tmm sta        <in.dsn> [--no-cppr] [--period PS]
+//   tmm sta        <in.dsn> [--no-cppr] [--period PS] [--threads N]
 //   tmm train      <out.gnn> <train1.dsn> [train2.dsn ...] [--no-cppr]
-//                  [--regression]
-//   tmm generate   <in.gnn> <in.dsn> <out.macro> [--no-cppr]
-//   tmm evaluate   <in.dsn> <in.macro> [--no-cppr] [--sets K]
+//                  [--regression] [--threads N]
+//   tmm generate   <in.gnn> <in.dsn> <out.macro> [--no-cppr] [--threads N]
+//   tmm evaluate   <in.dsn> <in.macro> [--no-cppr] [--sets K] [--threads N]
 //   tmm flow       <run-dir> <design.dsn...> [--no-cppr] [--regression]
+//                  [--threads N]
 //                  (full pipeline with per-design isolation + resume;
 //                  with --resume <dir>, the run-dir positional is
 //                  omitted)
@@ -44,6 +45,12 @@
 //   tmm fault-sites           (list fault-injection sites; see
 //                  docs/ROBUSTNESS.md and the TMM_FAULT env variable)
 //
+// --threads N on the analysis commands caps the STA/TS worker count
+// (N >= 1); without it the count is automatic (TMM_THREADS when set,
+// else hardware concurrency). On `serve` it sets the request worker
+// count as before. Parallel analysis is bit-identical to serial
+// (docs/PERFORMANCE.md).
+//
 // Exit codes: 0 success; 1 runtime failure; 2 configuration error
 // (unrecognized/misplaced options, malformed TMM_FAULT, checkpoint
 // fingerprint mismatch); 3 partial/degraded success (`flow`/`train`
@@ -51,6 +58,7 @@
 
 #include <cstdio>
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -83,6 +91,7 @@
 #include "serve/tmb.hpp"
 #include "util/lockorder.hpp"
 #include "util/log.hpp"
+#include "util/task_pool.hpp"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -125,7 +134,11 @@ struct Args {
   std::string out;       ///< pack: output .tmb path
   std::string socket;    ///< serve: unix socket path
   int port = -1;         ///< serve: TCP port (0 = ephemeral)
+  /// serve: request workers (default 4). For the analysis commands the
+  /// default is unused — see sta_threads(); threads_given tells an
+  /// explicit --threads apart from the serve default.
   std::size_t threads = 4;
+  bool threads_given = false;
   std::size_t batch = 16;
   std::size_t cache = 4096;
   double quantize = 0.0;
@@ -212,8 +225,12 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       args.socket = next();
     else if (a == "--port")
       args.port = std::stoi(next());
-    else if (a == "--threads")
+    else if (a == "--threads") {
       args.threads = std::stoul(next());
+      args.threads_given = true;
+      if (args.threads == 0)
+        throw UsageError("--threads must be a positive integer");
+    }
     else if (a == "--batch")
       args.batch = std::stoul(next());
     else if (a == "--cache")
@@ -249,6 +266,13 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
 
 Design load_design(const std::string& path) {
   return read_design_file(path, default_library());
+}
+
+/// STA/TS worker count for the analysis commands: an explicit
+/// --threads N wins, otherwise 0 = auto (TMM_THREADS when set, else
+/// hardware concurrency — util::TaskPool::default_threads()).
+std::size_t sta_threads(const Args& args) {
+  return args.threads_given ? args.threads : 0;
 }
 
 int cmd_gen_design(const Args& args) {
@@ -293,7 +317,7 @@ int cmd_sta(const Args& args) {
     throw std::runtime_error("sta: design path required");
   const Design d = load_design(args.positional[0]);
   const TimingGraph g = build_timing_graph(d);
-  Sta sta(g, {.cppr = args.cppr});
+  Sta sta(g, {.cppr = args.cppr, .threads = sta_threads(args)});
   sta.run(nominal_constraints(d.primary_inputs().size(),
                               d.primary_outputs().size(), args.period));
   std::printf("%s @ %.0f ps (CPPR %s):\n", d.name().c_str(), args.period,
@@ -337,6 +361,7 @@ int cmd_train(const Args& args) {
   cfg.cppr_feature = args.cppr;
   cfg.regression = args.regression;
   cfg.checkpoint_dir = args.resume_dir;
+  cfg.threads = sta_threads(args);
   Framework fw(cfg);
   std::vector<Design> designs;
   for (std::size_t i = 1; i < args.positional.size(); ++i)
@@ -373,6 +398,7 @@ int cmd_flow(const Args& args) {
   cfg.cppr = args.cppr;
   cfg.cppr_feature = args.cppr;
   cfg.regression = args.regression;
+  cfg.threads = sta_threads(args);
   std::vector<std::string> paths(args.positional.begin() +
                                      static_cast<std::ptrdiff_t>(first_design),
                                  args.positional.end());
@@ -407,6 +433,7 @@ int cmd_generate(const Args& args) {
   cfg.cppr = args.cppr;
   cfg.cppr_feature = args.cppr;
   cfg.regression = args.regression;
+  cfg.threads = sta_threads(args);
   Framework fw(cfg);
   fw.set_model(load_gnn_file(args.positional[0]));
   const Design d = load_design(args.positional[1]);
@@ -433,8 +460,11 @@ int cmd_evaluate(const Args& args) {
   for (std::size_t i = 0; i < args.sets; ++i)
     sets.push_back(random_constraints(d.primary_inputs().size(),
                                       d.primary_outputs().size(), {}, rng));
+  Sta::Options sta_opt;
+  sta_opt.cppr = args.cppr;
+  sta_opt.threads = sta_threads(args);
   const AccuracyReport rep =
-      evaluate_accuracy(flat, model.graph, sets, args.cppr);
+      evaluate_accuracy(flat, model.graph, sets, sta_opt);
   std::printf("%s vs %s over %zu constraint sets (CPPR %s):\n",
               args.positional[1].c_str(), d.name().c_str(), args.sets,
               args.cppr ? "on" : "off");
@@ -472,6 +502,18 @@ int lint_concurrency() {
   cache.lookup("probe", snap);
   cache.insert("probe", snap);
   cache.stats();
+  // util.taskpool.job -> util.taskpool.queue: a real multi-threaded
+  // parallel_for on the shared pool, so both pool classes and their one
+  // intended nesting are observed (the STA worker-dispatch path).
+  {
+    std::atomic<std::size_t> pool_sum{0};
+    util::TaskPool::shared().parallel_for(
+        64, 4, /*max_threads=*/0, [&](std::size_t b, std::size_t e) {
+          pool_sum.fetch_add(e - b, std::memory_order_relaxed);
+        });
+    if (pool_sum.load() != 64)
+      throw std::runtime_error("task pool self-check lost chunks");
+  }
   // fault.plan: arm/disarm round trip (restores the disarmed state).
   if (fault::arm("sta.run", 1).ok()) fault::disarm();
   // fault.firehook: set + clear the fire observer.
@@ -755,11 +797,11 @@ struct Command {
 const Command kCommands[] = {
     {"gen-design", cmd_gen_design, {"--pins", "--seed", "--name"}},
     {"stats", cmd_stats, {}},
-    {"sta", cmd_sta, {"--no-cppr", "--period"}},
-    {"train", cmd_train, {"--no-cppr", "--regression"}},
-    {"generate", cmd_generate, {"--no-cppr", "--regression"}},
-    {"evaluate", cmd_evaluate, {"--no-cppr", "--sets"}},
-    {"flow", cmd_flow, {"--no-cppr", "--regression"}},
+    {"sta", cmd_sta, {"--no-cppr", "--period", "--threads"}},
+    {"train", cmd_train, {"--no-cppr", "--regression", "--threads"}},
+    {"generate", cmd_generate, {"--no-cppr", "--regression", "--threads"}},
+    {"evaluate", cmd_evaluate, {"--no-cppr", "--sets", "--threads"}},
+    {"flow", cmd_flow, {"--no-cppr", "--regression", "--threads"}},
     {"pack", cmd_pack, {"--out"}},
     {"serve", cmd_serve,
      {"--socket", "--port", "--threads", "--batch", "--cache", "--quantize",
@@ -795,6 +837,13 @@ int main(int argc, char** argv) {
     // configuration error (exit 2), never a silent no-op.
     if (const fault::Status s = fault::arm_from_env(); !s.ok())
       throw UsageError(s.message());
+    // Same policy for TMM_THREADS: a malformed thread-count spec is a
+    // configuration error up front, not a mid-run warning.
+    {
+      std::string terr;
+      util::TaskPool::env_threads(&terr);
+      if (!terr.empty()) throw UsageError(terr);
+    }
     // Global options may precede the subcommand.
     while (first < argc && std::strncmp(argv[first], "--", 2) == 0) {
       const std::string a = argv[first];
