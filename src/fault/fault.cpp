@@ -28,6 +28,9 @@ constexpr std::string_view kSites[] = {
     "serve.load_model",
     "serve.pack",
     "serve.parse_request",
+    "serve.reload_open",
+    "serve.reload_swap",
+    "serve.reload_validate",
     "serve.write_response",
     "sta.run",
     "ts.constraint_set",

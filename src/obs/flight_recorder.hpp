@@ -31,6 +31,8 @@ namespace tmm::obs {
 /// Flag bits for FlightRecord::flags.
 inline constexpr std::uint16_t kFlightCacheHit = 1u;
 inline constexpr std::uint16_t kFlightHasDeadline = 2u;
+inline constexpr std::uint16_t kFlightShedOverload = 4u;
+inline constexpr std::uint16_t kFlightShedDraining = 8u;
 
 /// One served request, fixed size so ring slots never allocate. The
 /// text fields are truncating copies (set_model/set_status) — long
@@ -41,7 +43,7 @@ struct FlightRecord {
   std::uint64_t ts_us = 0;       ///< arrival, microseconds since trace epoch
   char model[16] = {};           ///< NUL-padded, possibly truncated
   char status[12] = {};          ///< response status label ("ok", ...)
-  std::uint16_t flags = 0;       ///< kFlightCacheHit | kFlightHasDeadline
+  std::uint16_t flags = 0;       ///< kFlight* bits (cache hit, deadline, shed)
   std::uint16_t kind = 0;        ///< protocol request kind (0 = evaluate)
   /// Deadline slack at response time: deadline minus elapsed,
   /// milliseconds (negative = answered late). Meaningful only with

@@ -121,7 +121,12 @@ void append_elrf(std::string& key, const ElRf<double>& x) {
 }  // namespace
 
 Evaluator::Evaluator(const ModelRegistry& registry, Options opt)
-    : registry_(registry),
+    : static_registry_(&registry),
+      opt_(opt),
+      cache_(opt.cache_capacity, opt.cache_shards) {}
+
+Evaluator::Evaluator(RegistryManager& manager, Options opt)
+    : manager_(&manager),
       opt_(opt),
       cache_(opt.cache_capacity, opt.cache_shards) {}
 
@@ -129,7 +134,19 @@ Evaluator::Result Evaluator::evaluate(const std::string& model_name,
                                       const BoundaryConstraints& bc,
                                       BoundarySnapshot& out,
                                       Scratch& scratch, bool bypass_cache) {
-  const RegistryEntry* entry = registry_.find(model_name);
+  const ModelRegistry* registry = static_registry_;
+  if (manager_ != nullptr) {
+    // Pin the published generation for the whole request. On a swap the
+    // per-model engines point into the old generation — drop them; the
+    // old registry itself stays alive until every scratch re-pins.
+    std::shared_ptr<const ModelRegistry> cur = manager_->current();
+    if (scratch.pinned != cur) {
+      scratch.engines.clear();
+      scratch.pinned = std::move(cur);
+    }
+    registry = scratch.pinned.get();
+  }
+  const RegistryEntry* entry = registry->find(model_name);
   if (entry == nullptr)
     throw FlowError(ErrorCode::kUnavailable, "serve.evaluate",
                     "unknown model '" + model_name + "'");
@@ -163,6 +180,12 @@ Evaluator::Result Evaluator::evaluate(const std::string& model_name,
 
   std::string& key = scratch.key;
   key.clear();
+  // Generation prefix: a cached result can only ever answer queries
+  // against the exact registry generation that produced it.
+  {
+    const std::uint64_t gen = registry->generation();
+    key.append(reinterpret_cast<const char*>(&gen), sizeof gen);
+  }
   key.append(model_name);
   key.push_back('\0');
   append_bits(key, eff->clock_period_ps);

@@ -9,7 +9,9 @@
 // a steady-state cache miss allocates nothing.
 //
 // Cache keys are the raw IEEE-754 bit patterns of the constraint tuple
-// (plus the model name). With quantum_ps == 0 (the default) constraints
+// (plus the model name and registry generation — a result computed
+// against one hot-reload generation can never answer a query against
+// another). With quantum_ps == 0 (the default) constraints
 // are keyed and evaluated exactly, so served results stay bit-identical
 // to the offline path; with quantum_ps > 0 constraints are snapped to
 // the grid *before both keying and evaluation*, trading boundary
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "serve/registry.hpp"
+#include "serve/reload.hpp"
 #include "sta/propagation.hpp"
 #include "util/mutex.hpp"
 
@@ -100,13 +103,25 @@ class Evaluator {
     Sta::Options sta;
   };
 
+  /// Static mode: one immutable registry for the evaluator's lifetime
+  /// (offline verification, unit tests). The caller keeps `registry`
+  /// alive.
   Evaluator(const ModelRegistry& registry, Options opt);
+  /// Managed mode: evaluate against whatever generation `manager`
+  /// currently publishes. Each Scratch pins the generation it last saw
+  /// and re-pins (dropping its per-model engines) when a reload swaps
+  /// in a new one, so a worker mid-request keeps its registry alive
+  /// even while the swap happens. Non-const: the server reaches the
+  /// manager through here to run reloads (kReload / SIGHUP).
+  Evaluator(RegistryManager& manager, Options opt);
 
   /// Per-thread state: one Sta engine per model (built on first use)
   /// plus reusable key/constraint buffers. NOT thread-safe; one Scratch
   /// per worker.
   struct Scratch {
     std::unordered_map<const RegistryEntry*, std::unique_ptr<Sta>> engines;
+    /// Managed mode: the generation the engines were built against.
+    std::shared_ptr<const ModelRegistry> pinned;
     BoundaryConstraints qbc;
     std::string key;
   };
@@ -123,11 +138,21 @@ class Evaluator {
                   Scratch& scratch, bool bypass_cache = false);
 
   CacheStats cache_stats() const noexcept { return cache_.stats(); }
-  const ModelRegistry& registry() const noexcept { return registry_; }
   const Options& options() const noexcept { return opt_; }
 
+  /// Managed mode's registry manager; nullptr in static mode.
+  RegistryManager* manager() const noexcept { return manager_; }
+  /// The registry queries run against right now: the published
+  /// generation (managed) or a non-owning view of the static registry.
+  std::shared_ptr<const ModelRegistry> current_registry() const {
+    if (manager_ != nullptr) return manager_->current();
+    return {std::shared_ptr<const ModelRegistry>{}, static_registry_};
+  }
+
  private:
-  const ModelRegistry& registry_;
+  /// Exactly one of these is set, for the evaluator's whole life.
+  const ModelRegistry* static_registry_ = nullptr;
+  RegistryManager* manager_ = nullptr;
   Options opt_;
   ResultCache cache_;
 };

@@ -21,6 +21,7 @@ const char* response_status_name(ResponseStatus s) noexcept {
     case ResponseStatus::kDeadlineExceeded: return "deadline_exceeded";
     case ResponseStatus::kShuttingDown: return "shutting_down";
     case ResponseStatus::kInternalError: return "internal_error";
+    case ResponseStatus::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -31,6 +32,7 @@ const char* request_kind_name(RequestKind k) noexcept {
     case RequestKind::kStats: return "stats";
     case RequestKind::kHealth: return "health";
     case RequestKind::kFlightDump: return "flight_dump";
+    case RequestKind::kReload: return "reload";
   }
   return "unknown";
 }
@@ -148,7 +150,7 @@ Request decode_request(const std::string& payload) {
   const std::uint16_t flags = r.u16("flags");
   req.no_cache = (flags & kReqNoCache) != 0;
   const std::uint16_t kind = r.u16("request kind");
-  if (kind > static_cast<std::uint16_t>(RequestKind::kFlightDump))
+  if (kind > static_cast<std::uint16_t>(RequestKind::kReload))
     r.fail("bad request kind " + std::to_string(kind));
   req.kind = static_cast<RequestKind>(kind);
   req.request_id = r.u64("request id");
@@ -205,7 +207,7 @@ Response decode_response(const std::string& payload) {
   check_magic(r, kResponseMagic, "response");
   Response resp;
   const std::uint16_t status = r.u16("status");
-  if (status > static_cast<std::uint16_t>(ResponseStatus::kInternalError))
+  if (status > static_cast<std::uint16_t>(ResponseStatus::kOverloaded))
     r.fail("bad response status " + std::to_string(status));
   resp.status = static_cast<ResponseStatus>(status);
   const std::uint16_t flags = r.u16("flags");

@@ -24,9 +24,10 @@ namespace tmm::serve {
 inline constexpr char kRequestMagic[4] = {'T', 'M', 'R', 'Q'};
 inline constexpr char kResponseMagic[4] = {'T', 'M', 'R', 'S'};
 /// v2 added the request-kind word (admin introspection) and the
-/// admin-text response body. v1 frames are rejected, not misparsed:
+/// admin-text response body; v3 added the kReload admin kind and the
+/// kOverloaded shed status. Older frames are rejected, not misparsed:
 /// the version check precedes any layout assumption.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kProtocolVersion = 3;
 /// Largest accepted frame payload; a corrupt length prefix must not
 /// turn into a multi-GiB allocation.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
@@ -46,6 +47,7 @@ enum class RequestKind : std::uint16_t {
   kStats = 1,       ///< windowed + lifetime serving statistics (JSON)
   kHealth = 2,      ///< liveness/readiness summary (JSON)
   kFlightDump = 3,  ///< drain the request flight recorder (JSON)
+  kReload = 4,      ///< reload the models directory as a new generation
 };
 
 const char* request_kind_name(RequestKind k) noexcept;
@@ -57,6 +59,8 @@ enum class ResponseStatus : std::uint16_t {
   kDeadlineExceeded,  ///< deadline_ms elapsed before evaluation started
   kShuttingDown,      ///< server is draining; retry elsewhere
   kInternalError,     ///< evaluation failed (numeric error, injected fault)
+  kOverloaded,        ///< shed at admission: in-flight budget or projected
+                      ///< queue wait past the deadline; retry with backoff
 };
 
 const char* response_status_name(ResponseStatus s) noexcept;

@@ -14,8 +14,10 @@
 // returns — load runs single-threaded before workers start, lookups
 // return const pointers into storage that is never resized afterwards.
 // That is why this class carries no mutex and no thread-safety
-// annotations; any future mutating API must add both (see
-// docs/ANALYSIS.md, "Concurrency invariants").
+// annotations. Hot-reload (serve/reload.hpp) keeps the invariant by
+// mutating nothing: a reload builds a *new* registry single-threaded
+// and publishes it as a fresh generation behind RegistryManager's
+// shared_ptr swap; each generation stays frozen for its whole life.
 
 #include <cstdint>
 #include <map>
@@ -63,9 +65,19 @@ class ModelRegistry {
     return failures_;
   }
 
+  /// Monotonic generation stamp assigned by RegistryManager when this
+  /// registry is published (0 = never published / standalone use). The
+  /// evaluator prefixes cache keys with it so a result computed against
+  /// one generation can never answer a query against another.
+  std::uint64_t generation() const noexcept { return generation_; }
+  /// Set once, before publication, while the registry is still private
+  /// to the loading thread.
+  void set_generation(std::uint64_t gen) noexcept { generation_ = gen; }
+
  private:
   std::map<std::string, RegistryEntry> models_;
   std::vector<LoadFailure> failures_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace tmm::serve

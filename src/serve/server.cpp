@@ -61,8 +61,23 @@ struct Pending {
   double parse_us = 0.0;
   bool parse_failed = false;
   bool parse_injected = false;
+  bool admitted = false;        ///< holds one in-flight budget slot
+  bool shed_overload = false;   ///< rejected at admission
   std::string parse_error;
 };
+
+/// JSON string escaping for server-composed fragments (reload errors).
+std::string json_escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
 double us_between(std::chrono::steady_clock::time_point a,
                   std::chrono::steady_clock::time_point b) noexcept {
@@ -81,9 +96,12 @@ Server::~Server() {
   if (fire_hook_registered_) fault::set_fire_hook({});
   for (std::thread& t : workers_)
     if (t.joinable()) t.join();
+  if (reload_thread_.joinable()) reload_thread_.join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
   if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+  if (reload_pipe_[0] >= 0) ::close(reload_pipe_[0]);
+  if (reload_pipe_[1] >= 0) ::close(reload_pipe_[1]);
   if (unlink_on_close_) ::unlink(opt_.unix_path.c_str());
   // Workers are joined, but lock anyway: the guarded-by contract has no
   // destructor exemption, and the lock is uncontended here.
@@ -102,12 +120,23 @@ void Server::start() {
     throw FlowError(ErrorCode::kConfig, "serve.server",
                     "either a unix socket path or a TCP port is required");
 
+  // Resolved admission budget: enough slots to keep every worker's
+  // batch full, never fewer than one.
+  max_inflight_ = opt_.max_inflight != 0
+                      ? opt_.max_inflight
+                      : static_cast<std::size_t>(opt_.num_threads) *
+                            static_cast<std::size_t>(opt_.batch_max);
+  if (max_inflight_ == 0) max_inflight_ = 1;
+
   // Telemetry before the socket exists: the admin channel must be able
-  // to answer kStats/kHealth from the very first connection.
+  // to answer kStats/kHealth from the very first connection. The model
+  // list is the startup generation's; models introduced by a later
+  // reload aggregate into the global section only.
   {
+    const std::shared_ptr<const ModelRegistry> reg = eval_.current_registry();
     std::vector<std::string> models;
-    models.reserve(eval_.registry().entries().size());
-    for (const auto& [name, entry] : eval_.registry().entries())
+    models.reserve(reg->entries().size());
+    for (const auto& [name, entry] : reg->entries())
       models.push_back(name);
     ServeStats::Options sopt;
     sopt.slow_threshold_us = opt_.slow_threshold_us;
@@ -134,6 +163,7 @@ void Server::start() {
   }
 
   if (::pipe(stop_pipe_) != 0) throw_errno("cannot create stop pipe");
+  if (::pipe(reload_pipe_) != 0) throw_errno("cannot create reload pipe");
   // A response written into a connection the client already closed
   // must surface as EPIPE (handled per connection), not kill the
   // process.
@@ -190,6 +220,57 @@ void Server::stop() noexcept {
   }
 }
 
+void Server::request_reload() noexcept {
+  // AS-safe (the CLI's SIGHUP handler): one pipe write; the reload
+  // thread consumes the byte and runs the actual reload.
+  if (reload_pipe_[1] >= 0) {
+    const char byte = 'r';
+    [[maybe_unused]] const ssize_t n = ::write(reload_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::reload_main() {
+  // Waits on the reload pipe; the stop byte is never consumed, so its
+  // level-triggered POLLIN also wakes this thread for shutdown.
+  pollfd fds[2] = {{reload_pipe_[0], POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    fds[0].revents = fds[1].revents = 0;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    char byte = 0;
+    if (::read(reload_pipe_[0], &byte, 1) <= 0) return;
+    if (RegistryManager* mgr = eval_.manager()) mgr->reload();
+  }
+}
+
+std::string Server::stats_extra_json() const {
+  std::string out;
+  if (const RegistryManager* mgr = eval_.manager()) {
+    const RegistryManager::Counters c = mgr->counters();
+    out += "\"reload\": {\"generation\": " + std::to_string(c.generation);
+    out += ", \"reloads_ok\": " + std::to_string(c.reloads_ok);
+    out += ", \"reload_failures\": " + std::to_string(c.reload_failures);
+    out += ", \"last_swap_us\": " + std::to_string(c.last_swap_us);
+    out += ", \"last_error\": " + json_escaped(c.last_error);
+    out += "},\n  ";
+  }
+  out += "\"admission\": {\"max_inflight\": " + std::to_string(max_inflight_);
+  out += ", \"inflight\": " +
+         std::to_string(inflight_.load(std::memory_order_relaxed));
+  out += ", \"shed_overload\": " +
+         std::to_string(shed_overload_.load(std::memory_order_relaxed));
+  std::ostringstream ewma;
+  ewma << ewma_eval_us_.load(std::memory_order_relaxed);
+  out += ", \"ewma_eval_us\": " + ewma.str();
+  out += "}";
+  return out;
+}
+
 int Server::pop_connection() {
   util::MutexUniqueLock lock(mu_);
   // Explicit wait loop (not the predicate overload) so every access to
@@ -209,6 +290,8 @@ void Server::serve() {
   workers_.reserve(static_cast<std::size_t>(opt_.num_threads));
   for (int i = 0; i < opt_.num_threads; ++i)
     workers_.emplace_back([this] { worker_main(); });
+  if (eval_.manager() != nullptr)
+    reload_thread_ = std::thread([this] { reload_main(); });
 
   pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
   while (!stopping_.load(std::memory_order_relaxed)) {
@@ -237,6 +320,7 @@ void Server::serve() {
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
+  if (reload_thread_.joinable()) reload_thread_.join();
   // Connections the workers never picked up: close without answering
   // (the client observes EOF, the protocol's retry signal).
   {
@@ -277,6 +361,7 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
   static obs::Counter& g_batches = obs::counter("serve.batches");
   static obs::Counter& g_deadline = obs::counter("serve.deadline_exceeded");
   static obs::Counter& g_admin = obs::counter("serve.admin_requests");
+  static obs::Counter& g_overload = obs::counter("serve.shed_overload");
 
   std::string frame;
   std::vector<Pending> batch;
@@ -296,9 +381,47 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
       p.parse_injected = e.code() == ErrorCode::kInjected;
       p.parse_error = e.what();
     }
+    // Admission control, decided at receipt so an over-budget request
+    // is rejected before it queues behind a full batch. The slot is
+    // held until the response is written (or the connection aborts).
+    if (!p.parse_failed && p.req.kind == RequestKind::kEvaluate) {
+      const std::uint64_t in =
+          inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+      p.admitted = true;
+      bool reject = in > max_inflight_;
+      if (!reject && p.req.deadline_ms > 0) {
+        // Deadline-aware admission: with `in` requests ahead of
+        // num_threads workers, the projected queue wait is the EWMA of
+        // recent evaluation times scaled by the backlog depth; a
+        // request that cannot make its deadline is shed now instead of
+        // timing out after consuming an evaluator slot.
+        const double ewma = ewma_eval_us_.load(std::memory_order_relaxed);
+        const auto workers = static_cast<std::uint64_t>(opt_.num_threads);
+        if (ewma > 0.0 && in > workers) {
+          const double wait_us = static_cast<double>(in - workers) * ewma /
+                                 static_cast<double>(workers);
+          if (wait_us / 1000.0 >= static_cast<double>(p.req.deadline_ms))
+            reject = true;
+        }
+      }
+      if (reject) {
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        p.admitted = false;
+        p.shed_overload = true;
+      }
+    }
     p.parse_us = us_between(p.arrival, std::chrono::steady_clock::now());
     batch.push_back(std::move(p));
     return true;
+  };
+
+  // A connection abort mid-batch must not leak budget slots.
+  auto release_admitted = [&]() {
+    for (Pending& p : batch) {
+      if (!p.admitted) continue;
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      p.admitted = false;
+    }
   };
 
   try {
@@ -333,12 +456,12 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
       g_batches.add();
       batch_hist().observe(static_cast<double>(batch.size()));
 
-      for (const Pending& p : batch) {
+      for (Pending& p : batch) {
         Response resp;
         resp.request_id = p.req.request_id;
         const bool is_admin =
             !p.parse_failed && p.req.kind != RequestKind::kEvaluate;
-        bool shed = false;
+        ShedKind shed = ShedKind::kNone;
         double stage_cache_us = 0.0;
         double stage_eval_us = 0.0;
         if (p.parse_failed) {
@@ -350,16 +473,48 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
           // aggregated state — no STA, no result cache, no interaction
           // with the evaluation hot path beyond this worker's turn in
           // the batch. Health still answers while draining (that IS
-          // the signal).
+          // the signal). kReload runs the whole load + validate + swap
+          // on this worker — serialized by the manager, and every
+          // other worker keeps answering from its pinned generation
+          // meanwhile.
           resp.admin = true;
           const std::uint64_t now_us = obs::trace_now_us();
           if (p.req.kind == RequestKind::kStats) {
-            resp.text = stats_->stats_json(now_us);
+            resp.text = stats_->stats_json(now_us, stats_extra_json());
           } else if (p.req.kind == RequestKind::kHealth) {
+            const std::shared_ptr<const ModelRegistry> reg =
+                eval_.current_registry();
+            RegistryManager::Counters rc;
+            if (const RegistryManager* mgr = eval_.manager())
+              rc = mgr->counters();
             resp.text = stats_->health_json(
                 now_us, stopping_.load(std::memory_order_relaxed),
-                eval_.registry().entries().size(),
-                eval_.registry().failures().size());
+                reg->entries().size(), reg->failures().size(), rc.generation,
+                rc.reloads_ok, rc.reload_failures);
+          } else if (p.req.kind == RequestKind::kReload) {
+            if (RegistryManager* mgr = eval_.manager()) {
+              const ReloadResult r = mgr->reload();
+              std::string text = "{\"ok\": ";
+              text += r.ok ? "true" : "false";
+              text += ", \"generation\": " + std::to_string(r.generation);
+              text += ", \"models_loaded\": " + std::to_string(r.models_loaded);
+              text += ", \"load_failures\": " + std::to_string(r.load_failures);
+              std::ostringstream us;
+              us << ", \"reload_us\": " << r.reload_us << ", \"swap_us\": "
+                 << r.swap_us;
+              text += us.str();
+              const RegistryManager::Counters c = mgr->counters();
+              text += ", \"reloads_ok\": " + std::to_string(c.reloads_ok);
+              text +=
+                  ", \"reload_failures\": " + std::to_string(c.reload_failures);
+              text += ", \"error\": " + json_escaped(r.error);
+              text += "}\n";
+              resp.text = std::move(text);
+            } else {
+              resp.text =
+                  "{\"ok\": false, \"error\": \"hot-reload unavailable: "
+                  "server has no registry manager\"}\n";
+            }
           } else {  // kFlightDump
             std::ostringstream os;
             obs::write_flight_dump_json(os);
@@ -369,14 +524,22 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
         } else if (stopping_.load(std::memory_order_relaxed)) {
           resp.status = ResponseStatus::kShuttingDown;
           resp.error = "server is draining";
-          shed = true;
+          shed = ShedKind::kDraining;
+        } else if (p.shed_overload) {
+          resp.status = ResponseStatus::kOverloaded;
+          resp.error = "overloaded: in-flight budget of " +
+                       std::to_string(max_inflight_) +
+                       " exhausted or projected wait exceeds deadline";
+          shed = ShedKind::kOverload;
+          shed_overload_.fetch_add(1, std::memory_order_relaxed);
+          g_overload.add();
         } else if (p.req.deadline_ms > 0 &&
                    std::chrono::steady_clock::now() - p.arrival >=
                        std::chrono::milliseconds(p.req.deadline_ms)) {
           resp.status = ResponseStatus::kDeadlineExceeded;
           resp.error = "deadline of " + std::to_string(p.req.deadline_ms) +
                        " ms elapsed before evaluation";
-          shed = true;
+          shed = ShedKind::kDeadline;
           g_deadline.add();
         } else {
           const auto t_eval0 = std::chrono::steady_clock::now();
@@ -400,6 +563,11 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
               us_between(t_eval0, std::chrono::steady_clock::now());
           // A cache hit spent its time in the lookup; a miss in STA.
           (resp.cache_hit ? stage_cache_us : stage_eval_us) = spent;
+          // Feed the admission estimator. A dropped racing store only
+          // delays smoothing by one sample.
+          const double prev = ewma_eval_us_.load(std::memory_order_relaxed);
+          ewma_eval_us_.store(prev == 0.0 ? spent : prev * 0.9 + spent * 0.1,
+                              std::memory_order_relaxed);
         }
         requests_.fetch_add(1, std::memory_order_relaxed);
         g_requests.add();
@@ -413,6 +581,10 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
         fault::inject("serve.write_response");
         const auto t_write0 = std::chrono::steady_clock::now();
         write_frame(fd, encode_response(resp));
+        if (p.admitted) {
+          inflight_.fetch_sub(1, std::memory_order_relaxed);
+          p.admitted = false;
+        }
         const auto t_done = std::chrono::steady_clock::now();
         const double write_us = us_between(t_write0, t_done);
         const double total_us = us_between(p.arrival, t_done);
@@ -446,7 +618,9 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
         rec.kind = static_cast<std::uint16_t>(p.req.kind);
         rec.flags = static_cast<std::uint16_t>(
             (resp.cache_hit ? obs::kFlightCacheHit : 0u) |
-            (has_deadline ? obs::kFlightHasDeadline : 0u));
+            (has_deadline ? obs::kFlightHasDeadline : 0u) |
+            (shed == ShedKind::kOverload ? obs::kFlightShedOverload : 0u) |
+            (shed == ShedKind::kDraining ? obs::kFlightShedDraining : 0u));
         if (has_deadline) rec.deadline_slack_ms = static_cast<float>(slack_ms);
         rec.parse_us = static_cast<float>(p.parse_us);
         rec.cache_us = static_cast<float>(stage_cache_us);
@@ -460,6 +634,7 @@ void Server::handle_connection(int fd, Evaluator::Scratch& scratch) {
   } catch (const std::exception& e) {
     // Socket-level failure (peer vanished mid-response, injected
     // serve.write_response fault): drop this connection, keep serving.
+    release_admitted();
     conn_aborts_.fetch_add(1, std::memory_order_relaxed);
     g_aborts.add();
     log_error("serve: connection aborted: %s", e.what());
@@ -478,6 +653,7 @@ Server::Stats Server::stats() const noexcept {
   s.request_errors = request_errors_.load(std::memory_order_relaxed);
   s.conn_aborts = conn_aborts_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -19,6 +19,20 @@
 // same connection; a socket-level failure (or an injected
 // serve.write_response fault) aborts only that connection and is
 // counted in serve.conn_aborts — the server keeps serving.
+//
+// Admission control: evaluate requests are admitted against a bounded
+// in-flight budget at frame receipt — a request over the budget, or
+// one whose projected queue wait (EWMA of recent evaluation times)
+// already exceeds its deadline, is rejected immediately with
+// kOverloaded instead of timing out after consuming an evaluator
+// slot. Admin traffic is never shed.
+//
+// Hot-reload: when the evaluator runs in managed mode
+// (serve/reload.hpp), a kReload admin request — or request_reload(),
+// the CLI's SIGHUP hook — triggers a RegistryManager::reload() and the
+// next evaluate on each worker re-pins the new generation. A reload
+// runs on the worker answering the kReload frame (serialized by the
+// manager), or on a dedicated thread for the signal path.
 
 #include <atomic>
 #include <condition_variable>
@@ -56,6 +70,9 @@ struct ServerOptions {
   /// Directory for automatic flight dumps (dump-on-fault, dump-on-
   /// connection-abort); empty disables both (`--dump-dir`).
   std::string dump_dir;
+  /// In-flight evaluate budget for admission control; 0 derives
+  /// num_threads * batch_max at start() (`--max-inflight`).
+  std::size_t max_inflight = 0;
 };
 
 class Server {
@@ -77,6 +94,11 @@ class Server {
   /// a signal handler, repeatedly.
   void stop() noexcept;
 
+  /// Request a hot reload of the models directory. Async-signal-safe
+  /// (the CLI's SIGHUP handler); a no-op when the evaluator has no
+  /// registry manager. The reload itself runs on the reload thread.
+  void request_reload() noexcept;
+
   /// Port actually bound (TCP mode), valid after start().
   int bound_port() const noexcept { return bound_port_; }
 
@@ -87,6 +109,7 @@ class Server {
     std::uint64_t request_errors = 0;  ///< non-ok responses sent
     std::uint64_t conn_aborts = 0;     ///< connections dropped on error
     std::uint64_t batches = 0;
+    std::uint64_t shed_overload = 0;   ///< kOverloaded rejections
   };
   Stats stats() const noexcept;
 
@@ -99,12 +122,17 @@ class Server {
   void handle_connection(int fd, Evaluator::Scratch& scratch);
   /// -1 when stopping and the queue is empty.
   int pop_connection();
+  void reload_main();
+  /// The raw-JSON reload + admission sections spliced into stats_json.
+  std::string stats_extra_json() const;
 
   Evaluator& eval_;
   ServerOptions opt_;
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
+  int reload_pipe_[2] = {-1, -1};
   int bound_port_ = -1;
+  std::size_t max_inflight_ = 0;  ///< resolved budget (>= 1)
   // Invariant: stopping_ is a latch only ever flipped false -> true;
   // every consumer tolerates reading it one iteration late (workers
   // re-check after the cv wakeup, the acceptor after poll), so all
@@ -121,6 +149,16 @@ class Server {
   std::condition_variable cv_;
   std::deque<int> pending_ TMM_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
+  std::thread reload_thread_;
+
+  // Invariant: inflight_ is a semaphore-style occupancy count; each
+  // admitted request increments exactly once and decrements exactly
+  // once (response written or connection abort). The admission check
+  // tolerates reading a momentarily stale count, so relaxed suffices.
+  std::atomic<std::uint64_t> inflight_{0};
+  // Invariant: a racing EWMA store may drop an update — it is a
+  // smoothed advisory estimate, never a correctness input.
+  std::atomic<double> ewma_eval_us_{0.0};
 
   // Invariant: the stats counters are monotonic and independent — each
   // is a standalone event count read only after the fact (stats(),
@@ -132,6 +170,7 @@ class Server {
   std::atomic<std::uint64_t> request_errors_{0};
   std::atomic<std::uint64_t> conn_aborts_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> shed_overload_{0};
 };
 
 }  // namespace tmm::serve

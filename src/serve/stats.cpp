@@ -57,14 +57,16 @@ ServeStats::ServeStats(std::vector<std::string> models, std::uint64_t start_us,
 }
 
 void ServeStats::record(std::uint64_t now_us, std::string_view model,
-                        ResponseStatus status, bool cache_hit, bool shed,
+                        ResponseStatus status, bool cache_hit, ShedKind shed,
                         const RequestTimings& t, std::uint64_t request_id) {
   const bool ok = status == ResponseStatus::kOk;
   auto update = [&](Series& s) {
     s.latency.observe(now_us, t.total_us);
     s.requests.add(now_us);
     if (!ok) s.errors.add(now_us);
-    if (shed) s.shed.add(now_us);
+    if (shed != ShedKind::kNone) s.shed.add(now_us);
+    if (shed == ShedKind::kOverload) s.shed_overload.add(now_us);
+    if (shed == ShedKind::kDraining) s.shed_draining.add(now_us);
     if (ok) (cache_hit ? s.cache_hits : s.cache_misses).add(now_us);
   };
   update(global_);
@@ -73,7 +75,12 @@ void ServeStats::record(std::uint64_t now_us, std::string_view model,
 
   total_requests_.fetch_add(1, std::memory_order_relaxed);
   if (!ok) total_errors_.fetch_add(1, std::memory_order_relaxed);
-  if (shed) total_shed_.fetch_add(1, std::memory_order_relaxed);
+  if (shed != ShedKind::kNone)
+    total_shed_.fetch_add(1, std::memory_order_relaxed);
+  if (shed == ShedKind::kOverload)
+    total_shed_overload_.fetch_add(1, std::memory_order_relaxed);
+  if (shed == ShedKind::kDraining)
+    total_shed_draining_.fetch_add(1, std::memory_order_relaxed);
   if (ok && cache_hit) total_cache_hits_.fetch_add(1, std::memory_order_relaxed);
 
   if (opt_.slow_threshold_us == 0 ||
@@ -114,6 +121,8 @@ void ServeStats::append_series_json(std::string& out, const Series& s,
     const std::uint64_t requests = s.requests.sum(now_us, win);
     const std::uint64_t errors = s.errors.sum(now_us, win);
     const std::uint64_t shed = s.shed.sum(now_us, win);
+    const std::uint64_t shed_over = s.shed_overload.sum(now_us, win);
+    const std::uint64_t shed_drain = s.shed_draining.sum(now_us, win);
     const std::uint64_t hits = s.cache_hits.sum(now_us, win);
     const std::uint64_t misses = s.cache_misses.sum(now_us, win);
     out += "\"count\": " + std::to_string(requests);
@@ -137,6 +146,10 @@ void ServeStats::append_series_json(std::string& out, const Series& s,
     json_number(out, ratio(errors, requests));
     out += ", \"shed_rate\": ";
     json_number(out, ratio(shed, requests));
+    out += ", \"shed_overload_rate\": ";
+    json_number(out, ratio(shed_over, requests));
+    out += ", \"shed_draining_rate\": ";
+    json_number(out, ratio(shed_drain, requests));
     out += ", \"cache_hit_rate\": ";
     json_number(out, ratio(hits, hits + misses));
     out += '}';
@@ -144,7 +157,8 @@ void ServeStats::append_series_json(std::string& out, const Series& s,
   out += '}';
 }
 
-std::string ServeStats::stats_json(std::uint64_t now_us) const {
+std::string ServeStats::stats_json(std::uint64_t now_us,
+                                   std::string_view extra) const {
   std::string out;
   out.reserve(2048);
   out += "{\n  \"now_us\": " + std::to_string(now_us);
@@ -170,9 +184,17 @@ std::string ServeStats::stats_json(std::uint64_t now_us) const {
          std::to_string(total_errors_.load(std::memory_order_relaxed));
   out += ", \"shed\": " +
          std::to_string(total_shed_.load(std::memory_order_relaxed));
+  out += ", \"shed_overload\": " +
+         std::to_string(total_shed_overload_.load(std::memory_order_relaxed));
+  out += ", \"shed_draining\": " +
+         std::to_string(total_shed_draining_.load(std::memory_order_relaxed));
   out += ", \"cache_hits\": " +
          std::to_string(total_cache_hits_.load(std::memory_order_relaxed));
   out += "}";
+  if (!extra.empty()) {
+    out += ",\n  ";
+    out += extra;
+  }
   out += ",\n  \"slow\": {";
   out += "\"threshold_us\": " + std::to_string(opt_.slow_threshold_us);
   out += ", \"total\": " +
@@ -203,7 +225,10 @@ std::string ServeStats::stats_json(std::uint64_t now_us) const {
 
 std::string ServeStats::health_json(std::uint64_t now_us, bool draining,
                                     std::size_t models_loaded,
-                                    std::size_t models_failed) const {
+                                    std::size_t models_failed,
+                                    std::uint64_t generation,
+                                    std::uint64_t reloads_ok,
+                                    std::uint64_t reload_failures) const {
   std::string out;
   out += "{\"status\": ";
   json_string(out, draining ? "draining" : "ok");
@@ -213,6 +238,9 @@ std::string ServeStats::health_json(std::uint64_t now_us, bool draining,
                        : 0.0);
   out += ", \"models_loaded\": " + std::to_string(models_loaded);
   out += ", \"models_failed\": " + std::to_string(models_failed);
+  out += ", \"generation\": " + std::to_string(generation);
+  out += ", \"reloads_ok\": " + std::to_string(reloads_ok);
+  out += ", \"reload_failures\": " + std::to_string(reload_failures);
   out += ", \"requests\": " +
          std::to_string(total_requests_.load(std::memory_order_relaxed));
   out += ", \"flight_recorder\": {\"enabled\": ";

@@ -46,6 +46,18 @@ struct RequestTimings {
   double deadline_slack_ms = 0.0;  ///< deadline minus elapsed at response
 };
 
+/// Why a request was rejected without evaluation. Draining (shutdown)
+/// and overload (admission control) are tracked in separate windows so
+/// `tmm stat` can distinguish "deploy in progress" from "saturated";
+/// deadline-expired shedding counts with the draining bucket's
+/// aggregate shed rate but carries no flight flag of its own.
+enum class ShedKind : std::uint8_t {
+  kNone = 0,      ///< request was evaluated (or is admin traffic)
+  kDraining,      ///< kShuttingDown during drain
+  kOverload,      ///< kOverloaded at admission
+  kDeadline,      ///< deadline elapsed before evaluation started
+};
+
 /// Slow-request-log controls (namespace-scope so `= {}` default
 /// arguments see the member initializers — nested-class NSDMIs are not
 /// parsed until the enclosing class is complete).
@@ -73,23 +85,33 @@ class ServeStats {
   ServeStats(const ServeStats&) = delete;
   ServeStats& operator=(const ServeStats&) = delete;
 
-  /// Record one answered request. `shed` marks requests rejected
-  /// without evaluation (draining or deadline-expired) — they count in
-  /// shed_rate as well as error_rate. Lock-free except when the
-  /// request is slower than the slow threshold.
+  /// Record one answered request. `shed` != kNone marks requests
+  /// rejected without evaluation — they count in shed_rate as well as
+  /// error_rate, with overload and draining split into their own
+  /// windows. Lock-free except when the request is slower than the
+  /// slow threshold.
   void record(std::uint64_t now_us, std::string_view model,
-              ResponseStatus status, bool cache_hit, bool shed,
+              ResponseStatus status, bool cache_hit, ShedKind shed,
               const RequestTimings& t, std::uint64_t request_id);
 
   /// The kStats response body: windowed ("10s", "300s") QPS and
   /// latency percentiles plus rates, globally and per model, lifetime
-  /// totals, and the slow-log section.
-  std::string stats_json(std::uint64_t now_us) const;
+  /// totals, and the slow-log section. `extra` is a raw JSON fragment
+  /// (already quoted/escaped, e.g. `"reload": {...}, "admission":
+  /// {...}`) spliced in at top level — how the server contributes its
+  /// reload and admission sections without stats knowing about them.
+  std::string stats_json(std::uint64_t now_us,
+                         std::string_view extra = {}) const;
 
   /// The kHealth response body: a small liveness/readiness summary.
+  /// The reload trio reports the hot-reload state (generation 0 =
+  /// manager-less server, e.g. unit tests).
   std::string health_json(std::uint64_t now_us, bool draining,
                           std::size_t models_loaded,
-                          std::size_t models_failed) const;
+                          std::size_t models_failed,
+                          std::uint64_t generation = 0,
+                          std::uint64_t reloads_ok = 0,
+                          std::uint64_t reload_failures = 0) const;
 
   /// Lifetime count of requests that crossed the slow threshold.
   std::uint64_t slow_total() const noexcept;
@@ -104,7 +126,9 @@ class ServeStats {
     obs::WindowedHistogram latency;  ///< total_us
     obs::WindowedCounter requests;
     obs::WindowedCounter errors;
-    obs::WindowedCounter shed;
+    obs::WindowedCounter shed;           ///< all shed kinds combined
+    obs::WindowedCounter shed_overload;  ///< admission-control rejects
+    obs::WindowedCounter shed_draining;  ///< shutdown-drain rejects
     obs::WindowedCounter cache_hits;
     obs::WindowedCounter cache_misses;
   };
@@ -131,6 +155,8 @@ class ServeStats {
   std::atomic<std::uint64_t> total_requests_{0};
   std::atomic<std::uint64_t> total_errors_{0};
   std::atomic<std::uint64_t> total_shed_{0};
+  std::atomic<std::uint64_t> total_shed_overload_{0};
+  std::atomic<std::uint64_t> total_shed_draining_{0};
   std::atomic<std::uint64_t> total_cache_hits_{0};
   std::atomic<std::uint64_t> slow_total_{0};
 

@@ -219,10 +219,11 @@ grep -q '"total_errors": 0' "$DIR/BENCH_serve.json"
 grep -q '"git_sha"' "$DIR/BENCH_serve.json"
 
 # In-server fault sites need a live client: an injected request-parse
-# fault becomes an error response (the server keeps serving and drains
-# cleanly); an injected response-write fault aborts one connection.
-# Either way the loadgen reports the error (exit 1) and the server
-# survives to a clean exit-0 drain.
+# fault becomes an error response the loadgen reports (exit 1); an
+# injected response-write fault aborts one connection, which the
+# loadgen now rides out by reconnecting and retrying (exit 0, with the
+# retry counted in its report). Either way the server survives to a
+# clean exit-0 drain.
 for SITE in serve.parse_request serve.write_response; do
   SOCK="$DIR/$SITE.sock"
   TMM_FAULT="$SITE:1" "$TMM" serve "$DIR/models" --socket "$SOCK" \
@@ -239,7 +240,12 @@ for SITE in serve.parse_request serve.write_response; do
   wait "$SRVF"
   rcs=$?
   set -e
-  [ "$rcf" -eq 1 ]   # loadgen saw the injected failure
+  if [ "$SITE" = serve.parse_request ]; then
+    [ "$rcf" -eq 1 ]   # error response surfaced to the client
+  else
+    [ "$rcf" -eq 0 ]   # connection abort absorbed by reconnect + retry
+    grep -q '"response_retries": [1-9]' "$DIR/BENCH_serve.json"
+  fi
   [ "$rcs" -eq 0 ]   # server survived it and drained cleanly
   # Dump-on-fault: the fire hook froze the flight recorder next to the
   # models (serve defaults --dump-dir to the model directory).
@@ -247,6 +253,51 @@ for SITE in serve.parse_request serve.write_response; do
   test -s "$DUMP"
   grep -q '"records_total"' "$DUMP"
 done
+
+# --- Hot reload: tmm stat --reload against a live server --------------------
+
+# A reload over the admin channel bumps the generation without a
+# restart; pointing the reload at a directory holding a corrupt pack
+# rolls back (reload is strict where startup is lax) and the failure is
+# visible in stats while the old generation keeps serving.
+mkdir -p "$DIR/rmodels"
+cp "$DIR/models/t1.tmb" "$DIR/rmodels/t1.tmb"
+"$TMM" serve "$DIR/rmodels" --socket "$DIR/reload.sock" --threads 2 \
+  > "$DIR/serve_reload.txt" 2>&1 &
+SRVR=$!
+i=0
+while [ ! -S "$DIR/reload.sock" ] && [ "$i" -lt 100 ]; do i=$((i+1)); sleep 0.1; done
+"$TMM" stat --health "$DIR/reload.sock" > "$DIR/rhealth1.json"
+grep -q '"generation": 1' "$DIR/rhealth1.json"
+"$TMM" stat --reload "$DIR/reload.sock" > "$DIR/reload1.json"
+grep -q '"ok": true' "$DIR/reload1.json"
+grep -q '"generation": 2' "$DIR/reload1.json"
+grep -q '"swap_us"' "$DIR/reload1.json"
+# Corrupt pack in the directory: reload refuses the swap...
+cp "$DIR/badmodels/bad.tmb" "$DIR/rmodels/bad.tmb"
+"$TMM" stat --reload "$DIR/reload.sock" > "$DIR/reload2.json"
+grep -q '"ok": false' "$DIR/reload2.json"
+# ...the old generation keeps serving bit-identically...
+TMM_BENCH_JSON_DIR="$DIR" "$LOADGEN" --socket "$DIR/reload.sock" \
+  --model-dir "$DIR/rmodels" --threads 2 --seconds 1 --warm-keys 2 \
+  > "$DIR/reload.loadgen.txt"
+# ...and the failure is reported on the stats channel.
+"$TMM" stat "$DIR/reload.sock" > "$DIR/rstat.json"
+grep -q '"reload_failures": 1' "$DIR/rstat.json"
+grep -q '"max_inflight"' "$DIR/rstat.json"
+# --reload is one-shot admin traffic: not combinable with --watch.
+set +e
+"$TMM" stat --reload --watch "$DIR/reload.sock" 2> /dev/null
+rc_rw=$?
+set -e
+[ "$rc_rw" -eq 2 ]
+kill -TERM "$SRVR"
+set +e
+wait "$SRVR"
+rc10=$?
+set -e
+[ "$rc10" -eq 0 ]
+grep -q "1 failed" "$DIR/serve_reload.txt"
 
 # Degraded startup: one corrupt model among good ones still serves, but
 # the drain exits 3 so orchestrators notice.

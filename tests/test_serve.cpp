@@ -1,8 +1,10 @@
 // Serving engine (src/serve): .tmb binary format round-trip and
 // corruption rejection, registry isolation, result-cache LRU semantics,
-// evaluator caching/quantization, wire-protocol round-trip, and a
-// concurrent end-to-end server test (the TSan target) asserting served
-// responses are bit-identical to the offline evaluation path.
+// evaluator caching/quantization, wire-protocol round-trip, concurrent
+// end-to-end server tests (the TSan targets) asserting served responses
+// are bit-identical to the offline evaluation path, generational
+// hot-reload (swap, rollback, fault-site isolation, a reload-vs-
+// evaluate hammer), and deterministic overload admission.
 #include <gtest/gtest.h>
 
 #include <netinet/in.h>
@@ -11,6 +13,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +29,7 @@
 #include "serve/evaluator.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
+#include "serve/reload.hpp"
 #include "serve/server.hpp"
 #include "serve/tmb.hpp"
 #include "sta/timing_graph.hpp"
@@ -598,6 +602,303 @@ TEST(Server, UnixSocketServesAndUnlinksOnShutdown) {
   // Destroying the server removes the socket file: stale socket files
   // would break the next server's bind.
   EXPECT_FALSE(fs::exists(sock));
+}
+
+// --------------------------------------------------------------- reload
+
+/// Two same-name models with identical 2-PI/2-PO boundary shape but
+/// different internal timing: a reload can swap between them without
+/// changing what requests look like, and their snapshots tell the
+/// generations apart bit-exactly.
+struct ReloadFixture {
+  TempDir dir;
+  BoundaryConstraints bc;
+  BoundarySnapshot snap_a, snap_b;
+  ReloadFixture() {
+    const MacroModel a = make_model("blk", 31);
+    const MacroModel b = make_model("blk", 37);
+    bc = constraints_for(a, 5);
+    snap_a = snapshot_of(a.graph, bc);
+    snap_b = snapshot_of(b.graph, bc);
+    EXPECT_FALSE(bit_identical(snap_a, snap_b));
+    serve::write_tmb_file(a, dir.str("blk.tmb"));
+  }
+  void install(std::uint64_t seed) {
+    serve::write_tmb_file(make_model("blk", seed), dir.str("blk.tmb"));
+  }
+};
+
+BoundarySnapshot served_by(const serve::ModelRegistry& reg,
+                           const BoundaryConstraints& bc) {
+  const serve::RegistryEntry* entry = reg.find("blk");
+  EXPECT_NE(entry, nullptr);
+  return snapshot_of(entry->model.graph, bc);
+}
+
+TEST(Reload, SwapPublishesNewGenerationWhileOldPinsSurvive) {
+  ReloadFixture fx;
+  serve::RegistryManager mgr(fx.dir.str());
+  EXPECT_EQ(mgr.load_initial(), 1u);
+  const std::shared_ptr<const serve::ModelRegistry> pinned = mgr.current();
+  EXPECT_EQ(pinned->generation(), 1u);
+  EXPECT_TRUE(bit_identical(served_by(*pinned, fx.bc), fx.snap_a));
+
+  fx.install(37);
+  const serve::ReloadResult r = mgr.reload();
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.generation, 2u);
+  EXPECT_EQ(r.models_loaded, 1u);
+  EXPECT_EQ(r.load_failures, 0u);
+  EXPECT_GE(r.reload_us, r.swap_us);  // swap is inside the reload
+
+  // An in-flight request that pinned generation 1 keeps answering from
+  // it; the published generation is already the new one.
+  EXPECT_TRUE(bit_identical(served_by(*pinned, fx.bc), fx.snap_a));
+  const std::shared_ptr<const serve::ModelRegistry> cur = mgr.current();
+  EXPECT_EQ(cur->generation(), 2u);
+  EXPECT_TRUE(bit_identical(served_by(*cur, fx.bc), fx.snap_b));
+
+  const serve::RegistryManager::Counters c = mgr.counters();
+  EXPECT_EQ(c.generation, 2u);
+  EXPECT_EQ(c.reloads_ok, 1u);
+  EXPECT_EQ(c.reload_failures, 0u);
+  EXPECT_TRUE(c.last_error.empty());
+}
+
+TEST(Reload, FailedLoadRollsBackToServingGeneration) {
+  ReloadFixture fx;
+  serve::RegistryManager mgr(fx.dir.str());
+  mgr.load_initial();
+
+  // Reload is strict where startup is lax: one corrupt pack in an
+  // otherwise-good directory vetoes the whole swap.
+  std::ofstream(fx.dir.str("junk.tmb")) << "not a tmb image";
+  const serve::ReloadResult r = mgr.reload();
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  const std::shared_ptr<const serve::ModelRegistry> cur = mgr.current();
+  EXPECT_EQ(cur->generation(), 1u);
+  EXPECT_TRUE(bit_identical(served_by(*cur, fx.bc), fx.snap_a));
+  EXPECT_EQ(mgr.counters().reload_failures, 1u);
+  EXPECT_FALSE(mgr.counters().last_error.empty());
+
+  // Repairing the directory makes the next reload succeed and clears
+  // the sticky error.
+  fs::remove(fx.dir.str("junk.tmb"));
+  fx.install(37);
+  const serve::ReloadResult r2 = mgr.reload();
+  EXPECT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(r2.generation, 2u);
+  EXPECT_TRUE(bit_identical(served_by(*mgr.current(), fx.bc), fx.snap_b));
+  EXPECT_TRUE(mgr.counters().last_error.empty());
+}
+
+TEST(Reload, ValidatorVetoKeepsOldGeneration) {
+  ReloadFixture fx;
+  serve::RegistryManager mgr(
+      fx.dir.str(), [](const std::string&) { return std::string("S999 veto"); });
+  mgr.load_initial();  // startup does not consult the validator
+  fx.install(37);
+  const serve::ReloadResult r = mgr.reload();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("S999 veto"), std::string::npos);
+  EXPECT_EQ(mgr.current()->generation(), 1u);
+  EXPECT_TRUE(bit_identical(served_by(*mgr.current(), fx.bc), fx.snap_a));
+}
+
+TEST(Reload, FaultSitesRollBackAndKeepServing) {
+  // Each serve.reload_* site fires once mid-reload; the old generation
+  // must keep serving bit-identically and the next reload must succeed.
+  for (const char* site :
+       {"serve.reload_open", "serve.reload_swap", "serve.reload_validate"}) {
+    ReloadFixture fx;
+    serve::RegistryManager mgr(fx.dir.str());
+    mgr.load_initial();
+    fx.install(37);
+
+    ASSERT_TRUE(fault::arm(site, 1).ok()) << site;
+    const serve::ReloadResult r = mgr.reload();
+    fault::disarm();
+    EXPECT_FALSE(r.ok) << site;
+    EXPECT_NE(r.error.find("injected"), std::string::npos) << site;
+    EXPECT_EQ(mgr.current()->generation(), 1u) << site;
+    EXPECT_TRUE(bit_identical(served_by(*mgr.current(), fx.bc), fx.snap_a))
+        << site;
+
+    const serve::ReloadResult retry = mgr.reload();
+    EXPECT_TRUE(retry.ok) << site << ": " << retry.error;
+    EXPECT_TRUE(bit_identical(served_by(*mgr.current(), fx.bc), fx.snap_b))
+        << site;
+  }
+}
+
+// A TSan target: clients hammer a managed Evaluator while the main
+// thread swaps generations in a loop. Every answer must be bit-identical
+// to the offline snapshot of the generation the scratch had pinned —
+// a stale cross-generation cache hit or a use-after-free of a retired
+// registry would both trip this (the cache key's generation prefix and
+// the shared_ptr pinning are what keep it honest).
+TEST(Reload, ConcurrentEvaluationDuringSwapsIsSafe) {
+  ReloadFixture fx;
+  serve::RegistryManager mgr(fx.dir.str());
+  mgr.load_initial();
+  serve::Evaluator eval(mgr, {});
+
+  // Generation 1 is seed 31; reload r installs seed 37/31 alternately,
+  // so odd generations serve snap_a and even ones snap_b.
+  constexpr int kThreads = 4;
+  constexpr int kReloads = 20;
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::atomic<std::uint64_t> answered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      serve::Evaluator::Scratch scratch;
+      BoundarySnapshot out;
+      while (!stop.load(std::memory_order_relaxed)) {
+        eval.evaluate("blk", fx.bc, out, scratch);
+        const std::uint64_t gen = scratch.pinned->generation();
+        const BoundarySnapshot& expected =
+            gen % 2 == 1 ? fx.snap_a : fx.snap_b;
+        if (!bit_identical(out, expected)) wrong.fetch_add(1);
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int r = 0; r < kReloads; ++r) {
+    fx.install(r % 2 == 0 ? 37 : 31);
+    const serve::ReloadResult res = mgr.reload();
+    EXPECT_TRUE(res.ok) << res.error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_EQ(mgr.counters().generation,
+            static_cast<std::uint64_t>(kReloads) + 1);
+  EXPECT_EQ(mgr.counters().reloads_ok, static_cast<std::uint64_t>(kReloads));
+}
+
+TEST(Server, ReloadOverWireSwapsGenerationLive) {
+  ReloadFixture fx;
+  serve::RegistryManager mgr(fx.dir.str());
+  mgr.load_initial();
+  serve::Evaluator eval(mgr, {});
+  serve::Server server(eval, {.tcp_port = 0, .num_threads = 2});
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  const int fd = connect_loopback(server.bound_port());
+  std::string frame;
+  const auto ask = [&](std::uint64_t id) {
+    serve::Request req;
+    req.request_id = id;
+    req.model = "blk";
+    req.bc = fx.bc;
+    serve::write_frame(fd, serve::encode_request(req));
+    EXPECT_TRUE(serve::read_frame(fd, frame));
+    return serve::decode_response(frame);
+  };
+
+  const serve::Response before = ask(1);
+  EXPECT_EQ(before.status, serve::ResponseStatus::kOk);
+  EXPECT_TRUE(bit_identical(before.snap, fx.snap_a));
+
+  // Admin reload on the same connection; the JSON answer carries the
+  // new generation and the swap timing.
+  fx.install(37);
+  serve::Request reload;
+  reload.request_id = 2;
+  reload.kind = serve::RequestKind::kReload;
+  serve::write_frame(fd, serve::encode_request(reload));
+  ASSERT_TRUE(serve::read_frame(fd, frame));
+  const serve::Response rr = serve::decode_response(frame);
+  EXPECT_EQ(rr.status, serve::ResponseStatus::kOk);
+  EXPECT_TRUE(rr.admin);
+  EXPECT_NE(rr.text.find("\"ok\": true"), std::string::npos) << rr.text;
+  EXPECT_NE(rr.text.find("\"generation\": 2"), std::string::npos) << rr.text;
+  EXPECT_NE(rr.text.find("\"swap_us\": "), std::string::npos) << rr.text;
+
+  // The same constraints now answer from the new generation — a result
+  // cache not keyed by generation would hand back snap_a here.
+  const serve::Response after = ask(3);
+  EXPECT_EQ(after.status, serve::ResponseStatus::kOk);
+  EXPECT_TRUE(bit_identical(after.snap, fx.snap_b));
+
+  // Health reports the generation and reload counters.
+  serve::Request health;
+  health.request_id = 4;
+  health.kind = serve::RequestKind::kHealth;
+  serve::write_frame(fd, serve::encode_request(health));
+  ASSERT_TRUE(serve::read_frame(fd, frame));
+  const serve::Response hr = serve::decode_response(frame);
+  EXPECT_NE(hr.text.find("\"generation\": 2"), std::string::npos) << hr.text;
+  EXPECT_NE(hr.text.find("\"reloads_ok\": 1"), std::string::npos) << hr.text;
+
+  ::close(fd);
+  server.stop();
+  serving.join();
+}
+
+// ------------------------------------------------------------ admission
+
+TEST(Server, OverloadShedsBeyondInflightBudgetDeterministically) {
+  // One worker, batch_max 16, budget 2, and one pipelined burst of 16
+  // frames delivered in a single write: the adaptive drain picks up the
+  // whole burst before answering, so exactly 2 requests are admitted
+  // and 14 are shed with kOverloaded at admission.
+  const ServeFixture fx;
+  serve::Evaluator eval(fx.reg, {});
+  serve::ServerOptions opt;
+  opt.tcp_port = 0;
+  opt.num_threads = 1;
+  opt.batch_max = 16;
+  opt.max_inflight = 2;
+  serve::Server server(eval, opt);
+  server.start();
+  std::thread serving([&] { server.serve(); });
+
+  const int fd = connect_loopback(server.bound_port());
+  constexpr int kBurst = 16;
+  std::string wire;
+  for (int i = 0; i < kBurst; ++i) {
+    serve::Request req;
+    req.request_id = static_cast<std::uint64_t>(i);
+    req.model = "blk";
+    req.bc = constraints_for(fx.model(), 50 + i);
+    const std::string payload = serve::encode_request(req);
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    wire.append(reinterpret_cast<const char*>(&len), sizeof len);
+    wire += payload;
+  }
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+
+  int ok = 0, overloaded = 0, other = 0;
+  std::string frame;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(serve::read_frame(fd, frame));
+    const serve::Response resp = serve::decode_response(frame);
+    EXPECT_EQ(resp.request_id, static_cast<std::uint64_t>(i));
+    if (resp.status == serve::ResponseStatus::kOk)
+      ++ok;
+    else if (resp.status == serve::ResponseStatus::kOverloaded)
+      ++overloaded;
+    else
+      ++other;
+  }
+  ::close(fd);
+  server.stop();
+  serving.join();
+
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(overloaded, 14);
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(server.stats().shed_overload, 14u);
+  EXPECT_EQ(server.stats().responses_ok, 2u);
 }
 
 }  // namespace

@@ -369,10 +369,10 @@ TEST(ServeStats, WindowedViewsDecayWhileLifetimeTotalsPersist) {
   const std::uint64_t t0 = 50 * kSec;
   for (int i = 0; i < 20; ++i)
     st.record(t0, "a", serve::ResponseStatus::kOk, /*cache_hit=*/i % 2 == 0,
-              /*shed=*/false, timings_us(100.0), i);
+              serve::ShedKind::kNone, timings_us(100.0), i);
   for (int i = 0; i < 5; ++i)
     st.record(t0, "b", serve::ResponseStatus::kInternalError, false,
-              /*shed=*/false, timings_us(9000.0), 100 + i);
+              serve::ShedKind::kNone, timings_us(9000.0), 100 + i);
 
   const std::string fresh = st.stats_json(t0);
   EXPECT_EQ(json_value_after(fresh, {"global", "10s"}, "count"), 25.0);
@@ -408,16 +408,29 @@ TEST(ServeStats, WindowedViewsDecayWhileLifetimeTotalsPersist) {
 TEST(ServeStats, ShedRequestsCountInShedAndErrorRates) {
   serve::ServeStats st({"a"}, 0);
   const std::uint64_t t0 = 10 * kSec;
-  st.record(t0, "a", serve::ResponseStatus::kOk, false, false,
-            timings_us(50.0), 1);
+  st.record(t0, "a", serve::ResponseStatus::kOk, false,
+            serve::ShedKind::kNone, timings_us(50.0), 1);
   st.record(t0, "a", serve::ResponseStatus::kShuttingDown, false,
-            /*shed=*/true, timings_us(5.0), 2);
+            serve::ShedKind::kDraining, timings_us(5.0), 2);
+  st.record(t0, "a", serve::ResponseStatus::kOverloaded, false,
+            serve::ShedKind::kOverload, timings_us(5.0), 3);
+  st.record(t0, "a", serve::ResponseStatus::kOverloaded, false,
+            serve::ShedKind::kOverload, timings_us(5.0), 4);
   const std::string json = st.stats_json(t0);
-  EXPECT_NEAR(json_value_after(json, {"global", "10s"}, "shed_rate"), 0.5,
+  EXPECT_NEAR(json_value_after(json, {"global", "10s"}, "shed_rate"), 0.75,
               1e-9);
-  EXPECT_NEAR(json_value_after(json, {"global", "10s"}, "error_rate"), 0.5,
+  EXPECT_NEAR(json_value_after(json, {"global", "10s"}, "error_rate"), 0.75,
               1e-9);
-  EXPECT_EQ(json_value_after(json, {"lifetime"}, "shed"), 1.0);
+  // The split windows tell draining and overload shedding apart.
+  EXPECT_NEAR(
+      json_value_after(json, {"global", "10s"}, "shed_draining_rate"), 0.25,
+      1e-9);
+  EXPECT_NEAR(
+      json_value_after(json, {"global", "10s"}, "shed_overload_rate"), 0.5,
+      1e-9);
+  EXPECT_EQ(json_value_after(json, {"lifetime"}, "shed_overload"), 2.0);
+  EXPECT_EQ(json_value_after(json, {"lifetime"}, "shed_draining"), 1.0);
+  EXPECT_EQ(json_value_after(json, {"lifetime"}, "shed"), 3.0);
 }
 
 TEST(ServeStats, SlowLogHonorsThresholdAndBoundedRing) {
@@ -428,12 +441,12 @@ TEST(ServeStats, SlowLogHonorsThresholdAndBoundedRing) {
   serve::ServeStats st({"a"}, 0, opt);
   const std::uint64_t t0 = 20 * kSec;
   for (int i = 0; i < 10; ++i)  // under threshold: not slow
-    st.record(t0, "a", serve::ResponseStatus::kOk, false, false,
-              timings_us(50.0), i);
+    st.record(t0, "a", serve::ResponseStatus::kOk, false,
+              serve::ShedKind::kNone, timings_us(50.0), i);
   EXPECT_EQ(st.slow_total(), 0u);
   for (int i = 0; i < 6; ++i)  // over threshold: slow, ring keeps last 4
-    st.record(t0, "a", serve::ResponseStatus::kOk, false, false,
-              timings_us(200.0 + i), 100 + i);
+    st.record(t0, "a", serve::ResponseStatus::kOk, false,
+              serve::ShedKind::kNone, timings_us(200.0 + i), 100 + i);
   EXPECT_EQ(st.slow_total(), 6u);
   const std::string json = st.stats_json(t0);
   EXPECT_EQ(json_value_after(json, {"slow"}, "threshold_us"), 100.0);

@@ -73,7 +73,7 @@ run_tsan() {
   cmake --build "$ROOT/build-check-tsan" -j"$JOBS" --target tmm_tests
   TSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-check-tsan/tests/tmm_tests" \
-    --gtest_filter='StaIncremental.*:StaParallel.*:TaskPool.*:MergeDelta.*:TsIncremental.*:TsParallel.*:Server.*:ResultCache.*:Evaluator.*:FlightRecorder.*:SlidingWindow.*:ServeAdmin.*'
+    --gtest_filter='StaIncremental.*:StaParallel.*:TaskPool.*:MergeDelta.*:TsIncremental.*:TsParallel.*:Server.*:ResultCache.*:Evaluator.*:FlightRecorder.*:SlidingWindow.*:ServeAdmin.*:Reload.*'
 }
 
 run_tidy() {
@@ -124,7 +124,7 @@ run_lockorder() {
   # real mutexes fails the suite (the deliberate inversions in
   # LockOrder.* reset their observations).
   "$ROOT/build-check-lockorder/tests/tmm_tests" \
-    --gtest_filter='LockOrder.*:TaskPool*:StaParallel*:Server*:ResultCache*:Evaluator*:Registry*:Tmb*:Protocol*:Obs*:Fault*:ServeLint*:ServeStats*:ServeAdmin*:FlightRecorder*:SlidingWindow*:LatencyBuckets*'
+    --gtest_filter='LockOrder.*:TaskPool*:StaParallel*:Server*:ResultCache*:Evaluator*:Registry*:Reload*:Tmb*:Protocol*:Obs*:Fault*:ServeLint*:ServeStats*:ServeAdmin*:FlightRecorder*:SlidingWindow*:LatencyBuckets*'
   # Self-audit gate: dump the registered lock hierarchy and fail on any
   # cycle (exit 3).
   "$ROOT/build-check-lockorder/tools/tmm" lint --concurrency
@@ -132,12 +132,14 @@ run_lockorder() {
 
 run_fault() {
   echo "== check: fault-injection matrix =="
-  # Reuse (or create) the release tree; only the tmm binary is needed.
+  # Reuse (or create) the release tree; the tmm binary drives the
+  # matrix and serve_loadgen verifies the hot-reload rollback block.
   cmake -S "$ROOT" -B "$ROOT/build-check-release" \
     -DCMAKE_BUILD_TYPE=Release -DTMM_WERROR=ON \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  cmake --build "$ROOT/build-check-release" -j"$JOBS" --target tmm
-  sh "$ROOT/tools/fault_matrix.sh" "$ROOT/build-check-release/tools/tmm"
+  cmake --build "$ROOT/build-check-release" -j"$JOBS" --target tmm serve_loadgen
+  sh "$ROOT/tools/fault_matrix.sh" "$ROOT/build-check-release/tools/tmm" \
+    "$ROOT/build-check-release/tools/serve_loadgen"
 }
 
 stages="${*:-release sanitize tsan tidy threadsafety lockorder fault}"

@@ -1,7 +1,7 @@
 #!/bin/sh
 # tools/fault_matrix.sh — deterministic fault-injection matrix.
 #
-#   tools/fault_matrix.sh <path-to-tmm>
+#   tools/fault_matrix.sh <path-to-tmm> [path-to-serve_loadgen]
 #
 # For every registered fault site (`tmm fault-sites`) the matrix arms
 # the site in throw mode against a command that reaches it and asserts
@@ -13,6 +13,7 @@
 set -eu
 
 TMM="$1"
+LOADGEN="${2:-}"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
 fail() { echo "FAULT_MATRIX_FAIL: $*" >&2; exit 1; }
@@ -54,6 +55,10 @@ while read -r site; do
       # client (serve_loadgen) in tests/cli_test.sh.
       echo "  throw $site: covered by tests/cli_test.sh (needs a live client)"
       continue ;;
+    serve.reload_open|serve.reload_swap|serve.reload_validate)
+      # Reached only by a live reload; exercised in the dedicated
+      # hot-reload rollback block below.
+      continue ;;
   esac
   n=$((n + 1))
   cmd=$(command_for "$site" "$n")
@@ -70,6 +75,44 @@ while read -r site; do
   fi
   echo "  throw $site: rc=$rc OK"
 done < "$DIR/sites.txt"
+
+# Hot-reload rollback: each serve.reload_* site fires mid-reload
+# against a live server; the reload must report the injected failure,
+# the previous generation must keep serving (bit-identically when a
+# loadgen is provided), and a second reload — the fault is exactly-once
+# — must swap cleanly before a clean exit-0 drain.
+r=0
+for site in serve.reload_open serve.reload_swap serve.reload_validate; do
+  r=$((r + 1))
+  SOCK="$DIR/reload-$r.sock"
+  TMM_FAULT="$site:1" "$TMM" serve "$DIR/models" --socket "$SOCK" \
+    --threads 1 > "$DIR/reload-serve-$r.txt" 2>&1 &
+  SRV=$!
+  i=0
+  while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do i=$((i+1)); sleep 0.1; done
+  [ -S "$SOCK" ] || fail "$site: server never bound $SOCK"
+  "$TMM" stat --reload "$SOCK" > "$DIR/reload-$r.json" \
+    || fail "$site: stat --reload failed"
+  grep -q '"ok": false' "$DIR/reload-$r.json" \
+    || fail "$site: injected reload did not report failure"
+  grep -q "injected" "$DIR/reload-$r.json" \
+    || fail "$site: no injected-fault diagnostic in reload answer"
+  if [ -n "$LOADGEN" ]; then
+    TMM_BENCH_JSON_DIR="$DIR" "$LOADGEN" --socket "$SOCK" \
+      --model-dir "$DIR/models" --threads 2 --seconds 1 --warm-keys 2 \
+      > "$DIR/reload-lg-$r.txt" \
+      || fail "$site: old generation stopped serving bit-identically"
+  fi
+  "$TMM" stat --reload "$SOCK" > "$DIR/reload-retry-$r.json" \
+    || fail "$site: post-fault reload failed"
+  grep -q '"ok": true' "$DIR/reload-retry-$r.json" \
+    || fail "$site: reload did not recover after the one-shot fault"
+  kill -TERM "$SRV"
+  rc=0
+  wait "$SRV" || rc=$?
+  [ "$rc" -eq 0 ] || fail "$site: server did not drain cleanly (rc=$rc)"
+  echo "  throw $site: rollback kept serving, retry swapped OK"
+done
 
 # SIGKILL mid-persistence, then resume: the checkpoint protocol must
 # reproduce the uninterrupted baseline bit-for-bit.

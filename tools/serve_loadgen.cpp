@@ -12,13 +12,26 @@
 // same Sta engine), so the bench doubles as the end-to-end correctness
 // gate the CI smoke job runs.
 //
+// Client robustness: connects and requests retry with capped
+// exponential backoff + jitter on connection-refused, kShuttingDown
+// and kOverloaded — the server's shed responses are flow control, not
+// failures. Retries are counted in the JSON report
+// (connect_retries / response_retries summaries).
+//
+// --soak S replaces the cold/warm sweeps with a saturation soak: each
+// client pipelines --burst frames per write for S seconds, a mid-run
+// kReload is fired at S/2 on its own connection, and the report gains
+// p99/p99.9, the shed rate, and reload_swap_us — the zero-downtime
+// hot-reload gate (shed responses are expected; malformed ones fail).
+//
 // Usage:
 //   serve_loadgen (--socket path | --port N) --model-dir dir
 //                 [--threads N] [--seconds S] [--qps Q] [--warm-keys K]
-//                 [--seed S] [--no-verify]
+//                 [--seed S] [--no-verify] [--soak S] [--burst N]
 //
 // Exit codes: 0 all responses ok and bit-identical; 1 any error or
-// mismatch; 2 bad usage.
+// mismatch (soak: any malformed response, bit mismatch, or failed
+// reload); 2 bad usage.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -57,13 +70,16 @@ struct Options {
   std::size_t warm_keys = 16;
   std::uint64_t seed = 0x10ad;
   bool verify = true;
+  double soak_seconds = 0.0;  ///< > 0 switches to the soak harness
+  std::size_t burst = 8;      ///< pipelined frames per write in soak
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
   std::fprintf(stderr,
                "serve_loadgen: %s\nusage: serve_loadgen (--socket path | "
                "--port N) --model-dir dir [--threads N] [--seconds S] "
-               "[--qps Q] [--warm-keys K] [--seed S] [--no-verify]\n",
+               "[--qps Q] [--warm-keys K] [--seed S] [--no-verify] "
+               "[--soak S] [--burst N]\n",
                msg.c_str());
   std::exit(2);
 }
@@ -94,6 +110,10 @@ Options parse(int argc, char** argv) {
       opt.seed = std::stoull(next());
     else if (a == "--no-verify")
       opt.verify = false;
+    else if (a == "--soak")
+      opt.soak_seconds = std::stod(next());
+    else if (a == "--burst")
+      opt.burst = std::stoul(next());
     else
       usage_error("unknown option " + a);
   }
@@ -102,6 +122,7 @@ Options parse(int argc, char** argv) {
   if (opt.model_dir.empty()) usage_error("--model-dir is required");
   if (opt.threads == 0) usage_error("--threads must be >= 1");
   if (opt.warm_keys == 0) usage_error("--warm-keys must be >= 1");
+  if (opt.burst == 0) usage_error("--burst must be >= 1");
   return opt;
 }
 
@@ -131,6 +152,47 @@ int connect_server(const Options& opt) {
     }
   }
   return fd;
+}
+
+/// Client-wide retry tallies, surfaced as report summaries so a CI run
+/// can see how hard the clients had to work to get their answers.
+std::atomic<std::uint64_t> g_connect_retries{0};
+std::atomic<std::uint64_t> g_response_retries{0};
+
+/// Capped exponential backoff with full jitter: the n-th delay is
+/// uniform in [cap_n/2, cap_n] where cap_n = min(base * 2^n, cap).
+/// Shared by the connect-refused and the kShuttingDown/kOverloaded
+/// retry paths so both decorrelate the same way under contention.
+struct Backoff {
+  explicit Backoff(Rng& rng, double base_s = 0.01, double cap_s = 0.5)
+      : rng_(rng), base_s_(base_s), cap_s_(cap_s) {}
+
+  void sleep_next() {
+    cur_s_ = cur_s_ == 0.0 ? base_s_ : std::min(cur_s_ * 2.0, cap_s_);
+    const double jittered = cur_s_ * rng_.uniform(0.5, 1.0);
+    std::this_thread::sleep_for(std::chrono::duration<double>(jittered));
+  }
+  void reset() noexcept { cur_s_ = 0.0; }
+
+ private:
+  Rng& rng_;
+  double base_s_;
+  double cap_s_;
+  double cur_s_ = 0.0;
+};
+
+/// connect_server with up to `attempts` tries, backing off between
+/// them — rides out a server still binding or briefly refusing during
+/// restart. -1 only after every attempt failed.
+int connect_with_retry(const Options& opt, Rng& rng, int attempts = 8) {
+  Backoff backoff(rng, /*base_s=*/0.05, /*cap_s=*/1.0);
+  for (int attempt = 0;; ++attempt) {
+    const int fd = connect_server(opt);
+    if (fd >= 0) return fd;
+    if (attempt + 1 >= attempts) return -1;
+    g_connect_retries.fetch_add(1);
+    backoff.sleep_next();
+  }
 }
 
 /// The constraint set of logical key `key` for `entry`, derived purely
@@ -187,7 +249,8 @@ PhaseResult run_phase(const Options& opt, const serve::ModelRegistry& registry,
                std::chrono::duration<double>(opt.seconds));
 
   auto client = [&](std::size_t tid) {
-    const int fd = connect_server(opt);
+    Rng rng(opt.seed ^ (tid * 0x9e3779b9ull + 0xbac0ffull));
+    int fd = connect_with_retry(opt, rng);
     if (fd < 0) {
       errors.fetch_add(1);
       return;
@@ -218,16 +281,46 @@ PhaseResult run_phase(const Options& opt, const serve::ModelRegistry& registry,
       req.model = names[mi];
       req.bc = make_constraints(*models[mi], opt.seed, key);
 
+      // One logical request, up to kAttempts tries: socket failures
+      // reconnect, kShuttingDown/kOverloaded back off and resend — the
+      // server's shed answers are flow control, not failures. Latency
+      // is end-to-end (first send to final answer, backoff included).
       const auto sent = std::chrono::steady_clock::now();
-      try {
-        serve::write_frame(fd, serve::encode_request(req));
-        if (!serve::read_frame(fd, frame)) {
-          errors.fetch_add(1);
-          break;  // server drained under us
+      constexpr int kAttempts = 5;
+      Backoff backoff(rng);
+      serve::Response resp;
+      bool answered = false;
+      for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        if (attempt > 0) {
+          g_response_retries.fetch_add(1);
+          backoff.sleep_next();
         }
-      } catch (const std::exception&) {
-        errors.fetch_add(1);
+        if (fd < 0) {
+          fd = connect_with_retry(opt, rng, /*attempts=*/2);
+          if (fd < 0) continue;
+        }
+        try {
+          serve::write_frame(fd, serve::encode_request(req));
+          if (!serve::read_frame(fd, frame)) {
+            ::close(fd);  // server drained this connection under us
+            fd = -1;
+            continue;
+          }
+          resp = serve::decode_response(frame);
+        } catch (const std::exception&) {
+          if (fd >= 0) ::close(fd);
+          fd = -1;
+          continue;
+        }
+        if (resp.status == serve::ResponseStatus::kShuttingDown ||
+            resp.status == serve::ResponseStatus::kOverloaded)
+          continue;
+        answered = true;
         break;
+      }
+      if (!answered) {
+        errors.fetch_add(1);
+        continue;
       }
       per_thread_lat[tid].push_back(
           std::chrono::duration<double, std::micro>(
@@ -235,27 +328,27 @@ PhaseResult run_phase(const Options& opt, const serve::ModelRegistry& registry,
               .count());
       done.fetch_add(1);
 
-      try {
-        const serve::Response resp = serve::decode_response(frame);
-        if (resp.status != serve::ResponseStatus::kOk ||
-            resp.request_id != req.request_id) {
+      if (resp.status != serve::ResponseStatus::kOk ||
+          resp.request_id != req.request_id) {
+        errors.fetch_add(1);
+        continue;
+      }
+      if (resp.cache_hit) hits.fetch_add(1);
+      if (verifier != nullptr) {
+        try {
+          verifier->evaluate(req.model, req.bc, expected, scratch);
+        } catch (const std::exception&) {
           errors.fetch_add(1);
           continue;
         }
-        if (resp.cache_hit) hits.fetch_add(1);
-        if (verifier != nullptr) {
-          verifier->evaluate(req.model, req.bc, expected, scratch);
-          if (!bit_identical(resp.snap.slew, expected.slew) ||
-              !bit_identical(resp.snap.at, expected.at) ||
-              !bit_identical(resp.snap.rat, expected.rat) ||
-              !bit_identical(resp.snap.slack, expected.slack))
-            mismatches.fetch_add(1);
-        }
-      } catch (const std::exception&) {
-        errors.fetch_add(1);
+        if (!bit_identical(resp.snap.slew, expected.slew) ||
+            !bit_identical(resp.snap.at, expected.at) ||
+            !bit_identical(resp.snap.rat, expected.rat) ||
+            !bit_identical(resp.snap.slack, expected.slack))
+          mismatches.fetch_add(1);
       }
     }
-    ::close(fd);
+    if (fd >= 0) ::close(fd);
   };
 
   std::vector<std::thread> threads;
@@ -375,6 +468,230 @@ bool report_stats_phase(bench::JsonReport& report, const char* impl,
   return true;
 }
 
+// ---------------------------------------------------------------------
+// Soak harness (--soak): hold saturation for a fixed duration with a
+// hot reload in the middle, proving the swap drops nothing.
+
+struct SoakResult {
+  std::uint64_t responses = 0;   ///< frames received and decoded
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;        ///< kOverloaded + kShuttingDown
+  std::uint64_t errors = 0;      ///< socket failures + unexpected statuses
+  std::uint64_t malformed = 0;   ///< undecodable frames / wrong request_id
+  std::uint64_t mismatches = 0;  ///< ok responses not bit-identical
+  double elapsed_s = 0.0;
+  bool reload_ok = false;
+  double reload_swap_us = -1.0;
+  std::vector<double> latencies_us;
+};
+
+/// Fire one kReload on its own connection and pull ok + swap_us out of
+/// the JSON answer (anchor scan; the shape is produced by the server's
+/// kReload branch and covered by its tests).
+void fire_reload(const Options& opt, SoakResult& out) {
+  Rng rng(opt.seed ^ 0x5e10adull);
+  const int fd = connect_with_retry(opt, rng);
+  if (fd < 0) return;
+  try {
+    serve::Request req;
+    req.request_id = 1;
+    req.kind = serve::RequestKind::kReload;
+    serve::write_frame(fd, serve::encode_request(req));
+    std::string frame;
+    if (serve::read_frame(fd, frame)) {
+      const serve::Response resp = serve::decode_response(frame);
+      if (resp.status == serve::ResponseStatus::kOk && resp.admin) {
+        out.reload_ok = resp.text.find("\"ok\": true") != std::string::npos;
+        const std::string anchor = "\"swap_us\": ";
+        const std::size_t k = resp.text.find(anchor);
+        if (k != std::string::npos)
+          out.reload_swap_us =
+              std::strtod(resp.text.c_str() + k + anchor.size(), nullptr);
+      }
+    }
+  } catch (const std::exception&) {
+    // Leaves reload_ok false; the caller fails the run.
+  }
+  ::close(fd);
+}
+
+/// Saturation soak: every client pipelines `burst` cold (unique-key)
+/// requests per round and only then reads the answers, so the server
+/// sees threads*burst outstanding frames — enough pressure for the
+/// admission controller to shed. Shed answers are counted, not
+/// retried: the soak measures the server under sustained overload, and
+/// a retry loop would throttle the very pressure it is applying
+/// (run_phase covers the retry path). At half-time a kReload fires on
+/// its own connection; every ok answer must still be bit-identical.
+SoakResult run_soak(const Options& opt, const serve::ModelRegistry& registry,
+                    serve::Evaluator* verifier) {
+  std::vector<const serve::RegistryEntry*> models;
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : registry.entries()) {
+    models.push_back(&entry);
+    names.push_back(name);
+  }
+
+  std::atomic<std::uint64_t> next_index{0};
+  std::atomic<std::uint64_t> responses{0}, ok{0}, shed{0}, errors{0},
+      malformed{0}, mismatches{0};
+  std::vector<std::vector<double>> per_thread_lat(opt.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(opt.soak_seconds));
+  constexpr std::uint64_t kSoakKeyBase = 1ull << 24;  // disjoint from sweeps
+
+  auto client = [&](std::size_t tid) {
+    Rng rng(opt.seed ^ (tid * 0x9e3779b9ull) ^ 0x50a50aull);
+    int fd = connect_with_retry(opt, rng);
+    if (fd < 0) {
+      errors.fetch_add(1);
+      return;
+    }
+    serve::Evaluator::Scratch scratch;
+    BoundarySnapshot expected;
+    std::string frame;
+    std::vector<serve::Request> burst(opt.burst);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (serve::Request& req : burst) {
+        const std::uint64_t index = next_index.fetch_add(1);
+        const std::size_t mi =
+            static_cast<std::size_t>(index % models.size());
+        req = serve::Request{};
+        req.request_id = kSoakKeyBase + index;
+        req.model = names[mi];
+        req.bc = make_constraints(*models[mi], opt.seed, kSoakKeyBase + index);
+      }
+      const auto sent = std::chrono::steady_clock::now();
+      try {
+        // Write the whole burst before reading anything: the frames
+        // queue server-side and the admission controller decides their
+        // fate together.
+        for (const serve::Request& req : burst)
+          serve::write_frame(fd, serve::encode_request(req));
+        for (std::size_t i = 0; i < burst.size(); ++i) {
+          if (!serve::read_frame(fd, frame))
+            throw std::runtime_error("connection closed mid-burst");
+          per_thread_lat[tid].push_back(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - sent)
+                  .count());
+          serve::Response resp;
+          try {
+            resp = serve::decode_response(frame);
+          } catch (const std::exception&) {
+            malformed.fetch_add(1);
+            continue;
+          }
+          responses.fetch_add(1);
+          if (resp.request_id != burst[i].request_id) {
+            // In-order per connection is a protocol guarantee; a wrong
+            // id means the server tore a response.
+            malformed.fetch_add(1);
+            continue;
+          }
+          if (resp.status == serve::ResponseStatus::kOverloaded ||
+              resp.status == serve::ResponseStatus::kShuttingDown) {
+            shed.fetch_add(1);
+            continue;
+          }
+          if (resp.status != serve::ResponseStatus::kOk) {
+            errors.fetch_add(1);
+            continue;
+          }
+          ok.fetch_add(1);
+          if (verifier != nullptr) {
+            try {
+              verifier->evaluate(burst[i].model, burst[i].bc, expected,
+                                 scratch);
+            } catch (const std::exception&) {
+              errors.fetch_add(1);
+              continue;
+            }
+            if (!bit_identical(resp.snap.slew, expected.slew) ||
+                !bit_identical(resp.snap.at, expected.at) ||
+                !bit_identical(resp.snap.rat, expected.rat) ||
+                !bit_identical(resp.snap.slack, expected.slack))
+              mismatches.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        errors.fetch_add(1);
+        if (fd >= 0) ::close(fd);
+        fd = connect_with_retry(opt, rng);
+        if (fd < 0) return;
+      }
+    }
+    if (fd >= 0) ::close(fd);
+  };
+
+  SoakResult res;
+  std::thread reloader([&] {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(opt.soak_seconds / 2.0)));
+    fire_reload(opt, res);
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(opt.threads);
+  for (std::size_t t = 0; t < opt.threads; ++t)
+    threads.emplace_back(client, t);
+  for (std::thread& t : threads) t.join();
+  reloader.join();
+
+  res.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  res.responses = responses.load();
+  res.ok = ok.load();
+  res.shed = shed.load();
+  res.errors = errors.load();
+  res.malformed = malformed.load();
+  res.mismatches = mismatches.load();
+  for (const auto& lat : per_thread_lat)
+    res.latencies_us.insert(res.latencies_us.end(), lat.begin(), lat.end());
+  std::sort(res.latencies_us.begin(), res.latencies_us.end());
+  return res;
+}
+
+void report_soak(bench::JsonReport& report, SoakResult& r) {
+  const double qps =
+      r.elapsed_s > 0 ? static_cast<double>(r.ok) / r.elapsed_s : 0.0;
+  const double shed_rate =
+      r.responses > 0
+          ? static_cast<double>(r.shed) / static_cast<double>(r.responses)
+          : 0.0;
+  const double p50 = percentile(r.latencies_us, 0.50);
+  const double p99 = percentile(r.latencies_us, 0.99);
+  const double p999 = percentile(r.latencies_us, 0.999);
+  std::printf(
+      "soak  %8llu resp in %6.2f s  (%8.1f ok qps)  p50 %8.1f us  p99 "
+      "%8.1f us  p99.9 %8.1f us  %llu shed (%.1f%%), %llu error(s), %llu "
+      "malformed, %llu mismatch(es); reload %s swap %.0f us\n",
+      static_cast<unsigned long long>(r.responses), r.elapsed_s, qps, p50,
+      p99, p999, static_cast<unsigned long long>(r.shed), shed_rate * 100.0,
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.malformed),
+      static_cast<unsigned long long>(r.mismatches),
+      r.reload_ok ? "ok" : "FAILED", r.reload_swap_us);
+  report.add_row("all", "soak",
+                 {{"responses", static_cast<double>(r.responses)},
+                  {"ok", static_cast<double>(r.ok)},
+                  {"shed", static_cast<double>(r.shed)},
+                  {"shed_rate", shed_rate},
+                  {"errors", static_cast<double>(r.errors)},
+                  {"malformed", static_cast<double>(r.malformed)},
+                  {"bit_mismatches", static_cast<double>(r.mismatches)},
+                  {"elapsed_s", r.elapsed_s},
+                  {"qps", qps},
+                  {"latency_p50_us", p50},
+                  {"latency_p99_us", p99},
+                  {"latency_p999_us", p999},
+                  {"reload_ok", r.reload_ok ? 1.0 : 0.0},
+                  {"reload_swap_us", r.reload_swap_us}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -411,6 +728,45 @@ int main(int argc, char** argv) {
     report.set_meta("models", static_cast<double>(registry.size()));
     report.set_meta("verify", opt.verify ? 1.0 : 0.0);
 
+    if (opt.soak_seconds > 0.0) {
+      // Soak replaces the sweeps: saturation hold + mid-run reload.
+      report.set_meta("soak_seconds", opt.soak_seconds);
+      report.set_meta("burst", static_cast<double>(opt.burst));
+      SoakResult soak =
+          run_soak(opt, registry, opt.verify ? &verifier : nullptr);
+      report_soak(report, soak);
+      report_stats_phase(report, "soak", opt);
+      report.set_summary("total_errors", static_cast<double>(soak.errors));
+      report.set_summary("total_bit_mismatches",
+                         static_cast<double>(soak.mismatches));
+      report.set_summary("malformed", static_cast<double>(soak.malformed));
+      report.set_summary("shed", static_cast<double>(soak.shed));
+      report.set_summary("reload_ok", soak.reload_ok ? 1.0 : 0.0);
+      report.set_summary("reload_swap_us", soak.reload_swap_us);
+      report.set_summary("connect_retries",
+                         static_cast<double>(g_connect_retries.load()));
+      report.set_summary("response_retries",
+                         static_cast<double>(g_response_retries.load()));
+      report.write();
+      if (soak.errors != 0 || soak.mismatches != 0 || soak.malformed != 0 ||
+          !soak.reload_ok) {
+        std::fprintf(stderr,
+                     "serve_loadgen: SOAK FAILED: %llu error(s), %llu bit "
+                     "mismatch(es), %llu malformed, reload %s\n",
+                     static_cast<unsigned long long>(soak.errors),
+                     static_cast<unsigned long long>(soak.mismatches),
+                     static_cast<unsigned long long>(soak.malformed),
+                     soak.reload_ok ? "ok" : "failed");
+        return 1;
+      }
+      std::printf("serve_loadgen: soak ok — mid-run reload swapped in "
+                  "%.0f us, %llu shed, every ok answer%s\n",
+                  soak.reload_swap_us,
+                  static_cast<unsigned long long>(soak.shed),
+                  opt.verify ? " bit-identical to local evaluation" : "");
+      return 0;
+    }
+
     // Cold sweep: unique constraints per request, key space disjoint
     // from the warm phase so nothing is pre-cached.
     PhaseResult cold = run_phase(opt, registry,
@@ -435,6 +791,10 @@ int main(int argc, char** argv) {
                        static_cast<double>(mismatches));
     report.set_summary("warm_cache_hits",
                        static_cast<double>(warm.cache_hits));
+    report.set_summary("connect_retries",
+                       static_cast<double>(g_connect_retries.load()));
+    report.set_summary("response_retries",
+                       static_cast<double>(g_response_retries.load()));
     report.write();
 
     if (errors != 0 || mismatches != 0) {

@@ -26,16 +26,22 @@
 //   tmm serve      <model-dir> [--socket path | --port N] [--threads N]
 //                  [--batch N] [--cache N] [--quantize Q] [--no-cppr]
 //                  [--slow-ms X] [--slow-sample N] [--flight-records N]
-//                  [--dump-dir D]
-//                  (serve every .tmb in model-dir; SIGTERM drains;
-//                  requests slower than --slow-ms land in the slow log,
-//                  any serve.* injected fault dumps the flight recorder
-//                  into --dump-dir, default the model dir)
-//   tmm stat       <endpoint> [--health | --flight] [--watch]
-//                  [--interval S]
+//                  [--dump-dir D] [--max-inflight N]
+//                  (serve every .tmb in model-dir; SIGTERM drains,
+//                  SIGHUP hot-reloads the directory as a new generation
+//                  with rollback on any failure; requests past the
+//                  --max-inflight admission budget are shed with
+//                  kOverloaded; requests slower than --slow-ms land in
+//                  the slow log, any serve.* injected fault dumps the
+//                  flight recorder into --dump-dir, default the model
+//                  dir)
+//   tmm stat       <endpoint> [--health | --flight | --reload]
+//                  [--watch] [--interval S]
 //                  (query a live server's admin channel: windowed stats
-//                  JSON by default; endpoint is a unix socket path or a
-//                  TCP port on 127.0.0.1)
+//                  JSON by default, or trigger a hot reload with
+//                  --reload; endpoint is a unix socket path or a TCP
+//                  port on 127.0.0.1. --watch reconnects with backoff
+//                  when the server restarts)
 //   tmm export-lib <out.lib> [--early]
 //   tmm lint       <file...>  (.macro files are linted as macro models,
 //                  .tmb files and model directories as serving artifacts,
@@ -86,6 +92,7 @@
 #include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
+#include "serve/reload.hpp"
 #include "serve/server.hpp"
 #include "serve/stats.hpp"
 #include "serve/tmb.hpp"
@@ -149,8 +156,10 @@ struct Args {
   std::size_t slow_sample = 1;   ///< serve: log every Nth slow request
   std::size_t flight_records = 256;  ///< serve: per-thread ring (0 = off)
   std::string dump_dir;          ///< serve: dump-on-fault directory
+  std::size_t max_inflight = 0;  ///< serve: admission budget (0 = derived)
   bool health = false;           ///< stat: kHealth instead of kStats
   bool flight = false;           ///< stat: kFlightDump instead of kStats
+  bool reload = false;           ///< stat: kReload (trigger a hot reload)
   bool watch = false;            ///< stat: repeat until interrupted
   double interval = 2.0;         ///< stat: --watch period, seconds
 };
@@ -174,7 +183,8 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       "--out",     "--socket",     "--port",    "--threads",
       "--batch",   "--cache",      "--quantize", "--concurrency",
       "--slow-ms", "--slow-sample", "--flight-records", "--dump-dir",
-      "--health",  "--flight",     "--watch",   "--interval"};
+      "--health",  "--flight",     "--watch",   "--interval",
+      "--max-inflight", "--reload"};
   auto check_allowed = [&](std::string_view a) {
     if (std::find(allowed.begin(), allowed.end(), a) != allowed.end()) return;
     const bool known = std::find(std::begin(kKnownFlags), std::end(kKnownFlags),
@@ -247,6 +257,10 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       args.flight_records = std::stoul(next());
     else if (a == "--dump-dir")
       args.dump_dir = next();
+    else if (a == "--max-inflight")
+      args.max_inflight = std::stoul(next());
+    else if (a == "--reload")
+      args.reload = true;
     else if (a == "--health")
       args.health = true;
     else if (a == "--flight")
@@ -535,8 +549,15 @@ int lint_concurrency() {
   serve::RequestTimings t;
   t.total_us = 5.0;
   stats.record(1'000'000, "probe", serve::ResponseStatus::kOk,
-               /*cache_hit=*/false, /*shed=*/false, t, /*request_id=*/1);
+               /*cache_hit=*/false, serve::ShedKind::kNone, t,
+               /*request_id=*/1);
   stats.stats_json(1'000'000);
+  // serve.registry.reload -> serve.registry.generation: a reload pass
+  // (here failing on a nonexistent directory — the rollback path takes
+  // the same locks) plus a reader-side pin.
+  serve::RegistryManager probe_manager("tmm-lint-concurrency-noexist");
+  probe_manager.current();
+  (void)probe_manager.reload();
 
   const bool acyclic = util::lockorder::write_report(std::cout);
   return acyclic ? 0 : 3;
@@ -607,24 +628,36 @@ extern "C" void handle_drain_signal(int) {
   if (g_server != nullptr) g_server->stop();
 }
 
+extern "C" void handle_reload_signal(int) {
+  if (g_server != nullptr) g_server->request_reload();
+}
+
 int cmd_serve(const Args& args) {
   if (args.positional.empty())
     throw std::runtime_error("serve: model directory required");
   const std::string& dir = args.positional[0];
 
-  serve::ModelRegistry registry;
-  const std::size_t loaded = registry.load_directory(dir);
-  for (const auto& [name, entry] : registry.entries())
+  // Reloads are validated with the serving-artifact lint (S001–S003)
+  // before the swap: a pack that fails lint never replaces a serving
+  // generation. Startup is laxer (per-file isolation, degraded exit 3).
+  serve::RegistryManager manager(dir, [](const std::string& d) {
+    const analysis::LintReport report = analysis::lint_registry_dir(d);
+    return report.errors() == 0 ? std::string() : report.to_string();
+  });
+  const std::size_t loaded = manager.load_initial();
+  const std::shared_ptr<const serve::ModelRegistry> registry =
+      manager.current();
+  for (const auto& [name, entry] : registry->entries())
     std::printf("  model %-24s %u PIs, %u POs (%s)\n", name.c_str(),
                 entry.num_pis, entry.num_pos, entry.path.c_str());
-  for (const auto& f : registry.failures())
+  for (const auto& f : registry->failures())
     std::printf("  FAILED   %s: %s\n", f.path.c_str(), f.error.c_str());
 
   serve::Evaluator::Options eopt;
   eopt.quantum_ps = args.quantize;
   eopt.cache_capacity = args.cache;
   eopt.sta.cppr = args.cppr;
-  serve::Evaluator evaluator(registry, eopt);
+  serve::Evaluator evaluator(manager, eopt);
 
   serve::ServerOptions sopt;
   if (!args.socket.empty())
@@ -640,12 +673,14 @@ int cmd_serve(const Args& args) {
   sopt.slow_sample = static_cast<std::uint32_t>(args.slow_sample);
   sopt.flight_capacity = args.flight_records;
   sopt.dump_dir = args.dump_dir.empty() ? dir : args.dump_dir;
+  sopt.max_inflight = args.max_inflight;
   serve::Server server(evaluator, sopt);
   server.start();
 
   g_server = &server;
   std::signal(SIGTERM, handle_drain_signal);
   std::signal(SIGINT, handle_drain_signal);
+  std::signal(SIGHUP, handle_reload_signal);
 
   if (!sopt.unix_path.empty())
     std::printf("serving %zu model(s) on unix:%s (%zu threads, batch %zu, "
@@ -663,25 +698,32 @@ int cmd_serve(const Args& args) {
   g_server = nullptr;
   std::signal(SIGTERM, SIG_DFL);
   std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
 
   const serve::Server::Stats st = server.stats();
   const serve::CacheStats cs = evaluator.cache_stats();
+  const serve::RegistryManager::Counters rc = manager.counters();
   std::printf("drained: %llu connection(s), %llu request(s) (%llu ok, %llu "
-              "error), %llu batch(es), %llu abort(s); cache %llu hit / %llu "
-              "miss / %llu evicted (%.1f%% hit rate)\n",
+              "error, %llu overloaded), %llu batch(es), %llu abort(s); cache "
+              "%llu hit / %llu miss / %llu evicted (%.1f%% hit rate); "
+              "generation %llu (%llu reload(s) ok, %llu failed)\n",
               static_cast<unsigned long long>(st.connections),
               static_cast<unsigned long long>(st.requests),
               static_cast<unsigned long long>(st.responses_ok),
               static_cast<unsigned long long>(st.request_errors),
+              static_cast<unsigned long long>(st.shed_overload),
               static_cast<unsigned long long>(st.batches),
               static_cast<unsigned long long>(st.conn_aborts),
               static_cast<unsigned long long>(cs.hits),
               static_cast<unsigned long long>(cs.misses),
               static_cast<unsigned long long>(cs.evictions),
-              cs.hit_rate() * 100.0);
+              cs.hit_rate() * 100.0,
+              static_cast<unsigned long long>(rc.generation),
+              static_cast<unsigned long long>(rc.reloads_ok),
+              static_cast<unsigned long long>(rc.reload_failures));
   // Some models failed to load but the survivors served: degraded (3),
   // matching flow/train semantics.
-  return registry.failures().empty() ? 0 : 3;
+  return registry->failures().empty() ? 0 : 3;
 }
 
 /// Connect to a server endpoint: an all-digits endpoint is a TCP port
@@ -727,18 +769,30 @@ int cmd_stat(const Args& args) {
   if (args.positional.empty())
     throw std::runtime_error(
         "stat: server endpoint required (socket path or port)");
-  if (args.health && args.flight)
-    throw UsageError("stat: --health and --flight are mutually exclusive");
+  if (static_cast<int>(args.health) + static_cast<int>(args.flight) +
+          static_cast<int>(args.reload) >
+      1)
+    throw UsageError(
+        "stat: --health, --flight and --reload are mutually exclusive");
+  if (args.reload && args.watch)
+    throw UsageError("stat: --reload cannot be combined with --watch");
   const serve::RequestKind kind = args.health ? serve::RequestKind::kHealth
-                                 : args.flight
-                                     ? serve::RequestKind::kFlightDump
-                                     : serve::RequestKind::kStats;
-  const int fd = connect_endpoint(args.positional[0]);
+                                 : args.flight ? serve::RequestKind::kFlightDump
+                                 : args.reload ? serve::RequestKind::kReload
+                                               : serve::RequestKind::kStats;
   std::string frame;
   std::uint64_t id = 1;
-  int rc = 0;
-  try {
-    for (;;) {
+  int fd = -1;
+  // --watch survives server restarts and generation swaps: on any
+  // socket error the connection is re-established with doubling
+  // backoff (0.1 s .. 5 s cap) instead of exiting on the first EOF.
+  // A misspelled endpoint (UsageError) still fails immediately.
+  double backoff_s = 0.1;
+  int consecutive_failures = 0;
+  constexpr int kMaxConsecutiveFailures = 60;
+  for (;;) {
+    try {
+      if (fd < 0) fd = connect_endpoint(args.positional[0]);
       serve::Request req;
       req.request_id = id++;
       req.kind = kind;
@@ -753,16 +807,27 @@ int cmd_stat(const Args& args) {
             (resp.error.empty() ? "" : ": " + resp.error));
       std::fputs(resp.text.c_str(), stdout);
       std::fflush(stdout);
+      backoff_s = 0.1;
+      consecutive_failures = 0;
       if (!args.watch) break;
       std::this_thread::sleep_for(
           std::chrono::duration<double>(std::max(args.interval, 0.1)));
+    } catch (const UsageError&) {
+      if (fd >= 0) ::close(fd);
+      throw;
+    } catch (const std::exception& e) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+      if (!args.watch || ++consecutive_failures > kMaxConsecutiveFailures)
+        throw;
+      std::fprintf(stderr, "tmm stat: %s; reconnecting in %.1fs\n", e.what(),
+                   backoff_s);
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      backoff_s = std::min(backoff_s * 2.0, 5.0);
     }
-  } catch (...) {
-    ::close(fd);
-    throw;
   }
-  ::close(fd);
-  return rc;
+  if (fd >= 0) ::close(fd);
+  return 0;
 }
 
 int cmd_export_lib(const Args& args) {
@@ -806,8 +871,9 @@ const Command kCommands[] = {
     {"serve", cmd_serve,
      {"--socket", "--port", "--threads", "--batch", "--cache", "--quantize",
       "--no-cppr", "--slow-ms", "--slow-sample", "--flight-records",
-      "--dump-dir"}},
-    {"stat", cmd_stat, {"--health", "--flight", "--watch", "--interval"}},
+      "--dump-dir", "--max-inflight"}},
+    {"stat", cmd_stat,
+     {"--health", "--flight", "--reload", "--watch", "--interval"}},
     {"export-lib", cmd_export_lib, {"--early"}},
     {"lint", cmd_lint, {"--concurrency"}},
     {"fault-sites", cmd_fault_sites, {}},
