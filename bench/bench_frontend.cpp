@@ -1,0 +1,132 @@
+// Frontend import throughput: parse + elaborate + tech-map synthetic
+// BLIF netlists of increasing size and report wall-clock, pins/s and
+// synthesized-cell counts. Emits BENCH_frontend.json alongside the
+// ASCII table (schema: docs/OBSERVABILITY.md).
+//
+//   TMM_TEST_SCALE   divisor applied to the node counts (default 1)
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "frontend/blif_parser.hpp"
+#include "frontend/elaborate.hpp"
+#include "frontend/tech_map.hpp"
+#include "util/instrument.hpp"
+#include "util/rng.hpp"
+
+using namespace tmm;
+using namespace tmm::bench;
+
+namespace {
+
+/// Layered combinational BLIF: `nodes` .names nodes over `inputs` PIs,
+/// each drawing 2-4 fanins from earlier nets, plus a tail of latches so
+/// the sequential path is exercised too. Deterministic per (seed).
+std::string synth_blif(std::size_t inputs, std::size_t nodes,
+                       std::size_t latches, std::uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream os;
+  os << ".model bench\n.inputs clk";
+  std::vector<std::string> nets;
+  for (std::size_t i = 0; i < inputs; ++i) {
+    os << " i" << i;
+    nets.push_back("i" + std::to_string(i));
+  }
+  os << "\n.outputs";
+  for (std::size_t n = nodes < 8 ? 0 : nodes - 8; n < nodes; ++n)
+    os << " n" << n;
+  for (std::size_t l = 0; l < latches; ++l) os << " q" << l;
+  os << "\n";
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const std::size_t k = 2 + rng.below(3);
+    os << ".names";
+    for (std::size_t j = 0; j < k; ++j)
+      os << " " << nets[rng.below(nets.size())];
+    const std::string out = "n" + std::to_string(n);
+    os << " " << out << "\n";
+    const std::size_t rows = 1 + rng.below(4);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < k; ++j) os << "01-"[rng.below(3)];
+      os << " 1\n";
+    }
+    nets.push_back(out);
+  }
+  for (std::size_t l = 0; l < latches; ++l) {
+    os << ".latch " << nets[nets.size() - 1 - l] << " q" << l
+       << " re clk 0\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t scale = env_scale("TMM_TEST_SCALE", 1);
+  std::printf("== Frontend import throughput (1/%zu scale) ==\n", scale);
+
+  JsonReport report("frontend");
+  report.set_meta("scale", static_cast<double>(scale));
+
+  AsciiTable table(
+      {"netlist", "prims", "gates", "pins", "parse_ms", "map_ms", "pins_per_s",
+       "cells_synth"});
+
+  const struct {
+    const char* name;
+    std::size_t inputs, nodes, latches;
+  } kSizes[] = {
+      {"blif_1k", 32, 1'000, 16},
+      {"blif_10k", 64, 10'000, 64},
+      {"blif_50k", 128, 50'000, 128},
+  };
+
+  double total_pins = 0.0, total_s = 0.0;
+  for (const auto& size : kSizes) {
+    const std::string text = synth_blif(size.inputs, size.nodes / scale,
+                                        size.latches, 0xB1BEu);
+    Library lib = generate_library();
+
+    Stopwatch sw_parse;
+    std::istringstream is(text);
+    const frontend::IrNetlist ir = frontend::parse_blif(is, size.name);
+    const frontend::FlatNetlist flat = frontend::elaborate(ir, lib);
+    const double parse_s = sw_parse.seconds();
+
+    Stopwatch sw_map;
+    frontend::ImportStats stats;
+    const Design d = frontend::map_netlist(flat, lib, {}, &stats);
+    const double map_s = sw_map.seconds();
+
+    const double pins = static_cast<double>(d.num_pins());
+    const double pins_per_s = pins / (parse_s + map_s);
+    total_pins += pins;
+    total_s += parse_s + map_s;
+
+    table.add_row(
+        {size.name,
+         AsciiTable::integer(static_cast<long long>(flat.prims.size())),
+         AsciiTable::integer(static_cast<long long>(stats.gates)),
+         AsciiTable::integer(static_cast<long long>(stats.pins)),
+         AsciiTable::num(parse_s * 1e3, 2), AsciiTable::num(map_s * 1e3, 2),
+         AsciiTable::integer(static_cast<long long>(pins_per_s)),
+         AsciiTable::integer(static_cast<long long>(stats.cells_synthesized))});
+    report.add_row(
+        size.name, "frontend",
+        {{"prims", static_cast<double>(flat.prims.size())},
+         {"gates", static_cast<double>(stats.gates)},
+         {"pins", pins},
+         {"parse_s", parse_s},
+         {"map_s", map_s},
+         {"pins_per_s", pins_per_s},
+         {"cells_synthesized", static_cast<double>(stats.cells_synthesized)}});
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  report.set_summary("pins_per_s", total_pins / total_s);
+  report.write();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Structural-Verilog chain of NAND-built 2:1 muxes selecting between a
+// data input and the previous stage. Instantiates library cells
+// directly (NAND2_X1 / INV_X1), so no cells are synthesized on import.
+module mux_chain(input d0, input d1, input d2, input sel, output y);
+  wire nsel;
+  wire a0, b0, m0;
+  wire a1, b1;
+
+  INV_X1 u_inv (.A(sel), .Y(nsel));
+
+  // m0 = sel ? d1 : d0
+  NAND2_X1 u_a0 (.A(d0), .B(nsel), .Y(a0));
+  NAND2_X1 u_b0 (.A(d1), .B(sel), .Y(b0));
+  NAND2_X1 u_m0 (.A(a0), .B(b0), .Y(m0));
+
+  // y = sel ? d2 : m0
+  NAND2_X1 u_a1 (.A(m0), .B(nsel), .Y(a1));
+  NAND2_X1 u_b1 (.A(d2), .B(sel), .Y(b1));
+  NAND2_X1 u_y  (.A(a1), .B(b1), .Y(y));
+endmodule

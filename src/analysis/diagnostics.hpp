@@ -20,7 +20,8 @@ std::string_view severity_name(Severity s) noexcept;
 
 /// Stable rule identifiers. Prefixes: G = graph structure, B = boundary,
 /// L = lookup tables, D = design/netlist, M = macro model, S = serving
-/// artifacts (.tmb images, registry directories).
+/// artifacts (.tmb images, registry directories), F = frontend import
+/// (elaborated BLIF/Verilog netlists, docs/FRONTEND.md).
 namespace rule {
 inline constexpr const char* kCycle = "G001";
 inline constexpr const char* kDanglingArc = "G002";
@@ -42,6 +43,10 @@ inline constexpr const char* kBakedDerate = "M002";
 inline constexpr const char* kTmbImage = "S001";
 inline constexpr const char* kTmbArena = "S002";
 inline constexpr const char* kRegistryDupName = "S003";
+inline constexpr const char* kIrUndrivenNet = "F001";
+inline constexpr const char* kIrMultiDriven = "F002";
+inline constexpr const char* kIrDanglingPin = "F003";
+inline constexpr const char* kIrUnusedNet = "F004";
 }  // namespace rule
 
 struct Diagnostic {

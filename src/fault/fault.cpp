@@ -19,6 +19,8 @@ constexpr std::string_view kSites[] = {
     "checkpoint.save_sens",
     "flow.design",
     "flow.train_design",
+    "frontend.map",
+    "frontend.parse",
     "gnn.load",
     "gnn.save",
     "gnn.train_epoch",

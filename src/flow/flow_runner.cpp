@@ -46,16 +46,20 @@ std::string compose_result(const DesignResult& r) {
 
 FlowRunReport run_flow(const std::vector<std::string>& design_paths,
                        const std::string& dir, FlowConfig cfg,
-                       const Library& lib) {
+                       const Library& lib,
+                       const frontend::FrontendConfig& fcfg) {
   cfg.checkpoint_dir = dir;
   FlowRunReport report;
 
   // Stage 0: load every design, isolating parse/IO failures — one
-  // malformed file must not discard the whole batch.
+  // malformed file must not discard the whole batch. The frontend
+  // dispatches on extension: .blif/.v are imported, .dsn read directly
+  // (against `lib` when its name matches, keeping baseline runs
+  // bit-identical).
   std::vector<Design> designs;
   for (const std::string& path : design_paths) {
     try {
-      designs.push_back(read_design_file(path, lib));
+      designs.push_back(frontend::load_design_any(path, fcfg, &lib));
     } catch (const std::exception& e) {
       report.failed.push_back({path, e.what()});
       g_designs_failed.add();

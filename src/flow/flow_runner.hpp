@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "flow/framework.hpp"
+#include "frontend/frontend.hpp"
 #include "netlist/design.hpp"
 
 namespace tmm::flow {
@@ -50,11 +51,16 @@ struct FlowRunReport {
 };
 
 /// Run the full flow over `design_paths` with checkpoint/resume in
-/// `dir`. `cfg.checkpoint_dir` is overwritten with `dir`. Throws
-/// fault::FlowError when nothing at all could be produced (no loadable
-/// design, all designs failed) and on checkpoint-config mismatch.
+/// `dir`. `cfg.checkpoint_dir` is overwritten with `dir`. Paths are
+/// loaded through the real-circuit frontend (frontend::load_design_any):
+/// `.blif`/`.v` inputs are imported under `fcfg`, `.dsn` files read as
+/// before (`lib` is preferred when its name matches the file header, so
+/// baseline runs stay bit-identical). Throws fault::FlowError when
+/// nothing at all could be produced (no loadable design, all designs
+/// failed) and on checkpoint-config mismatch.
 FlowRunReport run_flow(const std::vector<std::string>& design_paths,
                        const std::string& dir, FlowConfig cfg,
-                       const Library& lib);
+                       const Library& lib,
+                       const frontend::FrontendConfig& fcfg = {});
 
 }  // namespace tmm::flow

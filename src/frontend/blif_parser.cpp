@@ -1,0 +1,246 @@
+#include "frontend/blif_parser.hpp"
+
+#include <unordered_set>
+
+#include "frontend/lexer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tmm::frontend {
+
+namespace {
+
+obs::Counter& g_models = obs::counter("frontend.blif_models");
+obs::Counter& g_names = obs::counter("frontend.blif_names_nodes");
+obs::Counter& g_latches = obs::counter("frontend.blif_latches");
+obs::Counter& g_subckts = obs::counter("frontend.blif_subckts");
+obs::Counter& g_cover_rows = obs::counter("frontend.blif_cover_rows");
+
+/// Hard cap on structural element counts: a corrupt header can not
+/// balloon memory before validation sees it (netlist_io idiom).
+constexpr std::size_t kMaxElements = 100'000'000;
+
+struct Parser {
+  BlifLexer lex;
+  IrNetlist out;
+  IrModel* model = nullptr;     ///< currently open model
+  NamesNode* names = nullptr;   ///< currently open .names (cover rows)
+  std::unordered_set<std::string> model_names;
+  std::size_t subckt_count = 0;
+
+  explicit Parser(std::istream& is, std::string source)
+      : lex(is, std::move(source)) {
+    out.source = lex.source();
+  }
+
+  void require_model(const std::string& directive) {
+    if (model == nullptr)
+      lex.fail(directive + " outside a .model");
+  }
+
+  void check_name(const std::string& s, const char* what) {
+    if (!valid_identifier(s))
+      lex.fail(std::string("invalid ") + what + " '" + s + "'");
+  }
+
+  void close_names() { names = nullptr; }
+
+  void begin_model(const std::vector<std::string>& tok) {
+    if (tok.size() > 2) lex.fail(".model takes a single name");
+    std::string name = tok.size() == 2 ? tok[1] : "top";
+    check_name(name, "model name");
+    if (!model_names.insert(name).second)
+      lex.fail("duplicate .model '" + name + "'");
+    out.models.emplace_back();
+    model = &out.models.back();
+    model->name = std::move(name);
+    model->loc = {lex.source(), lex.line()};
+    g_models.add();
+  }
+
+  void add_ports(const std::vector<std::string>& tok,
+                 std::vector<std::string>* dst, const char* what) {
+    close_names();
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+      check_name(tok[i], what);
+      dst->push_back(tok[i]);
+      if (dst->size() > kMaxElements) lex.fail("too many ports");
+    }
+  }
+
+  void begin_names(const std::vector<std::string>& tok) {
+    require_model(".names");
+    if (tok.size() < 2) lex.fail(".names needs at least an output");
+    NamesNode node;
+    for (std::size_t i = 1; i + 1 < tok.size(); ++i) {
+      check_name(tok[i], ".names input");
+      node.inputs.push_back(tok[i]);
+    }
+    check_name(tok.back(), ".names output");
+    node.output = tok.back();
+    node.loc = {lex.source(), lex.line()};
+    if (node.inputs.size() > 64)
+      lex.fail(".names with " + std::to_string(node.inputs.size()) +
+               " inputs (max 64 supported)");
+    model->names.push_back(std::move(node));
+    if (model->names.size() > kMaxElements) lex.fail("too many .names nodes");
+    names = &model->names.back();
+    g_names.add();
+  }
+
+  void add_cover_row(const std::vector<std::string>& tok) {
+    if (names == nullptr)
+      lex.fail("cover row '" + tok[0] + "' outside a .names block");
+    const std::size_t k = names->inputs.size();
+    std::string plane;
+    char out_val = 0;
+    if (k == 0) {
+      // Constant node: a single output-value token per row.
+      if (tok.size() != 1) lex.fail("constant .names row must be one token");
+      plane.clear();
+      if (tok[0].size() != 1) lex.fail("bad cover output '" + tok[0] + "'");
+      out_val = tok[0][0];
+    } else {
+      if (tok.size() != 2)
+        lex.fail("cover row must be '<input-plane> <output>' (got " +
+                 std::to_string(tok.size()) + " tokens)");
+      plane = tok[0];
+      if (tok[1].size() != 1) lex.fail("bad cover output '" + tok[1] + "'");
+      out_val = tok[1][0];
+    }
+    if (plane.size() != k)
+      lex.fail("cover row plane '" + plane + "' has " +
+               std::to_string(plane.size()) + " columns but .names lists " +
+               std::to_string(k) + " inputs (truncated cover?)");
+    for (const char c : plane)
+      if (c != '0' && c != '1' && c != '-')
+        lex.fail(std::string("bad cover character '") + c +
+                 "' (expected 0, 1 or -)");
+    if (out_val != '0' && out_val != '1')
+      lex.fail(std::string("bad cover output '") + out_val +
+               "' (expected 0 or 1)");
+    if (!names->cover.rows.empty() && names->cover.output_value != out_val)
+      lex.fail("mixed on-set and off-set rows in one .names cover");
+    names->cover.output_value = out_val;
+    names->cover.rows.push_back(std::move(plane));
+    if (names->cover.rows.size() > kMaxElements)
+      lex.fail("too many cover rows");
+    g_cover_rows.add();
+  }
+
+  void add_latch(const std::vector<std::string>& tok) {
+    require_model(".latch");
+    close_names();
+    // Forms: .latch in out [init]   |   .latch in out type ctrl [init]
+    if (tok.size() < 3 || tok.size() > 6)
+      lex.fail(".latch expects <input> <output> [<type> <control>] [<init>]");
+    LatchNode latch;
+    check_name(tok[1], ".latch input");
+    check_name(tok[2], ".latch output");
+    latch.input = tok[1];
+    latch.output = tok[2];
+    latch.loc = {lex.source(), lex.line()};
+    std::size_t init_idx = 3;
+    if (tok.size() >= 5) {
+      const std::string& type = tok[3];
+      if (type != "re" && type != "fe" && type != "ah" && type != "al" &&
+          type != "as")
+        lex.fail("unknown latch type '" + type + "'");
+      if (tok[4] != "NIL") {
+        check_name(tok[4], ".latch control");
+        latch.control = tok[4];
+      }
+      init_idx = 5;
+    } else if (tok.size() == 4) {
+      init_idx = 3;
+    }
+    if (tok.size() > init_idx) {
+      const std::string& init = tok[init_idx];
+      if (init.size() != 1 || init[0] < '0' || init[0] > '3')
+        lex.fail("bad latch init value '" + init + "' (expected 0..3)");
+      latch.init = init[0] - '0';
+    }
+    model->latches.push_back(std::move(latch));
+    if (model->latches.size() > kMaxElements) lex.fail("too many latches");
+    g_latches.add();
+  }
+
+  void add_subckt(const std::vector<std::string>& tok) {
+    require_model(".subckt");
+    close_names();
+    if (tok.size() < 2) lex.fail(".subckt needs a model name");
+    InstanceNode inst;
+    check_name(tok[1], ".subckt model name");
+    inst.model = tok[1];
+    inst.name = "s" + std::to_string(subckt_count++);
+    inst.loc = {lex.source(), lex.line()};
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      const std::size_t eq = tok[i].find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= tok[i].size())
+        lex.fail(".subckt connection '" + tok[i] +
+                 "' is not of the form formal=actual");
+      std::string formal = tok[i].substr(0, eq);
+      std::string actual = tok[i].substr(eq + 1);
+      check_name(formal, ".subckt formal");
+      check_name(actual, ".subckt actual");
+      inst.conns.emplace_back(std::move(formal), std::move(actual));
+    }
+    model->instances.push_back(std::move(inst));
+    if (model->instances.size() > kMaxElements) lex.fail("too many .subckt");
+    g_subckts.add();
+  }
+
+  void run() {
+    std::vector<std::string> tok;
+    while (lex.next_line(tok)) {
+      const std::string& head = tok[0];
+      if (head[0] != '.') {
+        add_cover_row(tok);
+        continue;
+      }
+      if (head == ".model") {
+        begin_model(tok);
+      } else if (head == ".inputs") {
+        require_model(".inputs");
+        add_ports(tok, &model->inputs, "input name");
+      } else if (head == ".outputs") {
+        require_model(".outputs");
+        add_ports(tok, &model->outputs, "output name");
+      } else if (head == ".clock") {
+        require_model(".clock");
+        add_ports(tok, &model->clocks, "clock name");
+      } else if (head == ".names") {
+        close_names();
+        begin_names(tok);
+      } else if (head == ".latch") {
+        add_latch(tok);
+      } else if (head == ".subckt") {
+        add_subckt(tok);
+      } else if (head == ".end") {
+        require_model(".end");
+        close_names();
+        model = nullptr;
+      } else if (head == ".exdc" || head == ".gate" || head == ".mlatch" ||
+                 head == ".search") {
+        lex.fail("unsupported BLIF directive '" + head + "'");
+      } else {
+        lex.fail("unknown BLIF directive '" + head + "'");
+      }
+    }
+    if (out.models.empty())
+      parse_fail(lex.source(), lex.line() == 0 ? 1 : lex.line(),
+                 "no .model in BLIF input");
+  }
+};
+
+}  // namespace
+
+IrNetlist parse_blif(std::istream& is, std::string source) {
+  obs::Span span("frontend.parse_blif");
+  fault::inject("frontend.parse");
+  Parser p(is, std::move(source));
+  p.run();
+  return std::move(p.out);
+}
+
+}  // namespace tmm::frontend

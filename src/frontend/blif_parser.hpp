@@ -1,0 +1,16 @@
+#pragma once
+// BLIF parser (docs/FRONTEND.md): `.model`/`.inputs`/`.outputs`/
+// `.clock`/`.names`/`.latch`/`.subckt`/`.end`, multi-model files.
+// Produces the frontend IR; malformed input raises
+// fault::FlowError(kParse) with source:line and the offending token.
+
+#include <iosfwd>
+#include <string>
+
+#include "frontend/ir.hpp"
+
+namespace tmm::frontend {
+
+IrNetlist parse_blif(std::istream& is, std::string source = "<blif>");
+
+}  // namespace tmm::frontend

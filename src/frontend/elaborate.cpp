@@ -1,0 +1,250 @@
+#include "frontend/elaborate.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tmm::frontend {
+
+namespace {
+
+obs::Counter& g_flat_prims = obs::counter("frontend.flat_prims");
+
+constexpr std::size_t kMaxFlatPrims = 100'000'000;
+
+[[noreturn]] void elab_fail(const SourceLoc& loc, const std::string& msg) {
+  throw fault::FlowError(fault::ErrorCode::kParse, "frontend.parse",
+                         loc.str() + ": " + msg);
+}
+
+using PortMap = std::unordered_map<std::string, std::string>;
+
+struct Elab {
+  const IrNetlist& ir;
+  const Library& lib;
+  analysis::LintReport* issues;
+  std::unordered_map<std::string, const IrModel*> models;
+  std::vector<std::string> stack;  ///< open model names (recursion check)
+  FlatNetlist out;
+
+  Elab(const IrNetlist& netlist, const Library& library,
+       analysis::LintReport* report)
+      : ir(netlist), lib(library), issues(report) {
+    for (const IrModel& m : ir.models) models.emplace(m.name, &m);
+  }
+
+  void dangling(const InstanceNode& inst, const std::string& what) {
+    if (issues == nullptr) return;
+    issues->add(analysis::rule::kIrDanglingPin, analysis::Severity::kError,
+                inst.loc.str() + " instance " + inst.name, what,
+                "match the connection list to the resolved model/cell ports");
+  }
+
+  void bump_prims() {
+    if (out.prims.size() > kMaxFlatPrims)
+      throw fault::FlowError(fault::ErrorCode::kParse, "frontend.parse",
+                             out.source + ": flattened netlist exceeds " +
+                                 std::to_string(kMaxFlatPrims) +
+                                 " primitives");
+    g_flat_prims.add();
+  }
+
+  /// Map a net name in `m`'s scope to its flat name: bound ports follow
+  /// the parent net, everything else gets the instance prefix.
+  static std::string resolve(const std::string& net, const std::string& prefix,
+                             const PortMap& portmap) {
+    if (net.empty()) return {};
+    const auto it = portmap.find(net);
+    if (it != portmap.end()) return it->second;
+    return prefix + net;
+  }
+
+  /// Ordered formal-port list used to resolve positional connections.
+  static std::vector<std::string> formal_order(const IrModel& m) {
+    if (!m.port_order.empty()) return m.port_order;
+    std::vector<std::string> order = m.inputs;
+    order.insert(order.end(), m.outputs.begin(), m.outputs.end());
+    return order;
+  }
+
+  void flatten_instance(const InstanceNode& inst, const std::string& prefix,
+                        const PortMap& portmap) {
+    const auto mit = models.find(inst.model);
+    if (mit != models.end()) {
+      flatten_child_model(inst, *mit->second, prefix, portmap);
+      return;
+    }
+    if (lib.has_cell(inst.model)) {
+      flatten_cell(inst, prefix, portmap);
+      return;
+    }
+    elab_fail(inst.loc, "unknown model or library cell '" + inst.model + "'");
+  }
+
+  void flatten_child_model(const InstanceNode& inst, const IrModel& child,
+                           const std::string& prefix, const PortMap& portmap) {
+    for (const std::string& open : stack)
+      if (open == child.name)
+        elab_fail(inst.loc, "recursive instantiation of model '" +
+                                child.name + "'");
+    std::unordered_set<std::string> ports(child.inputs.begin(),
+                                          child.inputs.end());
+    ports.insert(child.outputs.begin(), child.outputs.end());
+    const std::vector<std::string> order = formal_order(child);
+    PortMap childmap;
+    std::size_t pos = 0;
+    for (const auto& [formal, actual] : inst.conns) {
+      std::string f = formal;
+      if (f.empty()) {  // positional
+        if (pos >= order.size()) {
+          dangling(inst, "positional connection " + std::to_string(pos + 1) +
+                             " exceeds the " + std::to_string(order.size()) +
+                             " ports of model '" + child.name + "'");
+          ++pos;
+          continue;
+        }
+        f = order[pos++];
+      } else if (ports.find(f) == ports.end()) {
+        dangling(inst, "pin '" + f + "' is not a port of model '" +
+                           child.name + "'");
+        continue;
+      }
+      if (actual.empty()) continue;  // explicitly unconnected
+      const std::string flat = resolve(actual, prefix, portmap);
+      if (!childmap.emplace(f, flat).second)
+        elab_fail(inst.loc, "pin '" + f + "' connected twice on instance '" +
+                                inst.name + "'");
+    }
+    stack.push_back(child.name);
+    flatten_model(child, prefix + inst.name + "/", childmap);
+    stack.pop_back();
+  }
+
+  void flatten_cell(const InstanceNode& inst, const std::string& prefix,
+                    const PortMap& portmap) {
+    const Cell& cell = lib.cell(lib.cell_id(inst.model));
+    FlatPrimitive prim;
+    prim.kind = FlatKind::kCell;
+    prim.name = prefix + inst.name;
+    prim.cell = inst.model;
+    prim.loc = inst.loc;
+    prim.port_nets.assign(cell.ports.size(), std::string());
+    std::size_t pos = 0;
+    for (const auto& [formal, actual] : inst.conns) {
+      std::size_t idx = cell.ports.size();
+      if (formal.empty()) {  // positional
+        if (pos >= cell.ports.size()) {
+          dangling(inst, "positional connection " + std::to_string(pos + 1) +
+                             " exceeds the " +
+                             std::to_string(cell.ports.size()) +
+                             " ports of cell '" + cell.name + "'");
+          ++pos;
+          continue;
+        }
+        idx = pos++;
+      } else {
+        for (std::size_t i = 0; i < cell.ports.size(); ++i)
+          if (cell.ports[i].name == formal) {
+            idx = i;
+            break;
+          }
+        if (idx == cell.ports.size()) {
+          dangling(inst, "pin '" + formal + "' is not a port of cell '" +
+                             cell.name + "'");
+          continue;
+        }
+      }
+      if (actual.empty()) continue;  // explicitly unconnected
+      if (!prim.port_nets[idx].empty())
+        elab_fail(inst.loc, "pin '" + cell.ports[idx].name +
+                                "' connected twice on instance '" + inst.name +
+                                "'");
+      prim.port_nets[idx] = resolve(actual, prefix, portmap);
+    }
+    out.prims.push_back(std::move(prim));
+    bump_prims();
+  }
+
+  void flatten_model(const IrModel& m, const std::string& prefix,
+                     const PortMap& portmap) {
+    std::size_t local = 0;
+    for (const NamesNode& node : m.names) {
+      FlatPrimitive prim;
+      prim.kind = FlatKind::kNames;
+      prim.name = prefix + "nm" + std::to_string(local++);
+      prim.cover = node.cover;
+      prim.loc = node.loc;
+      prim.inputs.reserve(node.inputs.size());
+      for (const std::string& in : node.inputs)
+        prim.inputs.push_back(resolve(in, prefix, portmap));
+      prim.output = resolve(node.output, prefix, portmap);
+      out.prims.push_back(std::move(prim));
+      bump_prims();
+    }
+    local = 0;
+    for (const LatchNode& latch : m.latches) {
+      FlatPrimitive prim;
+      prim.kind = FlatKind::kLatch;
+      prim.name = prefix + "lt" + std::to_string(local++);
+      prim.inputs.push_back(resolve(latch.input, prefix, portmap));
+      prim.output = resolve(latch.output, prefix, portmap);
+      prim.control = resolve(latch.control, prefix, portmap);
+      prim.loc = latch.loc;
+      out.prims.push_back(std::move(prim));
+      bump_prims();
+    }
+    for (const InstanceNode& inst : m.instances)
+      flatten_instance(inst, prefix, portmap);
+  }
+
+  const IrModel& pick_top(const std::string& top) {
+    if (!top.empty()) {
+      const auto it = models.find(top);
+      if (it == models.end())
+        throw fault::FlowError(fault::ErrorCode::kParse, "frontend.parse",
+                               ir.source + ": top model '" + top +
+                                   "' not found");
+      return *it->second;
+    }
+    std::unordered_set<std::string> instantiated;
+    for (const IrModel& m : ir.models)
+      for (const InstanceNode& inst : m.instances)
+        if (models.find(inst.model) != models.end())
+          instantiated.insert(inst.model);
+    for (const IrModel& m : ir.models)
+      if (instantiated.find(m.name) == instantiated.end()) return m;
+    return ir.models.front();
+  }
+
+  FlatNetlist run(const std::string& top) {
+    const IrModel& root = pick_top(top);
+    out.name = root.name;
+    out.source = ir.source;
+    out.inputs = root.inputs;
+    out.outputs = root.outputs;
+    out.clocks = root.clocks;
+    out.loc = root.loc;
+    stack.push_back(root.name);
+    flatten_model(root, "", {});
+    stack.pop_back();
+    return std::move(out);
+  }
+};
+
+}  // namespace
+
+FlatNetlist elaborate(const IrNetlist& ir, const Library& lib,
+                      const std::string& top, analysis::LintReport* issues) {
+  obs::Span span("frontend.elaborate");
+  if (ir.models.empty())
+    throw fault::FlowError(fault::ErrorCode::kParse, "frontend.parse",
+                           ir.source + ": empty netlist");
+  Elab e(ir, lib, issues);
+  return e.run(top);
+}
+
+}  // namespace tmm::frontend

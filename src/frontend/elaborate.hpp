@@ -1,0 +1,27 @@
+#pragma once
+// Hierarchy elaboration (docs/FRONTEND.md): flatten a parsed IrNetlist
+// into FlatNetlist primitives over fully-qualified net names. Instances
+// resolve first against sibling models in the same file, then against
+// library cells by name; anything else — and any recursive model
+// chain — raises fault::FlowError(kParse). Dangling `.subckt`/instance
+// pins are collected as F003 findings rather than thrown, so `tmm lint`
+// can show all of them at once.
+
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "frontend/ir.hpp"
+#include "liberty/library.hpp"
+
+namespace tmm::frontend {
+
+/// Flatten `ir` under top model `top` (empty = auto-select: the single
+/// model no other model instantiates, else the first model). `lib`
+/// resolves instance names that are not models in the file. F003
+/// findings (formal pin named on an instance but absent from the
+/// resolved model/cell) are appended to `issues` when non-null.
+FlatNetlist elaborate(const IrNetlist& ir, const Library& lib,
+                      const std::string& top = {},
+                      analysis::LintReport* issues = nullptr);
+
+}  // namespace tmm::frontend

@@ -1,0 +1,172 @@
+#include "frontend/frontend.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "frontend/blif_parser.hpp"
+#include "frontend/elaborate.hpp"
+#include "frontend/frontend_lint.hpp"
+#include "frontend/verilog_parser.hpp"
+#include "netlist/netlist_io.hpp"
+#include "obs/trace.hpp"
+#include "util/mutex.hpp"
+
+namespace tmm::frontend {
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string_view suf(suffix);
+  return s.size() >= suf.size() &&
+         std::string_view(s).substr(s.size() - suf.size()) == suf;
+}
+
+// --- library registry ----------------------------------------------
+// One mutable Library per generator seed, living for the process. The
+// map itself is lock-protected; the returned Library references are
+// only mutated by ensure_names_cell during imports, which the CLI and
+// flow runner perform from a single thread.
+
+const util::lockorder::LockClass kRegistryLockClass("frontend.registry");
+
+struct Registry {
+  util::Mutex mu{kRegistryLockClass};
+  std::map<std::uint64_t, std::unique_ptr<Library>> libs
+      TMM_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never destroyed: returned
+  return *r;                            // references must stay valid
+}
+
+}  // namespace
+
+bool is_frontend_path(const std::string& path) {
+  return ends_with(path, ".blif") || ends_with(path, ".v");
+}
+
+IrNetlist parse_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw fault::FlowError(fault::ErrorCode::kIo, "frontend.parse",
+                           "cannot open '" + path + "'");
+  if (ends_with(path, ".blif")) return parse_blif(is, path);
+  if (ends_with(path, ".v")) return parse_verilog(is, path);
+  throw fault::FlowError(fault::ErrorCode::kConfig, "frontend.parse",
+                         "'" + path +
+                             "': unsupported frontend extension (expected "
+                             ".blif or .v)");
+}
+
+Library& library_for_seed(std::uint64_t seed) {
+  Registry& reg = registry();
+  util::MutexLock lock(reg.mu);
+  auto it = reg.libs.find(seed);
+  if (it == reg.libs.end()) {
+    LibraryGenConfig cfg;
+    cfg.seed = seed;
+    it = reg.libs
+             .emplace(seed, std::make_unique<Library>(generate_library(cfg)))
+             .first;
+  }
+  return *it->second;
+}
+
+Library* library_for_name(std::string_view name) {
+  LibraryGenConfig cfg;
+  if (!library_config_for_name(name, &cfg)) return nullptr;
+  return &library_for_seed(cfg.seed);
+}
+
+Design import_file(const std::string& path, const FrontendConfig& cfg,
+                   ImportStats* stats, analysis::LintReport* report_out) {
+  obs::Span span("frontend.import");
+  IrNetlist ir = parse_file(path);
+  Library& lib = library_for_seed(cfg.lib_seed);
+  analysis::LintReport report;
+  const FlatNetlist flat = elaborate(ir, lib, cfg.top, &report);
+  report.merge(lint_flat(flat, lib));
+  if (report_out != nullptr) *report_out = report;
+  if (report.errors() > 0)
+    throw fault::FlowError(fault::ErrorCode::kParse, "frontend.map",
+                           path + ": import lint failed\n" +
+                               report.to_string());
+  ImportStats local;
+  Design design = map_netlist(flat, lib, cfg, &local);
+  local.models = ir.models.size();
+  if (stats != nullptr) *stats = local;
+  return design;
+}
+
+namespace {
+
+/// Cell names referenced by `gate` records of a .dsn file, plus the
+/// library name from its header. Best-effort: returns false when the
+/// header is unreadable (the real parser then produces the error).
+bool scan_dsn(const std::string& path, std::string* lib_name,
+              std::vector<std::string>* cells) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    if (!saw_header) {
+      std::string design_name;
+      if (kw != "design" || !(ls >> design_name >> *lib_name)) return false;
+      saw_header = true;
+      continue;
+    }
+    if (kw == "gate") {
+      std::string gate_name;
+      std::string cell_name;
+      if (ls >> gate_name >> cell_name) cells->push_back(cell_name);
+    }
+  }
+  return saw_header;
+}
+
+}  // namespace
+
+Design load_design_any(const std::string& path, const FrontendConfig& cfg,
+                       const Library* preferred) {
+  if (is_frontend_path(path)) return import_file(path, cfg);
+
+  std::string lib_name;
+  std::vector<std::string> cells;
+  if (scan_dsn(path, &lib_name, &cells)) {
+    const auto missing_from = [&cells](const Library& lib) {
+      for (const std::string& c : cells)
+        if (!lib.has_cell(c)) return true;
+      return false;
+    };
+    if (preferred != nullptr && preferred->name() == lib_name &&
+        !missing_from(*preferred))
+      return read_design_file(path, *preferred);
+    if (Library* lib = library_for_name(lib_name); lib != nullptr) {
+      // Re-synthesize referenced NK* cells from their names so a .dsn
+      // produced by `tmm import` loads in a fresh process.
+      LibraryGenConfig gen_cfg;
+      library_config_for_name(lib_name, &gen_cfg);
+      for (const std::string& c : cells) {
+        NamesCellSpec spec;
+        if (!lib->has_cell(c) && parse_names_cell_name(c, &spec))
+          ensure_names_cell(*lib, spec, gen_cfg);
+      }
+      return read_design_file(path, *lib);
+    }
+  }
+  // Unscannable or foreign library name: let the strict parser report.
+  if (preferred != nullptr) return read_design_file(path, *preferred);
+  return read_design_file(path, library_for_seed(cfg.lib_seed));
+}
+
+}  // namespace tmm::frontend

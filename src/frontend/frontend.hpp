@@ -1,0 +1,59 @@
+#pragma once
+// Real-circuit frontend entry points (docs/FRONTEND.md): import BLIF or
+// structural Verilog into a tmm::Design mapped onto a generated NLDM
+// library, and load designs from any supported path (.blif/.v/.dsn)
+// behind one call so the flow runner and CLI need no format dispatch.
+//
+// Imported designs reference on-demand NK* cells that do not exist in a
+// freshly generated library; a process-lifetime *registry* of mutable
+// libraries (one per generator seed) owns them. Cells accumulate there
+// and are re-synthesized from their names when a previously written
+// .dsn is re-read, so `tmm import x.blif -o x.dsn && tmm sta x.dsn`
+// works across processes without shipping the library.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+#include "frontend/tech_map.hpp"
+
+namespace tmm::frontend {
+
+/// True for paths the frontend parses (.blif, .v).
+bool is_frontend_path(const std::string& path);
+
+/// Parse a .blif/.v file into frontend IR (dispatch on extension).
+/// Raises fault::FlowError(kIo) for unreadable files, kParse for
+/// malformed content, kConfig for unsupported extensions.
+IrNetlist parse_file(const std::string& path);
+
+/// Process-lifetime mutable library for a generator seed. Thread-safe;
+/// the reference stays valid for the life of the process.
+Library& library_for_seed(std::uint64_t seed);
+
+/// Registry library whose serialized name is `name` (see
+/// library_name_for_seed), or nullptr for names the generator never
+/// produces.
+Library* library_for_name(std::string_view name);
+
+/// Full import pipeline: parse -> elaborate -> lint_flat (F001-F004,
+/// plus F003 findings from elaboration) -> tech map -> validate. Lint
+/// errors abort with kParse carrying the report text; `report_out`
+/// (when non-null) receives the findings either way. The design is
+/// mapped against library_for_seed(cfg.lib_seed).
+Design import_file(const std::string& path, const FrontendConfig& cfg = {},
+                   ImportStats* stats = nullptr,
+                   analysis::LintReport* report_out = nullptr);
+
+/// Load a design from any supported path. `.blif`/`.v` go through
+/// import_file. `.dsn` files are read with `preferred` when its name
+/// matches the file header (the baseline flow path — keeps existing
+/// outputs bit-identical); otherwise the matching registry library is
+/// used, with referenced NK* cells re-synthesized from their names
+/// before parsing.
+Design load_design_any(const std::string& path,
+                       const FrontendConfig& cfg = {},
+                       const Library* preferred = nullptr);
+
+}  // namespace tmm::frontend

@@ -1,0 +1,120 @@
+#include "frontend/frontend_lint.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tmm::frontend {
+
+namespace {
+
+struct NetInfo {
+  std::size_t drivers = 0;
+  std::size_t users = 0;
+  std::string first_driver;  ///< for the F002 message
+  std::string second_driver;
+};
+
+/// First-seen-ordered net table: map for lookup, vector for stable
+/// report order (findings must be deterministic across runs).
+struct NetTable {
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<std::string> names;
+  std::vector<NetInfo> info;
+
+  NetInfo& at(const std::string& net) {
+    const auto [it, inserted] = index.emplace(net, names.size());
+    if (inserted) {
+      names.push_back(net);
+      info.emplace_back();
+    }
+    return info[it->second];
+  }
+};
+
+}  // namespace
+
+analysis::LintReport lint_flat(const FlatNetlist& flat,
+                               const Library& lib) {
+  obs::Span span("frontend.lint_flat");
+  analysis::LintReport report;
+  NetTable nets;
+
+  auto drive = [&nets](const std::string& net, const std::string& who) {
+    NetInfo& n = nets.at(net);
+    if (n.drivers == 0)
+      n.first_driver = who;
+    else if (n.drivers == 1)
+      n.second_driver = who;
+    ++n.drivers;
+  };
+  auto use = [&nets](const std::string& net) { ++nets.at(net).users; };
+
+  for (const std::string& pi : flat.inputs) drive(pi, "primary input");
+  for (const std::string& clk : flat.clocks) drive(clk, "clock input");
+
+  for (const FlatPrimitive& prim : flat.prims) {
+    switch (prim.kind) {
+      case FlatKind::kNames:
+        for (const std::string& in : prim.inputs) use(in);
+        drive(prim.output, prim.name);
+        break;
+      case FlatKind::kLatch:
+        for (const std::string& in : prim.inputs) use(in);
+        if (!prim.control.empty()) use(prim.control);
+        drive(prim.output, prim.name);
+        break;
+      case FlatKind::kCell: {
+        const Cell& cell = lib.cell(lib.cell_id(prim.cell));
+        for (std::size_t i = 0; i < cell.ports.size(); ++i) {
+          const std::string& net = prim.port_nets[i];
+          if (cell.ports[i].dir == PortDir::kInput) {
+            if (net.empty()) {
+              report.add(analysis::rule::kIrDanglingPin,
+                         analysis::Severity::kError,
+                         prim.loc.str() + " instance " + prim.name,
+                         "input pin '" + cell.ports[i].name + "' of cell '" +
+                             cell.name + "' is unconnected",
+                         "connect the pin or remove the instance");
+            } else {
+              use(net);
+            }
+          } else if (!net.empty()) {
+            drive(net, prim.name);
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (const std::string& po : flat.outputs) use(po);
+
+  for (std::size_t i = 0; i < nets.names.size(); ++i) {
+    const NetInfo& n = nets.info[i];
+    const std::string& name = nets.names[i];
+    if (n.drivers == 0) {
+      report.add(analysis::rule::kIrUndrivenNet, analysis::Severity::kError,
+                 "net " + name,
+                 "net is consumed but has no driver (no primary input, no "
+                 "gate output)",
+                 "declare the net as an input or add a driving gate");
+    } else if (n.drivers > 1) {
+      report.add(analysis::rule::kIrMultiDriven, analysis::Severity::kError,
+                 "net " + name,
+                 "net has " + std::to_string(n.drivers) + " drivers (" +
+                     n.first_driver + ", " + n.second_driver +
+                     (n.drivers > 2 ? ", ..." : "") + ")",
+                 "a net must have exactly one driver");
+    }
+    if (n.users == 0) {
+      report.add(analysis::rule::kIrUnusedNet, analysis::Severity::kWarning,
+                 "net " + name, "net is driven but consumed by nothing",
+                 "remove the dead logic or add a primary output");
+    }
+  }
+  return report;
+}
+
+}  // namespace tmm::frontend

@@ -1,0 +1,23 @@
+#pragma once
+// Import-time lint over the elaborated (flattened) netlist — rules
+// F001–F004, catalogued in docs/ANALYSIS.md. These run before tech
+// mapping so connectivity mistakes are reported against BLIF/Verilog
+// source locations, not against the mapped .dsn design.
+
+#include "analysis/diagnostics.hpp"
+#include "frontend/ir.hpp"
+#include "liberty/library.hpp"
+
+namespace tmm::frontend {
+
+/// Check flat-netlist connectivity:
+///   F001 (error)   net consumed by a pin or primary output but driven
+///                  by nothing (no primary input, no primitive output);
+///   F002 (error)   net with more than one driver;
+///   F003 (error)   cell instance input port left unconnected;
+///   F004 (warning) net driven but consumed by nothing.
+/// `lib` resolves cell port directions for kCell primitives.
+analysis::LintReport lint_flat(const FlatNetlist& flat,
+                               const Library& lib);
+
+}  // namespace tmm::frontend

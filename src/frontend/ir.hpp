@@ -1,0 +1,113 @@
+#pragma once
+// Intermediate netlist of the real-circuit frontend (docs/FRONTEND.md).
+//
+// Both parsers (BLIF, structural Verilog) produce the same hierarchical
+// IR: models with ports, single-output `.names` SOP nodes, latches and
+// instances of other models or library cells. Elaboration flattens the
+// hierarchy into FlatNetlist — primitives over fully-qualified net
+// names — which is what the import lint rules (F001–F004) and the tech
+// mapper consume. Every element keeps its source location so a mapping
+// diagnostic can point at the BLIF/Verilog line that introduced it.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tmm::frontend {
+
+/// Position of an IR element in its source file.
+struct SourceLoc {
+  std::string file;
+  std::size_t line = 0;
+  std::string str() const { return file + ":" + std::to_string(line); }
+};
+
+/// Single-output sum-of-products cover of a `.names` node. Each row is
+/// the input plane (chars in {'0','1','-'}, one per input); all rows of
+/// a node share one output value: '1' = on-set cover, '0' = off-set.
+/// An empty row set denotes the constant (!output_value) function.
+struct SopCover {
+  std::vector<std::string> rows;
+  char output_value = '1';
+};
+
+struct NamesNode {
+  std::vector<std::string> inputs;
+  std::string output;
+  SopCover cover;
+  SourceLoc loc;
+};
+
+struct LatchNode {
+  std::string input;
+  std::string output;
+  std::string control;  ///< clock net; empty = NIL / unclocked
+  int init = 3;         ///< BLIF init value 0..3 (3 = unknown)
+  SourceLoc loc;
+};
+
+/// `.subckt` / Verilog instance: a reference to another model in the
+/// same file or to a library cell. Connections are (formal, actual)
+/// pairs; an empty formal marks a positional Verilog connection,
+/// resolved against the resolved model/cell port order at elaboration.
+struct InstanceNode {
+  std::string model;
+  std::string name;  ///< instance name (synthesized for BLIF .subckt)
+  std::vector<std::pair<std::string, std::string>> conns;
+  SourceLoc loc;
+};
+
+struct IrModel {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<std::string> clocks;  ///< `.clock` declarations (BLIF)
+  /// Verilog header port order (inputs and outputs interleaved), used
+  /// to resolve positional instance connections. Empty for BLIF models;
+  /// elaboration then falls back to inputs-then-outputs order.
+  std::vector<std::string> port_order;
+  std::vector<NamesNode> names;
+  std::vector<LatchNode> latches;
+  std::vector<InstanceNode> instances;
+  SourceLoc loc;
+};
+
+struct IrNetlist {
+  std::vector<IrModel> models;
+  std::string source;  ///< file/stream name for diagnostics
+};
+
+// --- elaborated (flattened) form -----------------------------------
+
+enum class FlatKind : std::uint8_t { kNames, kLatch, kCell };
+
+/// One flattened primitive. Net names are hierarchical
+/// ("<inst>/<inst>/<net>"); top-model nets keep their plain names.
+struct FlatPrimitive {
+  FlatKind kind = FlatKind::kNames;
+  std::string name;  ///< unique flattened instance name
+  // kNames: inputs (cover order) -> output.
+  std::vector<std::string> inputs;
+  std::string output;
+  SopCover cover;
+  // kLatch: inputs = {data net}, output = Q net, control = clock net.
+  std::string control;
+  // kCell: library cell name + nets parallel to the cell's port list
+  // ("" = unconnected port).
+  std::string cell;
+  std::vector<std::string> port_nets;
+  SourceLoc loc;
+};
+
+struct FlatNetlist {
+  std::string name;    ///< top model name
+  std::string source;  ///< file/stream name for diagnostics
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<std::string> clocks;  ///< declared clock nets (top model)
+  std::vector<FlatPrimitive> prims;
+  SourceLoc loc;
+};
+
+}  // namespace tmm::frontend

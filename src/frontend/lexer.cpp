@@ -1,0 +1,192 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <string_view>
+
+namespace tmm::frontend {
+
+void parse_fail(const std::string& source, std::size_t line,
+                const std::string& msg) {
+  throw fault::FlowError(fault::ErrorCode::kParse, "frontend.parse",
+                         source + ":" + std::to_string(line) + ": " + msg);
+}
+
+bool valid_identifier(const std::string& s) {
+  if (s.empty() || s.size() > kMaxTokenBytes) return false;
+  for (const unsigned char c : s)
+    if (c <= ' ' || c >= 127) return false;
+  return true;
+}
+
+bool BlifLexer::next_line(std::vector<std::string>& tokens) {
+  tokens.clear();
+  std::string logical;
+  std::string raw;
+  while (tokens.empty()) {
+    logical.clear();
+    std::size_t first_physical = 0;
+    // Join '\'-continued physical lines into one logical line.
+    for (;;) {
+      if (!std::getline(is_, raw)) {
+        if (logical.empty() && first_physical == 0) return false;
+        break;
+      }
+      ++physical_;
+      if (first_physical == 0) first_physical = physical_;
+      // Strip comments first: a '\' inside a comment does not continue.
+      const std::size_t hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      // Trailing '\' (possibly followed by spaces) continues the line.
+      std::size_t end = raw.size();
+      while (end > 0 && (raw[end - 1] == ' ' || raw[end - 1] == '\t' ||
+                         raw[end - 1] == '\r'))
+        --end;
+      const bool continued = end > 0 && raw[end - 1] == '\\';
+      if (continued) --end;
+      logical.append(raw, 0, end);
+      if (logical.size() > kMaxLineBytes)
+        parse_fail(source_, first_physical,
+                   "logical line exceeds " + std::to_string(kMaxLineBytes) +
+                       " bytes");
+      if (!continued) break;
+      logical += ' ';
+    }
+    if (first_physical == 0) return false;
+    line_ = first_physical;
+    // Whitespace split.
+    std::size_t i = 0;
+    while (i < logical.size()) {
+      while (i < logical.size() &&
+             std::isspace(static_cast<unsigned char>(logical[i])) != 0)
+        ++i;
+      std::size_t j = i;
+      while (j < logical.size() &&
+             std::isspace(static_cast<unsigned char>(logical[j])) == 0)
+        ++j;
+      if (j > i) {
+        if (j - i > kMaxTokenBytes)
+          parse_fail(source_, line_,
+                     "token exceeds " + std::to_string(kMaxTokenBytes) +
+                         " bytes");
+        tokens.emplace_back(logical, i, j - i);
+      }
+      i = j;
+    }
+  }
+  return true;
+}
+
+int VerilogLexer::get() {
+  const int c = is_.get();
+  if (c == '\n') ++line_;
+  return c;
+}
+
+int VerilogLexer::peek_char() { return is_.peek(); }
+
+void VerilogLexer::skip_ws_and_comments() {
+  for (;;) {
+    int c = peek_char();
+    if (c == EOF) return;
+    if (std::isspace(c) != 0) {
+      get();
+      continue;
+    }
+    if (c == '/') {
+      get();
+      const int c2 = peek_char();
+      if (c2 == '/') {
+        while (c != EOF && c != '\n') c = get();
+        continue;
+      }
+      if (c2 == '*') {
+        get();
+        const std::size_t start = line_;
+        int prev = 0;
+        for (;;) {
+          c = get();
+          if (c == EOF)
+            parse_fail(source_, start, "unterminated /* comment");
+          if (prev == '*' && c == '/') break;
+          prev = c;
+        }
+        continue;
+      }
+      parse_fail(source_, line_, "unexpected character '/'");
+    }
+    return;
+  }
+}
+
+std::string VerilogLexer::next() {
+  if (has_lookahead_) {
+    has_lookahead_ = false;
+    return std::move(lookahead_);
+  }
+  skip_ws_and_comments();
+  const int c0 = peek_char();
+  if (c0 == EOF) return {};
+  std::string tok;
+  if (c0 == '\\') {
+    // Escaped identifier: backslash up to the next whitespace.
+    get();
+    for (;;) {
+      const int c = peek_char();
+      if (c == EOF || std::isspace(c) != 0) break;
+      tok += static_cast<char>(get());
+      if (tok.size() > kMaxTokenBytes)
+        parse_fail(source_, line_, "token exceeds " +
+                                       std::to_string(kMaxTokenBytes) +
+                                       " bytes");
+    }
+    if (tok.empty()) parse_fail(source_, line_, "empty escaped identifier");
+    return tok;
+  }
+  if (std::isalpha(c0) != 0 || c0 == '_' || c0 == '$' || std::isdigit(c0) != 0) {
+    for (;;) {
+      const int c = peek_char();
+      if (c == EOF ||
+          (std::isalnum(c) == 0 && c != '_' && c != '$' && c != '\'')) break;
+      tok += static_cast<char>(get());
+      if (tok.size() > kMaxTokenBytes)
+        parse_fail(source_, line_, "token exceeds " +
+                                       std::to_string(kMaxTokenBytes) +
+                                       " bytes");
+    }
+    return tok;
+  }
+  constexpr std::string_view kPunct = "(),.;=[]:#";
+  if (kPunct.find(static_cast<char>(c0)) != std::string_view::npos) {
+    tok += static_cast<char>(get());
+    return tok;
+  }
+  parse_fail(source_, line_,
+             std::string("unexpected character '") + static_cast<char>(c0) +
+                 "'");
+}
+
+const std::string& VerilogLexer::peek() {
+  if (!has_lookahead_) {
+    lookahead_ = next();
+    has_lookahead_ = true;
+  }
+  return lookahead_;
+}
+
+void VerilogLexer::expect(const std::string& tok) {
+  const std::string got = next();
+  if (got != tok)
+    fail("expected '" + tok + "', got " +
+         (got.empty() ? "end of input" : "'" + got + "'"));
+}
+
+std::string VerilogLexer::ident(const char* what) {
+  const std::string got = next();
+  if (got.empty()) fail(std::string("expected ") + what + ", got end of input");
+  const unsigned char c0 = static_cast<unsigned char>(got[0]);
+  if (std::isalpha(c0) == 0 && c0 != '_' && c0 != '$')
+    fail(std::string("expected ") + what + ", got '" + got + "'");
+  return got;
+}
+
+}  // namespace tmm::frontend

@@ -1,0 +1,98 @@
+#pragma once
+// Lexers for the real-circuit frontend (docs/FRONTEND.md).
+//
+// BLIF is line-oriented ('\' continuation, '#' comments), structural
+// Verilog is token-oriented ('//' and '/* */' comments), so the two
+// parsers share error plumbing but not a tokenizer. Both enforce the
+// same hygiene the repo's other text readers do (fault/token_reader):
+// every diagnostic is a fault::FlowError(kParse) carrying source:line
+// and the offending token, and token/line lengths are capped so a
+// corrupt file can never turn into a runaway allocation.
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace tmm::frontend {
+
+/// Any single token longer than this is a parse error: real netlist
+/// identifiers are tens of bytes, so an oversized token means a corrupt
+/// or hostile file, not a big design.
+inline constexpr std::size_t kMaxTokenBytes = 4096;
+/// Cap on one logical (continuation-joined) BLIF line.
+inline constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+/// Raise fault::FlowError(kParse, "frontend.parse") at source:line.
+[[noreturn]] void parse_fail(const std::string& source, std::size_t line,
+                             const std::string& msg);
+
+/// Logical-line reader for BLIF: joins '\'-continued lines, strips '#'
+/// comments, splits on whitespace. `line()` reports the first physical
+/// line of the current logical line.
+class BlifLexer {
+ public:
+  BlifLexer(std::istream& is, std::string source)
+      : is_(is), source_(std::move(source)) {}
+
+  /// Next non-empty logical line as tokens; false at end of input.
+  bool next_line(std::vector<std::string>& tokens);
+
+  std::size_t line() const noexcept { return line_; }
+  const std::string& source() const noexcept { return source_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    parse_fail(source_, line_, msg);
+  }
+
+ private:
+  std::istream& is_;
+  std::string source_;
+  std::size_t line_ = 0;      ///< first physical line of current logical line
+  std::size_t physical_ = 0;  ///< physical lines consumed so far
+};
+
+/// Character tokenizer for the structural-Verilog subset. Tokens are
+/// identifiers ([A-Za-z_$][A-Za-z0-9_$]*, or \escaped names), numbers,
+/// and single punctuation characters from "(),.;=[]:".
+class VerilogLexer {
+ public:
+  VerilogLexer(std::istream& is, std::string source)
+      : is_(is), source_(std::move(source)) {}
+
+  /// Next token; empty string at end of input.
+  std::string next();
+  /// Peek without consuming.
+  const std::string& peek();
+
+  std::size_t line() const noexcept { return line_; }
+  const std::string& source() const noexcept { return source_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    parse_fail(source_, line_, msg);
+  }
+
+  /// next() that must equal `tok` exactly.
+  void expect(const std::string& tok);
+  /// next() that must be an identifier; `what` names it in diagnostics.
+  std::string ident(const char* what);
+
+ private:
+  int get();
+  int peek_char();
+  void skip_ws_and_comments();
+
+  std::istream& is_;
+  std::string source_;
+  std::size_t line_ = 1;
+  std::string lookahead_;
+  bool has_lookahead_ = false;
+};
+
+/// True when `s` is a valid frontend identifier (printable, no
+/// whitespace, fits the .dsn token grammar the importer writes).
+bool valid_identifier(const std::string& s);
+
+}  // namespace tmm::frontend

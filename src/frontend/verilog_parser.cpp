@@ -1,0 +1,238 @@
+#include "frontend/verilog_parser.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "frontend/lexer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tmm::frontend {
+
+namespace {
+
+obs::Counter& g_modules = obs::counter("frontend.verilog_modules");
+obs::Counter& g_instances = obs::counter("frontend.verilog_instances");
+
+constexpr std::size_t kMaxElements = 100'000'000;
+
+bool is_keyword(const std::string& t) {
+  return t == "module" || t == "endmodule" || t == "input" || t == "output" ||
+         t == "inout" || t == "wire" || t == "assign" || t == "reg" ||
+         t == "always" || t == "initial" || t == "parameter";
+}
+
+struct Parser {
+  VerilogLexer lex;
+  IrNetlist out;
+  std::unordered_set<std::string> model_names;
+
+  // Per-module state.
+  IrModel* model = nullptr;
+  std::unordered_set<std::string> declared;  ///< inputs+outputs+wires
+  std::unordered_set<std::string> port_set;  ///< header port names
+
+  explicit Parser(std::istream& is, std::string source)
+      : lex(is, std::move(source)) {
+    out.source = lex.source();
+  }
+
+  void check_net(const std::string& name) {
+    if (declared.find(name) == declared.end())
+      lex.fail("undeclared signal '" + name + "'");
+  }
+
+  void reject_vector() {
+    if (lex.peek() == "[")
+      lex.fail("vector ranges are not supported (scalar nets only)");
+  }
+
+  /// `input`/`output`/`wire` direction keyword -> destination list, or
+  /// nullptr for `wire` (declared but not a port).
+  std::vector<std::string>* dir_list(const std::string& kw) {
+    if (kw == "input") return &model->inputs;
+    if (kw == "output") return &model->outputs;
+    return nullptr;  // wire
+  }
+
+  void declare(const std::string& name, std::vector<std::string>* dst,
+               bool from_header) {
+    if (!valid_identifier(name)) lex.fail("invalid net name '" + name + "'");
+    if (!declared.insert(name).second)
+      lex.fail("duplicate declaration of '" + name + "'");
+    if (dst != nullptr) {
+      // Non-ANSI port declarations must match the header port list.
+      if (!from_header && port_set.find(name) == port_set.end())
+        lex.fail("'" + name + "' declared as a port but not listed in the "
+                 "module header");
+      dst->push_back(name);
+      if (dst->size() > kMaxElements) lex.fail("too many ports");
+    }
+  }
+
+  /// Parse the header port list. ANSI form carries directions inline;
+  /// non-ANSI lists bare names whose directions come from body
+  /// declarations.
+  void parse_header_ports() {
+    if (lex.peek() != "(") return;
+    lex.expect("(");
+    if (lex.peek() == ")") {
+      lex.expect(")");
+      return;
+    }
+    std::vector<std::string>* dir = nullptr;  // sticky across commas (ANSI)
+    for (;;) {
+      const std::string& t = lex.peek();
+      if (t == "input" || t == "output") {
+        const std::string kw = lex.next();
+        reject_vector();
+        if (lex.peek() == "wire") lex.next();  // `input wire a` (ANSI)
+        dir = dir_list(kw);
+      } else if (t == "inout") {
+        lex.fail("inout ports are not supported");
+      } else if (t == "wire") {
+        lex.fail("'wire' is not a port direction");
+      }
+      const std::string name = lex.ident("port name");
+      if (is_keyword(name)) lex.fail("unexpected keyword '" + name + "'");
+      if (!port_set.insert(name).second)
+        lex.fail("duplicate port '" + name + "' in module header");
+      model->port_order.push_back(name);
+      if (model->port_order.size() > kMaxElements) lex.fail("too many ports");
+      if (dir != nullptr) declare(name, dir, /*from_header=*/true);
+      const std::string sep = lex.next();
+      if (sep == ")") break;
+      if (sep != ",") lex.fail("expected ',' or ')' in port list, got '" +
+                               sep + "'");
+    }
+  }
+
+  /// Body `input a, b;` / `output y;` / `wire w;` declaration.
+  void parse_decl(const std::string& kw) {
+    reject_vector();
+    std::vector<std::string>* dst = dir_list(kw);
+    for (;;) {
+      declare(lex.ident("net name"), dst, /*from_header=*/false);
+      const std::string sep = lex.next();
+      if (sep == ";") break;
+      if (sep != ",") lex.fail("expected ',' or ';' in declaration, got '" +
+                               sep + "'");
+    }
+  }
+
+  /// `<model> <inst> ( ... );` — named or positional connections (not
+  /// mixed). Every actual must be a declared scalar net.
+  void parse_instance(const std::string& model_name) {
+    InstanceNode inst;
+    inst.model = model_name;
+    inst.loc = {lex.source(), lex.line()};
+    inst.name = lex.ident("instance name");
+    if (is_keyword(inst.name))
+      lex.fail("unexpected keyword '" + inst.name + "'");
+    lex.expect("(");
+    bool named = false;
+    bool positional = false;
+    if (lex.peek() != ")") {
+      for (;;) {
+        std::string formal;
+        std::string actual;
+        if (lex.peek() == ".") {
+          lex.expect(".");
+          named = true;
+          formal = lex.ident("port name");
+          lex.expect("(");
+          if (lex.peek() != ")") {
+            actual = lex.ident("net name");
+            check_net(actual);
+          }
+          lex.expect(")");
+        } else {
+          positional = true;
+          actual = lex.ident("net name");
+          check_net(actual);
+        }
+        if (named && positional)
+          lex.fail("mixed named and positional connections on instance '" +
+                   inst.name + "'");
+        inst.conns.emplace_back(std::move(formal), std::move(actual));
+        if (inst.conns.size() > kMaxElements)
+          lex.fail("too many connections");
+        const std::string sep = lex.next();
+        if (sep == ")") break;
+        if (sep != ",")
+          lex.fail("expected ',' or ')' in connection list, got '" + sep +
+                   "'");
+      }
+    } else {
+      lex.expect(")");
+    }
+    lex.expect(";");
+    model->instances.push_back(std::move(inst));
+    if (model->instances.size() > kMaxElements) lex.fail("too many instances");
+    g_instances.add();
+  }
+
+  void parse_module() {
+    out.models.emplace_back();
+    model = &out.models.back();
+    declared.clear();
+    port_set.clear();
+    model->loc = {lex.source(), lex.line()};
+    model->name = lex.ident("module name");
+    if (is_keyword(model->name))
+      lex.fail("unexpected keyword '" + model->name + "'");
+    if (!model_names.insert(model->name).second)
+      lex.fail("duplicate module '" + model->name + "'");
+    g_modules.add();
+    parse_header_ports();
+    lex.expect(";");
+    for (;;) {
+      const std::string t = lex.next();
+      if (t.empty()) lex.fail("unexpected end of input (missing endmodule?)");
+      if (t == "endmodule") break;
+      if (t == "input" || t == "output" || t == "wire") {
+        parse_decl(t);
+      } else if (t == "inout") {
+        lex.fail("inout ports are not supported");
+      } else if (t == "assign" || t == "always" || t == "initial" ||
+                 t == "reg" || t == "parameter") {
+        lex.fail("behavioural construct '" + t +
+                 "' is not supported (structural netlists only)");
+      } else {
+        const unsigned char c0 = static_cast<unsigned char>(t[0]);
+        if (std::isdigit(c0) != 0 || is_keyword(t) || t.size() == 1)
+          lex.fail("unexpected token '" + t + "'");
+        parse_instance(t);
+      }
+    }
+    // Every header port must have received a direction.
+    for (const std::string& p : model->port_order)
+      if (declared.find(p) == declared.end())
+        lex.fail("port '" + p + "' has no input/output declaration");
+    model = nullptr;
+  }
+
+  void run() {
+    for (;;) {
+      const std::string t = lex.next();
+      if (t.empty()) break;
+      if (t != "module")
+        lex.fail("expected 'module', got '" + t + "'");
+      parse_module();
+    }
+    if (out.models.empty())
+      parse_fail(lex.source(), 1, "no module in Verilog input");
+  }
+};
+
+}  // namespace
+
+IrNetlist parse_verilog(std::istream& is, std::string source) {
+  obs::Span span("frontend.parse_verilog");
+  fault::inject("frontend.parse");
+  Parser p(is, std::move(source));
+  p.run();
+  return std::move(p.out);
+}
+
+}  // namespace tmm::frontend

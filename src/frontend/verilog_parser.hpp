@@ -1,0 +1,18 @@
+#pragma once
+// Structural-Verilog parser (docs/FRONTEND.md). Supported subset:
+// `module`/`endmodule`, ANSI and non-ANSI scalar port declarations,
+// `wire` declarations, module/cell instances with named (`.f(net)`) or
+// positional connections, `//` and `/* */` comments, `\escaped` names.
+// Behavioural constructs, vectors and `assign` raise
+// fault::FlowError(kParse); so does any undeclared signal.
+
+#include <iosfwd>
+#include <string>
+
+#include "frontend/ir.hpp"
+
+namespace tmm::frontend {
+
+IrNetlist parse_verilog(std::istream& is, std::string source = "<verilog>");
+
+}  // namespace tmm::frontend

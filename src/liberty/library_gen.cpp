@@ -1,6 +1,9 @@
 #include "liberty/library_gen.hpp"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace tmm {
 
@@ -138,7 +141,7 @@ Cell make_dff_cell(const std::string& name, const DriveModel& model,
 
 Library generate_library(const LibraryGenConfig& cfg) {
   Rng rng(cfg.seed);
-  Library lib("tmm_nldm45");
+  Library lib(library_name_for_seed(cfg.seed));
 
   struct Variant {
     const char* base;
@@ -194,6 +197,159 @@ Library generate_library(const LibraryGenConfig& cfg) {
     lib.add_cell(make_dff_cell("DFF_X1", m, cfg));
   }
   return lib;
+}
+
+namespace {
+
+constexpr std::uint64_t kDefaultLibSeed = 42;
+constexpr const char* kBaseLibName = "tmm_nldm45";
+
+char sense_char(ArcSense s) {
+  switch (s) {
+    case ArcSense::kPositiveUnate: return 'p';
+    case ArcSense::kNegativeUnate: return 'n';
+    case ArcSense::kNonUnate: return 'x';
+  }
+  return 'x';
+}
+
+}  // namespace
+
+std::string library_name_for_seed(std::uint64_t seed) {
+  if (seed == kDefaultLibSeed) return kBaseLibName;
+  return std::string(kBaseLibName) + "_s" + std::to_string(seed);
+}
+
+bool library_config_for_name(std::string_view name, LibraryGenConfig* cfg) {
+  LibraryGenConfig out;
+  if (name == kBaseLibName) {
+    out.seed = kDefaultLibSeed;
+    if (cfg != nullptr) *cfg = out;
+    return true;
+  }
+  const std::string prefix = std::string(kBaseLibName) + "_s";
+  if (name.size() <= prefix.size() || name.substr(0, prefix.size()) != prefix)
+    return false;
+  const std::string digits(name.substr(prefix.size()));
+  char* end = nullptr;
+  const unsigned long long seed = std::strtoull(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || digits.empty()) return false;
+  for (char c : digits)
+    if (c < '0' || c > '9') return false;
+  // The default seed must round-trip through the *short* name only, so
+  // one library name never has two spellings.
+  if (seed == kDefaultLibSeed) return false;
+  out.seed = seed;
+  if (cfg != nullptr) *cfg = out;
+  return true;
+}
+
+std::string names_cell_name(const NamesCellSpec& spec) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016" PRIx64, spec.cover_hash);
+  std::string name = "NK" + std::to_string(spec.num_inputs) + "_";
+  for (ArcSense s : spec.senses) name += sense_char(s);
+  if (!spec.senses.empty()) name += '_';
+  name += hex;
+  return name;
+}
+
+bool parse_names_cell_name(std::string_view name, NamesCellSpec* spec) {
+  NamesCellSpec out;
+  if (name.size() < 2 || name.substr(0, 2) != "NK") return false;
+  std::size_t i = 2;
+  std::size_t k = 0;
+  bool any_digit = false;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    k = k * 10 + static_cast<std::size_t>(name[i] - '0');
+    if (k > 4096) return false;
+    any_digit = true;
+    ++i;
+  }
+  if (!any_digit || i >= name.size() || name[i] != '_') return false;
+  ++i;
+  out.num_inputs = k;
+  out.senses.reserve(k);
+  for (std::size_t j = 0; j < k; ++j, ++i) {
+    if (i >= name.size()) return false;
+    switch (name[i]) {
+      case 'p': out.senses.push_back(ArcSense::kPositiveUnate); break;
+      case 'n': out.senses.push_back(ArcSense::kNegativeUnate); break;
+      case 'x': out.senses.push_back(ArcSense::kNonUnate); break;
+      default: return false;
+    }
+  }
+  if (k > 0) {
+    if (i >= name.size() || name[i] != '_') return false;
+    ++i;
+  }
+  if (name.size() - i != 16) return false;
+  std::uint64_t hash = 0;
+  for (; i < name.size(); ++i) {
+    const char c = name[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    else return false;
+    hash = (hash << 4) | digit;
+  }
+  out.cover_hash = hash;
+  if (spec != nullptr) *spec = std::move(out);
+  return true;
+}
+
+Cell synthesize_names_cell(const NamesCellSpec& spec,
+                           const LibraryGenConfig& cfg) {
+  // Everything below draws from this generator only, in a fixed order,
+  // so (cover hash, library seed) fully determines the cell — the
+  // seed-stability contract of the frontend tech mapper.
+  Rng rng(0x6e616d6573636cULL ^ spec.cover_hash ^
+          (cfg.seed * 0x9e3779b97f4a7c15ULL));
+  const std::size_t k = spec.num_inputs;
+
+  Cell c;
+  c.name = names_cell_name(spec);
+  const double input_cap_ff = rng.uniform(1.1, 1.6);
+  for (std::size_t i = 0; i < k; ++i) {
+    CellPort p;
+    p.name = "I" + std::to_string(i);
+    p.dir = PortDir::kInput;
+    p.cap_ff = input_cap_ff;
+    c.ports.push_back(p);
+  }
+  CellPort out;
+  out.name = "Y";
+  out.dir = PortDir::kOutput;
+  c.ports.push_back(out);
+
+  DriveModel base;
+  base.intrinsic_ps =
+      8.0 + 1.1 * static_cast<double>(k) + rng.uniform(0.0, 4.0);
+  base.res_kohm = rng.uniform(2.0, 3.2);
+  base.out_slew_res = rng.uniform(0.9, 1.3);
+  base.nonlin = cfg.nonlinearity;
+
+  const auto out_idx = static_cast<std::uint32_t>(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    ArcSpec arc;
+    arc.from_port = i;
+    arc.to_port = out_idx;
+    arc.kind = ArcKind::kCombinational;
+    arc.sense = spec.senses[i];
+    DriveModel m = base;
+    m.intrinsic_ps *= 1.0 + 0.07 * static_cast<double>(i) +
+                      0.02 * rng.uniform();
+    characterize(m, cfg, arc.delay, arc.out_slew);
+    c.arcs.push_back(std::move(arc));
+  }
+  return c;
+}
+
+CellId ensure_names_cell(Library& lib, const NamesCellSpec& spec,
+                         const LibraryGenConfig& cfg) {
+  const std::string name = names_cell_name(spec);
+  if (lib.has_cell(name)) return lib.cell_id(name);
+  return lib.add_cell(synthesize_names_cell(spec, cfg));
 }
 
 }  // namespace tmm

@@ -9,6 +9,8 @@
 // non-zero), early tables are derated versions of late tables, and
 // rise/fall are slightly asymmetric.
 
+#include <string_view>
+
 #include "liberty/library.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +49,50 @@ struct DriveModel {
 /// INV/BUF/NAND2/NOR2/AND2/OR2/XOR2 in several drive strengths,
 /// clock buffers, and a positive-edge D flip-flop with setup/hold arcs.
 Library generate_library(const LibraryGenConfig& cfg = {});
+
+/// Canonical library name for a generator seed. The default seed keeps
+/// the historical name "tmm_nldm45" so existing design files stay
+/// readable; other seeds append "_s<seed>" so a design serialized
+/// against a reseeded library can never be silently re-timed against
+/// the wrong tables (read_design checks the name).
+std::string library_name_for_seed(std::uint64_t seed);
+
+/// Inverse of library_name_for_seed: recover a generator config whose
+/// generate_library() output carries `name`. Returns false for names
+/// this generator never produces.
+bool library_config_for_name(std::string_view name, LibraryGenConfig* cfg);
+
+/// Specification of an on-demand K-input combinational cell synthesized
+/// for a BLIF `.names` SOP node (frontend tech mapping). The cover hash
+/// seeds the drive-model parameters and the per-input senses come from
+/// cover unateness, so the same cover under the same library seed always
+/// yields the byte-identical cell — and, because both are encoded in the
+/// cell *name*, the cell can be re-synthesized from the name alone when
+/// a previously imported design file is re-read.
+struct NamesCellSpec {
+  std::size_t num_inputs = 0;
+  std::uint64_t cover_hash = 0;       ///< canonical-SOP FNV-1a hash
+  std::vector<ArcSense> senses;       ///< one per input
+};
+
+/// "NK<K>_<senses>_<hash16>" with one 'p'/'n'/'x' sense letter per input
+/// (e.g. "NK2_pn_00a1b2c3d4e5f607"); zero-input constants are "NK0_<hash16>".
+std::string names_cell_name(const NamesCellSpec& spec);
+
+/// Parse a names_cell_name back into its spec. Returns false when
+/// `name` does not follow the NK pattern.
+bool parse_names_cell_name(std::string_view name, NamesCellSpec* spec);
+
+/// Deterministically synthesize the cell for `spec` under `cfg`: ports
+/// I0..I<K-1> + Y, one combinational arc per input with the spec'd
+/// sense, surfaces drawn from a generator seeded by (hash, cfg.seed).
+Cell synthesize_names_cell(const NamesCellSpec& spec,
+                           const LibraryGenConfig& cfg);
+
+/// Add the cell for `spec` to `lib` unless it already exists; returns
+/// its id either way.
+CellId ensure_names_cell(Library& lib, const NamesCellSpec& spec,
+                         const LibraryGenConfig& cfg);
 
 /// Characterize a DriveModel into an ElRf<Lut> pair (delay, out_slew)
 /// over the given grids. Used by the library generator and by tests.

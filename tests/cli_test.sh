@@ -314,4 +314,54 @@ rc9=$?
 set -e
 [ "$rc9" -eq 3 ]
 
+# --- Real-circuit frontend: BLIF / structural-Verilog import ----------------
+# Import an MCNC-style BLIF twice (byte-identical .dsn), lint the
+# source directly, time the imported design, import a Verilog netlist,
+# and run the checkpointed flow straight over the .blif.
+cat > "$DIR/maj.blif" <<'EOF'
+.model cli_majority
+.inputs a b c
+.outputs y
+.names a b ab
+11 1
+.names a c ac
+11 1
+.names b c bc
+11 1
+.names ab ac bc y
+1-- 1
+-1- 1
+--1 1
+.end
+EOF
+"$TMM" import "$DIR/maj.blif" --out "$DIR/maj.dsn"
+"$TMM" import "$DIR/maj.blif" --out "$DIR/maj2.dsn"
+cmp "$DIR/maj.dsn" "$DIR/maj2.dsn"
+"$TMM" lint "$DIR/maj.blif"
+"$TMM" stats "$DIR/maj.dsn"
+"$TMM" sta "$DIR/maj.dsn"
+cat > "$DIR/mux.v" <<'EOF'
+module cli_mux(input d0, input d1, input sel, output y);
+  wire nsel, a0, b0;
+  INV_X1 u0 (.A(sel), .Y(nsel));
+  NAND2_X1 u1 (.A(d0), .B(nsel), .Y(a0));
+  NAND2_X1 u2 (.A(d1), .B(sel), .Y(b0));
+  NAND2_X1 u3 (.A(a0), .B(b0), .Y(y));
+endmodule
+EOF
+"$TMM" import "$DIR/mux.v" --out "$DIR/mux.dsn"
+"$TMM" sta "$DIR/mux.dsn"
+"$TMM" flow "$DIR/fe-flow" "$DIR/maj.blif" "$DIR/t1.dsn"
+test -s "$DIR/fe-flow/out/cli_majority.macro"
+
+# Malformed BLIF: structured parse diagnostic with file:line, exit 1.
+printf '.model bad\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n' \
+  > "$DIR/bad.blif"
+set +e
+"$TMM" import "$DIR/bad.blif" --out "$DIR/bad.dsn" 2> "$DIR/fe-err.txt"
+rcfe=$?
+set -e
+[ "$rcfe" -eq 1 ]
+grep -q "bad.blif:5" "$DIR/fe-err.txt"
+
 echo "CLI_OK"

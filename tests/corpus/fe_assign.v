@@ -1,0 +1,3 @@
+module t(input a, output y);
+  assign y = a;
+endmodule

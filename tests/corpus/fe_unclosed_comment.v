@@ -1,0 +1,4 @@
+module t(input a, output y);
+  /* this comment never ends
+  NAND2_X1 g0 (.A(a), .B(a), .Y(y));
+endmodule

@@ -1,0 +1,3 @@
+module t(input a, output y);
+  NAND2_X1 g0 (.A(a), .B(ghost), .Y(y));
+endmodule

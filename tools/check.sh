@@ -2,9 +2,9 @@
 # tools/check.sh — continuous static/dynamic analysis driver.
 #
 #   tools/check.sh [release] [sanitize] [tsan] [tidy] [threadsafety]
-#                  [lockorder] [fault]
+#                  [lockorder] [fault] [frontend]
 #
-# With no arguments all seven stages run:
+# With no arguments all eight stages run:
 #   release   Release build with -Werror (TMM_WERROR=ON) + full ctest.
 #   sanitize  ASan+UBSan build (TMM_SANITIZE=address,undefined) + full
 #             ctest; any sanitizer report fails the test.
@@ -34,6 +34,11 @@
 #             (clean skip-with-diagnostic, no torn files) and the
 #             persistence sites in kill mode (SIGKILL + bit-identical
 #             resume).
+#   frontend  Real-circuit frontend smoke (tools/frontend_smoke.sh):
+#             every examples/blif circuit imported (byte-identical
+#             re-import), linted, timed, run through the flow, packed
+#             and served bit-identically, plus the import-throughput
+#             bench emitting BENCH_frontend.json.
 #
 # Build trees live in build-check-* so the developer build/ is never
 # clobbered. Exit code is non-zero as soon as any stage fails.
@@ -142,7 +147,24 @@ run_fault() {
     "$ROOT/build-check-release/tools/serve_loadgen"
 }
 
-stages="${*:-release sanitize tsan tidy threadsafety lockorder fault}"
+run_frontend() {
+  echo "== check: real-circuit frontend smoke =="
+  cmake -S "$ROOT" -B "$ROOT/build-check-release" \
+    -DCMAKE_BUILD_TYPE=Release -DTMM_WERROR=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  cmake --build "$ROOT/build-check-release" -j"$JOBS" \
+    --target tmm serve_loadgen bench_frontend
+  sh "$ROOT/tools/frontend_smoke.sh" "$ROOT/build-check-release/tools/tmm" \
+    "$ROOT/build-check-release/tools/serve_loadgen"
+  # Import-throughput bench with machine-readable output (scaled down).
+  bench_dir="$(mktemp -d)"
+  ( cd "$bench_dir" && TMM_TEST_SCALE=10 \
+      "$ROOT/build-check-release/bench/bench_frontend" )
+  test -s "$bench_dir/BENCH_frontend.json"
+  rm -rf "$bench_dir"
+}
+
+stages="${*:-release sanitize tsan tidy threadsafety lockorder fault frontend}"
 for stage in $stages; do
   case "$stage" in
     release)      run_release ;;
@@ -152,7 +174,8 @@ for stage in $stages; do
     threadsafety) run_threadsafety ;;
     lockorder)    run_lockorder ;;
     fault)        run_fault ;;
-    *) echo "unknown stage '$stage' (expected release|sanitize|tsan|tidy|threadsafety|lockorder|fault)" >&2
+    frontend)     run_frontend ;;
+    *) echo "unknown stage '$stage' (expected release|sanitize|tsan|tidy|threadsafety|lockorder|fault|frontend)" >&2
        exit 64 ;;
   esac
 done

@@ -25,6 +25,24 @@ fail() { echo "FAULT_MATRIX_FAIL: $*" >&2; exit 1; }
 mkdir "$DIR/models"
 "$TMM" pack "$DIR/base/out/t1.macro" --out "$DIR/models/t1.tmb"
 
+# Real-circuit fixture for the frontend sites (docs/FRONTEND.md).
+cat > "$DIR/fe.blif" <<'EOF'
+.model fe_majority
+.inputs a b c
+.outputs y
+.names a b ab
+11 1
+.names a c ac
+11 1
+.names b c bc
+11 1
+.names ab ac bc y
+1-- 1
+-1- 1
+--1 1
+.end
+EOF
+
 "$TMM" fault-sites > "$DIR/sites.txt"
 [ -s "$DIR/sites.txt" ] || fail "fault-site registry is empty"
 
@@ -42,6 +60,8 @@ command_for() {
     serve.pack)   echo "pack $DIR/base/out/t1.macro --out $DIR/p-$2.tmb" ;;
     serve.load_model)
                   echo "serve $DIR/models --socket $DIR/s-$2.sock" ;;
+    frontend.parse|frontend.map)
+                  echo "import $DIR/fe.blif --out $DIR/fe-$2.dsn" ;;
     *)            echo "flow $DIR/run-$2 $DIR/t1.dsn $DIR/t2.dsn" ;;
   esac
 }
@@ -138,5 +158,27 @@ for site in $KILL_SITES; do
     || fail "$site: torn temp files survived resume"
   echo "  kill  $site: resume bit-identical OK"
 done
+
+# SIGKILL mid-parse on a real-circuit flow: the .blif enters the flow
+# through the frontend; a kill inside the parser must leave the run
+# directory resumable, and the resumed run must reproduce an
+# uninterrupted BLIF baseline bit-for-bit (imports are deterministic,
+# so the re-parse on resume regenerates identical designs).
+"$TMM" flow "$DIR/fe-base" "$DIR/fe.blif" "$DIR/t1.dsn" > /dev/null
+rc=0
+TMM_FAULT="frontend.parse:1:kill" "$TMM" flow "$DIR/fe-kill" \
+  "$DIR/fe.blif" "$DIR/t1.dsn" > /dev/null 2>&1 || rc=$?
+[ "$rc" -ge 128 ] || fail "frontend.parse: kill fault did not terminate (rc=$rc)"
+"$TMM" --resume "$DIR/fe-kill" flow "$DIR/fe.blif" "$DIR/t1.dsn" > /dev/null \
+  || fail "frontend.parse: resume after mid-parse SIGKILL failed"
+cmp -s "$DIR/fe-kill/model.gnn" "$DIR/fe-base/model.gnn" \
+  || fail "frontend.parse: resumed model differs from BLIF baseline"
+for m in "$DIR/fe-base/out/"*.macro; do
+  cmp -s "$m" "$DIR/fe-kill/out/$(basename "$m")" \
+    || fail "frontend.parse: resumed macro $(basename "$m") differs"
+done
+[ "$(find "$DIR/fe-kill" -name '*.tmp.*' | wc -l)" -eq 0 ] \
+  || fail "frontend.parse: torn temp files survived resume"
+echo "  kill  frontend.parse: flow over .blif resumed bit-identical OK"
 
 echo "FAULT_MATRIX_OK"

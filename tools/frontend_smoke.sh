@@ -1,0 +1,65 @@
+#!/bin/sh
+# tools/frontend_smoke.sh — real-circuit frontend end-to-end smoke.
+#
+#   tools/frontend_smoke.sh <path-to-tmm> [path-to-serve_loadgen]
+#
+# Drives every checked-in example through the whole pipeline:
+# import (asserting byte-identical re-import), frontend lint, STA,
+# flow (train + model straight from .blif/.v), pack, and — when a
+# loadgen is given — a live serve loop whose responses the loadgen
+# verifies bit-identical against the offline evaluator.
+set -eu
+
+TMM="$1"
+LOADGEN="${2:-}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+EXAMPLES="$ROOT/examples/blif"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+fail() { echo "FRONTEND_SMOKE_FAIL: $*" >&2; exit 1; }
+
+# Import every example twice: the second .dsn must be byte-identical
+# (the acceptance bar for deterministic tech mapping).
+for src in "$EXAMPLES"/*.blif "$EXAMPLES"/*.v; do
+  base="$(basename "$src")"
+  stem="${base%.*}"
+  "$TMM" import "$src" --out "$DIR/$stem.dsn"
+  "$TMM" import "$src" --out "$DIR/$stem.2.dsn"
+  cmp "$DIR/$stem.dsn" "$DIR/$stem.2.dsn" \
+    || fail "$base: re-import is not byte-identical"
+  "$TMM" lint "$src" || fail "$base: frontend lint found errors"
+  "$TMM" stats "$DIR/$stem.dsn" > /dev/null
+  "$TMM" sta "$DIR/$stem.dsn" > /dev/null || fail "$base: STA failed"
+done
+
+# Full Fig. 4 flow straight over the sources (mixed BLIF + Verilog):
+# train, model, evaluate, with checkpoints in $DIR/run.
+"$TMM" flow "$DIR/run" "$EXAMPLES/cm_adder.blif" "$EXAMPLES/count8.blif" \
+  "$EXAMPLES/mux_chain.v" > "$DIR/flow.txt" \
+  || fail "flow over examples failed"
+grep -q "0 failed" "$DIR/flow.txt" || fail "flow skipped a design"
+
+# Pack one imported-circuit macro and (optionally) serve it live.
+mkdir "$DIR/models"
+"$TMM" pack "$DIR/run/out/count8.macro" --out "$DIR/models/count8.tmb" \
+  || fail "pack of an imported-circuit macro failed"
+"$TMM" lint "$DIR/models/count8.tmb" || fail "packed image lint failed"
+
+if [ -n "$LOADGEN" ]; then
+  SOCK="$DIR/tmm.sock"
+  "$TMM" serve "$DIR/models" --socket "$SOCK" --threads 2 \
+    > "$DIR/serve.txt" 2>&1 &
+  SRV=$!
+  i=0
+  while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do i=$((i+1)); sleep 0.1; done
+  [ -S "$SOCK" ] || fail "server never bound $SOCK"
+  # The loadgen replays queries and compares every response against the
+  # offline evaluator: serving an imported circuit is bit-identical.
+  TMM_BENCH_JSON_DIR="$DIR" "$LOADGEN" --socket "$SOCK" \
+    --model-dir "$DIR/models" --threads 2 --seconds 2 --warm-keys 4 \
+    > "$DIR/loadgen.txt" || fail "loadgen found mismatching responses"
+  kill -TERM "$SRV"
+  wait "$SRV" || fail "server did not drain cleanly"
+fi
+
+echo "FRONTEND_SMOKE_OK"

@@ -10,6 +10,16 @@
 //
 // Subcommands (everything uses the built-in generated NLDM library):
 //   tmm gen-design <out.dsn> [--pins N] [--seed S] [--name X]
+//   tmm import     <in.blif|in.v> [out.dsn] [--out out.dsn] [--lib L]
+//                  [--top M] [--clock NET] [--name X]
+//                  (real-circuit frontend, docs/FRONTEND.md: parse BLIF
+//                  or structural Verilog, lint the flattened netlist
+//                  (F001-F004), tech-map onto the generated library —
+//                  `.names` nodes become on-demand NK* cells, latches
+//                  become DFF_X1 — and write a .dsn; --lib is a library
+//                  generator seed or generated-library name, default the
+//                  built-in library. Importing the same file twice is
+//                  byte-identical.)
 //   tmm stats      <in.dsn>
 //   tmm sta        <in.dsn> [--no-cppr] [--period PS] [--threads N]
 //   tmm train      <out.gnn> <train1.dsn> [train2.dsn ...] [--no-cppr]
@@ -45,6 +55,8 @@
 //   tmm export-lib <out.lib> [--early]
 //   tmm lint       <file...>  (.macro files are linted as macro models,
 //                  .tmb files and model directories as serving artifacts,
+//                  .blif/.v files through the frontend import lint
+//                  (F001-F004, then design+graph lint when mappable),
 //                  anything else as designs + their flat timing graphs)
 //   tmm lint       --concurrency  (self-audit: exercise the lock-using
 //                  subsystems, dump the lock hierarchy, fail on cycles)
@@ -82,6 +94,9 @@
 #include "fault/fault.hpp"
 #include "flow/flow_runner.hpp"
 #include "flow/framework.hpp"
+#include "frontend/elaborate.hpp"
+#include "frontend/frontend.hpp"
+#include "frontend/frontend_lint.hpp"
 #include "gnn/graphsage.hpp"
 #include "liberty/liberty_writer.hpp"
 #include "liberty/library_gen.hpp"
@@ -135,6 +150,13 @@ struct Args {
   double period = 1000.0;
   std::size_t sets = 4;
   bool early = false;
+  /// True when --name was given explicitly (import: override the
+  /// design name instead of keeping the top model's).
+  bool name_given = false;
+  // Frontend options (`tmm import` / `tmm flow`, docs/FRONTEND.md).
+  std::string lib;    ///< library: generator seed or generated name
+  std::string top;    ///< top model override
+  std::string clock;  ///< clock net override
   /// Copied from GlobalOpts: checkpoint/resume directory.
   std::string resume_dir;
   // Serving options (`tmm pack` / `tmm serve`, docs/SERVING.md).
@@ -184,7 +206,8 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       "--batch",   "--cache",      "--quantize", "--concurrency",
       "--slow-ms", "--slow-sample", "--flight-records", "--dump-dir",
       "--health",  "--flight",     "--watch",   "--interval",
-      "--max-inflight", "--reload"};
+      "--max-inflight", "--reload", "--lib",    "--top",
+      "--clock"};
   auto check_allowed = [&](std::string_view a) {
     if (std::find(allowed.begin(), allowed.end(), a) != allowed.end()) return;
     const bool known = std::find(std::begin(kKnownFlags), std::end(kKnownFlags),
@@ -221,8 +244,10 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       args.pins = std::stoul(next());
     else if (a == "--seed")
       args.seed = std::stoull(next());
-    else if (a == "--name")
+    else if (a == "--name") {
       args.name = next();
+      args.name_given = true;
+    }
     else if (a == "--period")
       args.period = std::stod(next());
     else if (a == "--sets")
@@ -269,6 +294,12 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
       args.watch = true;
     else if (a == "--interval")
       args.interval = std::stod(next());
+    else if (a == "--lib")
+      args.lib = next();
+    else if (a == "--top")
+      args.top = next();
+    else if (a == "--clock")
+      args.clock = next();
     else if (a.rfind("--", 0) == 0)
       throw UsageError("unknown option " + a);
     else
@@ -278,8 +309,37 @@ Args parse(int argc, char** argv, int first, const std::string& cmd,
   return args;
 }
 
+/// Library generator seed behind a --lib value: empty = default, all
+/// digits = an explicit seed, otherwise a generated-library name
+/// ("tmm_nldm45" / "tmm_nldm45_s<seed>").
+std::uint64_t lib_seed_from(const std::string& lib) {
+  if (lib.empty()) return LibraryGenConfig{}.seed;
+  if (std::all_of(lib.begin(), lib.end(),
+                  [](unsigned char c) { return std::isdigit(c) != 0; }))
+    return std::stoull(lib);
+  LibraryGenConfig cfg;
+  if (!library_config_for_name(lib, &cfg))
+    throw UsageError("--lib must be a library generator seed or a "
+                     "generated library name, got '" + lib + "'");
+  return cfg.seed;
+}
+
+frontend::FrontendConfig frontend_config(const Args& args) {
+  frontend::FrontendConfig cfg;
+  cfg.lib_seed = lib_seed_from(args.lib);
+  cfg.top = args.top;
+  cfg.clock = args.clock;
+  if (args.name_given) cfg.design_name = args.name;
+  return cfg;
+}
+
+/// Load a design from any supported path: .blif/.v are imported
+/// through the frontend (against the registry library for the default
+/// seed), .dsn files read against the built-in library — or, when they
+/// reference frontend-synthesized NK* cells, against the registry with
+/// those cells re-synthesized from their names.
 Design load_design(const std::string& path) {
-  return read_design_file(path, default_library());
+  return frontend::load_design_any(path, {}, &default_library());
 }
 
 /// STA/TS worker count for the analysis commands: an explicit
@@ -308,6 +368,44 @@ int cmd_gen_design(const Args& args) {
   std::printf("wrote %s: %zu pins, %zu cells, %zu nets (%zu bytes)\n",
               args.positional[0].c_str(), d.num_pins(), d.num_gates(),
               d.num_nets(), bytes);
+  return 0;
+}
+
+int cmd_import(const Args& args) {
+  if (args.positional.empty())
+    throw std::runtime_error("import: <netlist.blif|netlist.v> required");
+  if (args.positional.size() > 2)
+    throw UsageError("import: expected <input> [output.dsn]");
+  const std::string& in = args.positional[0];
+  if (!frontend::is_frontend_path(in))
+    throw UsageError("import: input must be a .blif or .v file, got '" + in +
+                     "'");
+  std::string out = args.out;
+  if (out.empty() && args.positional.size() == 2) out = args.positional[1];
+  if (!args.out.empty() && args.positional.size() == 2)
+    throw UsageError("import: give either --out or an output positional");
+  if (out.empty()) {
+    // Default: input path with the extension swapped for .dsn.
+    out = in;
+    const std::size_t dot = out.rfind('.');
+    if (dot != std::string::npos && out.find('/', dot) == std::string::npos)
+      out.resize(dot);
+    out += ".dsn";
+  }
+  frontend::ImportStats st;
+  analysis::LintReport report;
+  const Design d =
+      frontend::import_file(in, frontend_config(args), &st, &report);
+  const std::size_t bytes = write_design_file(d, out);
+  std::printf("imported %s -> %s: %zu model(s), %zu primitive(s), "
+              "%zu gates (%zu latches), %zu nets, %zu pins, library %s "
+              "(+%zu cell(s) synthesized), clock %s (%zu bytes)\n",
+              in.c_str(), out.c_str(), st.models, st.flat_prims, st.gates,
+              st.latches, st.nets, st.pins, d.library().name().c_str(),
+              st.cells_synthesized,
+              st.clock.empty() ? "none" : st.clock.c_str(), bytes);
+  if (report.warnings() > 0)
+    std::fputs(report.to_string().c_str(), stdout);
   return 0;
 }
 
@@ -416,8 +514,8 @@ int cmd_flow(const Args& args) {
   std::vector<std::string> paths(args.positional.begin() +
                                      static_cast<std::ptrdiff_t>(first_design),
                                  args.positional.end());
-  const flow::FlowRunReport report =
-      flow::run_flow(paths, dir, cfg, default_library());
+  const flow::FlowRunReport report = flow::run_flow(
+      paths, dir, cfg, default_library(), frontend_config(args));
   std::printf("flow: trained on %zu design(s)%s, %zu modeled, %zu failed\n",
               report.training.designs,
               report.training.designs_from_checkpoint > 0 ||
@@ -583,6 +681,21 @@ int cmd_lint(const Args& args) {
       if (!is) throw std::runtime_error("cannot open " + path);
       const MacroModel model = read_macro_model(is);
       report = analysis::lint_model(model);
+    } else if (frontend::is_frontend_path(path)) {
+      // Frontend import lint: connectivity rules (F001-F004) against
+      // source locations; when the netlist maps cleanly, the mapped
+      // design and its timing graph are linted too.
+      const frontend::FrontendConfig fcfg = frontend_config(args);
+      const frontend::IrNetlist ir = frontend::parse_file(path);
+      Library& flib = frontend::library_for_seed(fcfg.lib_seed);
+      const frontend::FlatNetlist flat =
+          frontend::elaborate(ir, flib, fcfg.top, &report);
+      report.merge(frontend::lint_flat(flat, flib));
+      if (report.errors() == 0) {
+        const Design d = frontend::map_netlist(flat, flib, fcfg);
+        report.merge(analysis::lint_design(d));
+        report.merge(analysis::lint_graph(build_timing_graph(d)));
+      }
     } else {
       const Design d = load_design(path);
       report = analysis::lint_design(d);
@@ -847,8 +960,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: tmm [--trace out.json] [--metrics out.json] "
                "[--resume dir] "
-               "<gen-design|stats|sta|train|generate|evaluate|flow|pack|"
-               "serve|stat|export-lib|lint|fault-sites> "
+               "<gen-design|import|stats|sta|train|generate|evaluate|flow|"
+               "pack|serve|stat|export-lib|lint|fault-sites> "
                "[args...]  (see tools/tmm_cli.cpp header)\n");
   return 64;
 }
@@ -861,12 +974,16 @@ struct Command {
 
 const Command kCommands[] = {
     {"gen-design", cmd_gen_design, {"--pins", "--seed", "--name"}},
+    {"import", cmd_import,
+     {"--out", "--lib", "--top", "--clock", "--name"}},
     {"stats", cmd_stats, {}},
     {"sta", cmd_sta, {"--no-cppr", "--period", "--threads"}},
     {"train", cmd_train, {"--no-cppr", "--regression", "--threads"}},
     {"generate", cmd_generate, {"--no-cppr", "--regression", "--threads"}},
     {"evaluate", cmd_evaluate, {"--no-cppr", "--sets", "--threads"}},
-    {"flow", cmd_flow, {"--no-cppr", "--regression", "--threads"}},
+    {"flow", cmd_flow,
+     {"--no-cppr", "--regression", "--threads", "--lib", "--top",
+      "--clock"}},
     {"pack", cmd_pack, {"--out"}},
     {"serve", cmd_serve,
      {"--socket", "--port", "--threads", "--batch", "--cache", "--quantize",
@@ -875,7 +992,7 @@ const Command kCommands[] = {
     {"stat", cmd_stat,
      {"--health", "--flight", "--reload", "--watch", "--interval"}},
     {"export-lib", cmd_export_lib, {"--early"}},
-    {"lint", cmd_lint, {"--concurrency"}},
+    {"lint", cmd_lint, {"--concurrency", "--lib", "--top", "--clock"}},
     {"fault-sites", cmd_fault_sites, {}},
 };
 
